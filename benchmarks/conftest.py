@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Each ``test_figNN_*.py`` regenerates one table/figure of the paper at a
+reduced trace scale (``BENCH_SCALE``), printing the same rows/series
+the paper reports and timing the headline configuration with
+pytest-benchmark. Set ``REPRO_BENCH_SCALE`` to run bigger traces.
+"""
+
+import os
+
+import pytest
+
+#: trace-length scale for benches (EXPERIMENTS.md runs use 0.4-1.0)
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+#: benchmark subset exercised by the per-figure benches (full list in
+#: EXPERIMENTS.md runs); chosen to span the paper's behaviour classes:
+#: neighbour-local, chip-wide, and capacity-imbalanced.
+BENCH_SET = ["blackscholes", "barnes", "swaptions"]
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_set():
+    return list(BENCH_SET)

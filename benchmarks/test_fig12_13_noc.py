@@ -1,0 +1,41 @@
+"""Figures 12-13: LOCO on SMART vs conventional NoC vs high-radix.
+
+Paper results: a conventional NoC roughly doubles L2 hit latency and
+search delay (256c: 2.01x / 1.99x); high-radix routers are worst on hit
+latency (3.10x) because every local hop pays the 4-stage pipeline.
+Runtime: LOCO+SMART is 18.9% (64c) / 24.6% (256c) faster than
+LOCO+conventional, and high-radix underperforms even conventional.
+"""
+
+from repro.harness import figures
+from repro.harness.report import format_table
+
+
+def test_fig12(benchmark, bench_scale, bench_set):
+    lat, search = benchmark.pedantic(
+        lambda: figures.figure12(benchmarks=bench_set, cores=64,
+                                 scale=bench_scale, verbose=False),
+        rounds=1, iterations=1)
+    print()
+    print(format_table("Figure 12a: L2 hit latency increase by NoC (64c)",
+                       lat))
+    print(format_table("Figure 12b: search delay by NoC (64c)", search))
+    smart = sum(r["SMART"] for r in lat.values()) / len(lat)
+    conv = sum(r["Conv"] for r in lat.values()) / len(lat)
+    radix = sum(r["HighRadix"] for r in lat.values()) / len(lat)
+    assert smart < conv, "SMART must beat a conventional NoC on hit latency"
+    assert smart < radix, "SMART must beat high-radix on hit latency"
+
+
+def test_fig13(benchmark, bench_scale, bench_set):
+    rows = benchmark.pedantic(
+        lambda: figures.figure13(benchmarks=bench_set, cores=64,
+                                 scale=bench_scale, verbose=False),
+        rounds=1, iterations=1)
+    print()
+    print(format_table("Figure 13: normalized runtime by NoC (64c)", rows))
+    smart = sum(r["SMART"] for r in rows.values()) / len(rows)
+    conv = sum(r["Conv"] for r in rows.values()) / len(rows)
+    assert smart < conv, (
+        f"LOCO+SMART ({smart:.3f}) must be faster than "
+        f"LOCO+conventional ({conv:.3f})")

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` falls back to this legacy path
+(setup.py develop) when PEP 517 editable wheels are unavailable offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — reproduction of "Locality-Oblivious Cache Organization
+leveraging Single-Cycle Multi-Hop NoCs" (Kwon, Krishna, Peh —
+ASPLOS 2014).
+
+Public API tour:
+
+* :func:`repro.params.paper_config` — the paper's Table 1 system.
+* :class:`repro.cmp.CmpSystem` — build + run one configuration.
+* :mod:`repro.traces` — synthetic SPLASH-2/PARSEC-like workloads.
+* :mod:`repro.harness` — one entry point per paper figure.
+"""
+
+from repro.params import (CacheConfig, IvrConfig, MemoryConfig, NocConfig,
+                          NocKind, Organization, SystemConfig, paper_config)
+from repro.cmp.system import CmpSystem, RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "IvrConfig",
+    "MemoryConfig",
+    "NocConfig",
+    "NocKind",
+    "Organization",
+    "SystemConfig",
+    "paper_config",
+    "CmpSystem",
+    "RunResult",
+    "__version__",
+]

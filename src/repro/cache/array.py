@@ -1,0 +1,139 @@
+"""Set-associative cache array.
+
+Pure storage + replacement: no protocol logic lives here. Controllers
+look lines up, allocate (receiving the victim line, if any, to handle),
+and invalidate. Set indexing uses the line address modulo the number of
+sets, i.e. the bits just above the offset, as in the paper's address
+layout (Tag | Index | HNid | Offset — the HNid bits are consumed by
+home-node selection before the array sees the address; we fold that in
+by indexing with the full line address, which preserves uniformity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.cache.line import CacheLine
+from repro.cache.replacement import make_policy
+from repro.errors import ConfigError
+from repro.params import CacheConfig
+
+
+class CacheArray:
+    """A ``num_sets x assoc`` array of :class:`CacheLine` slots.
+
+    ``index_stride`` strips the home-interleaving bits before set
+    indexing: a distributed cache that picks the home node from the low
+    ``log2(stride)`` bits of the line address must index its sets with
+    the bits *above* them, or every line homed at one slice collapses
+    into the same few sets (an address-interleaved slice only ever sees
+    addresses congruent mod ``stride``).
+    """
+
+    def __init__(self, config: CacheConfig, policy: str = "lru",
+                 index_stride: int = 1) -> None:
+        if index_stride < 1:
+            raise ConfigError("index_stride must be >= 1")
+        self.config = config
+        self.index_stride = index_stride
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        self._policies = [make_policy(policy, self.assoc)
+                          for _ in range(self.num_sets)]
+        # way bookkeeping: per set, line_addr -> way and way -> line_addr
+        self._ways: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._free_ways: List[List[int]] = [list(range(self.assoc))
+                                            for _ in range(self.num_sets)]
+
+    def set_index(self, line_addr: int) -> int:
+        return (line_addr // self.index_stride) % self.num_sets
+
+    # ------------------------------------------------------------------
+    def lookup(self, line_addr: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the resident line or None. ``touch`` updates LRU."""
+        idx = self.set_index(line_addr)
+        line = self._sets[idx].get(line_addr)
+        if line is not None and touch:
+            self._policies[idx].touch(self._ways[idx][line_addr])
+        return line
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._sets[self.set_index(line_addr)]
+
+    # ------------------------------------------------------------------
+    def allocate(self, line_addr: int) -> Tuple[CacheLine, Optional[CacheLine]]:
+        """Install a fresh line; returns ``(new_line, evicted_line)``.
+
+        The caller owns the evicted line (must write back / migrate /
+        drop it per protocol). Raises if the line is already resident.
+        """
+        idx = self.set_index(line_addr)
+        if line_addr in self._sets[idx]:
+            raise ConfigError(f"line {line_addr:#x} already resident")
+        victim: Optional[CacheLine] = None
+        if self._free_ways[idx]:
+            way = self._free_ways[idx].pop()
+        else:
+            way = self._policies[idx].victim()
+            victim_addr = self._inverse_way(idx, way)
+            victim = self._sets[idx].pop(victim_addr)
+            del self._ways[idx][victim_addr]
+        line = CacheLine(line_addr)
+        self._sets[idx][line_addr] = line
+        self._ways[idx][line_addr] = way
+        self._policies[idx].touch(way)
+        return line, victim
+
+    def victim_candidate(self, line_addr: int) -> Optional[CacheLine]:
+        """The line that WOULD be evicted to make room for ``line_addr``
+        (None if a free way exists). Does not modify the array — used by
+        IVR to compare timestamps before committing (paper Section 3.3)."""
+        idx = self.set_index(line_addr)
+        if line_addr in self._sets[idx] or self._free_ways[idx]:
+            return None
+        way = self._policies[idx].victim()
+        return self._sets[idx][self._inverse_way(idx, way)]
+
+    def victim_ranking(self, line_addr: int) -> List[CacheLine]:
+        """Resident lines of ``line_addr``'s set, most-evictable first.
+
+        Controllers use this to pick a victim while skipping lines with
+        in-flight transactions (which must not be evicted mid-flight).
+        """
+        idx = self.set_index(line_addr)
+        ranked = self._policies[idx].victim_ranking()
+        by_way = {w: a for a, w in self._ways[idx].items()}
+        return [self._sets[idx][by_way[w]] for w in ranked if w in by_way]
+
+    def set_full(self, line_addr: int) -> bool:
+        idx = self.set_index(line_addr)
+        return not self._free_ways[idx] and line_addr not in self._sets[idx]
+
+    def invalidate(self, line_addr: int) -> Optional[CacheLine]:
+        """Remove and return the line (None if absent)."""
+        idx = self.set_index(line_addr)
+        line = self._sets[idx].pop(line_addr, None)
+        if line is None:
+            return None
+        way = self._ways[idx].pop(line_addr)
+        self._free_ways[idx].append(way)
+        return line
+
+    # ------------------------------------------------------------------
+    def _inverse_way(self, idx: int, way: int) -> int:
+        for addr, w in self._ways[idx].items():
+            if w == way:
+                return addr
+        raise ConfigError(f"way {way} of set {idx} not mapped")
+
+    def lines(self) -> Iterator[CacheLine]:
+        for s in self._sets:
+            yield from s.values()
+
+    @property
+    def resident_count(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def set_occupancy(self, line_addr: int) -> int:
+        return len(self._sets[self.set_index(line_addr)])

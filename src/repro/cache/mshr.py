@@ -1,0 +1,89 @@
+"""Miss Status Holding Registers.
+
+One MSHR tracks one outstanding transaction for a line address at a
+controller: the request kind, who asked, how many acks/tokens are still
+expected, and arbitrary protocol scratch. ``MshrFile`` enforces the
+one-transaction-per-line invariant that every controller relies on for
+race freedom (secondary requests to a busy line are queued behind the
+MSHR and replayed when it retires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ProtocolError
+
+
+@dataclass
+class Mshr:
+    """One outstanding transaction."""
+
+    line_addr: int
+    kind: str                      # e.g. "GETS", "GETX", "WB", "IVR"
+    requestor: int = -1            # tile/core id that initiated it
+    issued_cycle: int = 0
+    pending_acks: int = 0
+    data_seen: bool = False
+    scratch: Dict[str, Any] = field(default_factory=dict)
+    deferred: List[Any] = field(default_factory=list)  # queued secondaries
+
+    def __repr__(self) -> str:
+        return (f"Mshr({self.kind} line={self.line_addr:#x} "
+                f"req={self.requestor} acks={self.pending_acks})")
+
+
+class MshrFile:
+    """The MSHR file of one controller (bounded, per-line exclusive)."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ProtocolError("MSHR capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Dict[int, Mshr] = {}
+
+    def get(self, line_addr: int) -> Optional[Mshr]:
+        return self._entries.get(line_addr)
+
+    def busy(self, line_addr: int) -> bool:
+        return line_addr in self._entries
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def allocate(self, line_addr: int, kind: str, requestor: int = -1,
+                 issued_cycle: int = 0, force: bool = False) -> Mshr:
+        """Allocate an entry. ``force`` bypasses the capacity cap — used
+        for transactions that must not stall on structural hazards
+        (evictions completing an already-granted fill)."""
+        if line_addr in self._entries:
+            raise ProtocolError(
+                f"line {line_addr:#x} already has an MSHR "
+                f"({self._entries[line_addr]})")
+        if self.full and not force:
+            raise ProtocolError("MSHR file full (caller must check first)")
+        entry = Mshr(line_addr, kind, requestor, issued_cycle)
+        self._entries[line_addr] = entry
+        return entry
+
+    def retire(self, line_addr: int) -> List[Any]:
+        """Free the entry; returns any deferred secondary requests that
+        were queued behind it, for the caller to replay in order."""
+        entry = self._entries.pop(line_addr, None)
+        if entry is None:
+            raise ProtocolError(f"no MSHR for line {line_addr:#x}")
+        return entry.deferred
+
+    def defer(self, line_addr: int, request: Any) -> None:
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            raise ProtocolError(f"no MSHR for line {line_addr:#x} to defer to")
+        entry.deferred.append(request)
+
+    def entries(self) -> List[Mshr]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)

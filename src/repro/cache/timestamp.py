@@ -1,0 +1,29 @@
+"""Coarse timestamps for IVR (paper Section 3.3).
+
+"Timestamps are approximations, implemented by incrementing a counter
+every T cycles to reduce area overhead." — one chip-wide counter whose
+value is ``cycle // quantum``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.sim.kernel import Simulator
+
+
+class CoarseTimestamp:
+    """Chip-wide coarse time source: ``now() == cycle // quantum``."""
+
+    def __init__(self, sim: Simulator, quantum: int) -> None:
+        if quantum < 1:
+            raise ConfigError("timestamp quantum must be >= 1")
+        self.sim = sim
+        self.quantum = quantum
+
+    def now(self) -> int:
+        return self.sim.cycle // self.quantum
+
+    @staticmethod
+    def newer(a: int, b: int) -> bool:
+        """True if timestamp ``a`` is strictly more recent than ``b``."""
+        return a > b

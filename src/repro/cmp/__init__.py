@@ -1,0 +1,8 @@
+"""The tiled CMP: cores, tiles, system builder, organization factory."""
+
+from repro.cmp.core import Core, SyncState
+from repro.cmp.organizations import make_l2_controller
+from repro.cmp.system import CmpSystem, RunResult
+
+__all__ = ["Core", "SyncState", "make_l2_controller", "CmpSystem",
+           "RunResult"]

@@ -1,0 +1,234 @@
+"""In-order core model: a trace player over the L1 (paper Table 1:
+2-way in-order SPARC; we model it as 1 instruction/cycle between memory
+operations, blocking on every memory reference).
+
+Two execution modes:
+
+* **trace mode** — LOCK/UNLOCK behave as plain stores; BARRIER is free
+  synchronization handled by the shared :class:`SyncState` (no cache
+  traffic). This reproduces the paper's trace-driven methodology.
+* **full-system mode** — LOCK spins on a real test-and-set through the
+  cache hierarchy; BARRIER increments a shared line and spins reading
+  it. This captures the busy-waiting dependency effects the paper's
+  full-system runs show (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.coherence.l1 import L1Controller
+from repro.errors import TraceError
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Stats
+from repro.traces.events import Op, TraceEvent
+
+#: cycles a spinning core waits between lock/barrier probe rounds.
+#: Real spinlocks back off similarly (test-and-test-and-set with
+#: exponential pause); too-small values flood the NoC with GETX storms
+#: from every waiter and convoy the simulation.
+_SPIN_BACKOFF = 36
+
+
+class SyncState:
+    """Chip-wide synchronization scratchboard shared by all cores.
+
+    In full-system mode the *timing* comes from real cache accesses to
+    the lock/barrier lines; this object only holds the logical state
+    (who owns a lock, how many cores reached a barrier) that memory
+    data would hold in a real machine.
+    """
+
+    def __init__(self, num_cores: int) -> None:
+        self.num_cores = num_cores
+        self.lock_holders: Dict[int, Optional[int]] = {}
+        self.barrier_counts: Dict[int, int] = {}
+        self.barrier_waiters: Dict[int, List] = {}
+
+    def try_lock(self, line_addr: int, core: int) -> bool:
+        holder = self.lock_holders.get(line_addr)
+        if holder is None:
+            self.lock_holders[line_addr] = core
+            return True
+        return holder == core
+
+    def unlock(self, line_addr: int, core: int) -> None:
+        if self.lock_holders.get(line_addr) == core:
+            self.lock_holders[line_addr] = None
+
+    def arrive_barrier(self, barrier_id: int) -> int:
+        self.barrier_counts[barrier_id] = \
+            self.barrier_counts.get(barrier_id, 0) + 1
+        return self.barrier_counts[barrier_id]
+
+    def barrier_done(self, barrier_id: int, expected: int) -> bool:
+        return self.barrier_counts.get(barrier_id, 0) >= expected
+
+
+class WarmupTracker:
+    """Calls ``stats.mark()`` once the chip has executed ``threshold``
+    trace events — the boundary between warmup and the measured region."""
+
+    def __init__(self, stats: Stats, threshold: int) -> None:
+        self.stats = stats
+        self.remaining = threshold
+
+    def note_ref(self) -> None:
+        if self.remaining > 0:
+            self.remaining -= 1
+            if self.remaining == 0:
+                self.stats.mark()
+
+
+class Core:
+    """One tile's core, replaying a trace through its L1."""
+
+    def __init__(self, sim: Simulator, tile: int, l1: L1Controller,
+                 trace: Sequence[TraceEvent], sync: SyncState,
+                 stats: Stats, full_system: bool = False,
+                 barrier_population: Optional[int] = None,
+                 warmup: Optional[WarmupTracker] = None) -> None:
+        self.sim = sim
+        self.tile = tile
+        self.l1 = l1
+        self.trace = list(trace)
+        self.sync = sync
+        self.stats = stats
+        self.full_system = full_system
+        #: cores participating in this core's barriers (defaults to all)
+        self.barrier_population = (barrier_population
+                                   if barrier_population is not None
+                                   else sync.num_cores)
+        self.warmup = warmup
+        self._pc = 0
+        self.instructions = 0
+        self.finished = False
+        self.finish_cycle: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first event; call once after system build."""
+        self.sim.schedule(0, self._step)
+
+    def _step(self) -> None:
+        if self._pc >= len(self.trace):
+            self._finish()
+            return
+        ev = self.trace[self._pc]
+        self._pc += 1
+        if ev.gap > 0:
+            self.instructions += ev.gap
+            self.stats.counter("instructions").inc(ev.gap)
+            self.sim.schedule(ev.gap, lambda: self._execute(ev))
+        else:
+            self._execute(ev)
+
+    def _execute(self, ev: TraceEvent) -> None:
+        self.instructions += 1
+        self.stats.counter("instructions").inc()
+        if self.warmup is not None:
+            self.warmup.note_ref()
+        if ev.op is Op.BARRIER:
+            self._do_barrier(ev)
+        elif ev.op is Op.LOCK and self.full_system:
+            self._do_lock(ev)
+        elif ev.op is Op.UNLOCK and self.full_system:
+            self._do_unlock(ev)
+        elif ev.is_memory:
+            self.stats.counter("mem_refs").inc()
+            self.l1.access(ev.line_addr, ev.is_write, self._step)
+        else:
+            raise TraceError(f"core {self.tile}: cannot execute {ev}")
+
+    # -- synchronization --------------------------------------------------
+    def _do_barrier(self, ev: TraceEvent) -> None:
+        barrier_id = ev.line_addr
+        if not self.full_system:
+            # Trace mode: free synchronization, no cache traffic.
+            self.sync.arrive_barrier(barrier_id)
+            self._wait_barrier_free(barrier_id)
+            return
+        # Full-system mode: announce arrival with a store to the barrier
+        # line, then spin reading it.
+        barrier_line = self._barrier_line(barrier_id)
+
+        def after_store() -> None:
+            self.sync.arrive_barrier(barrier_id)
+            self._spin_barrier(barrier_id, barrier_line)
+
+        self.stats.counter("mem_refs").inc()
+        self.l1.access(barrier_line, True, after_store)
+
+    def _wait_barrier_free(self, barrier_id: int) -> None:
+        if self.sync.barrier_done(barrier_id, self.barrier_population):
+            self._step()
+        else:
+            self.sim.schedule(_SPIN_BACKOFF,
+                              lambda: self._wait_barrier_free(barrier_id))
+
+    def _spin_barrier(self, barrier_id: int, barrier_line: int) -> None:
+        if self.sync.barrier_done(barrier_id, self.barrier_population):
+            self._step()
+            return
+
+        def after_probe() -> None:
+            self.stats.counter("spin_probes").inc()
+            self.sim.schedule(
+                _SPIN_BACKOFF,
+                lambda: self._spin_barrier(barrier_id, barrier_line))
+
+        self.stats.counter("mem_refs").inc()
+        self.l1.access(barrier_line, False, after_probe)
+
+    def _barrier_line(self, barrier_id: int) -> int:
+        # A dedicated, globally shared line per barrier id.
+        return (0x7FFF000 + barrier_id) & 0x7FFFFFFF
+
+    def _do_lock(self, ev: TraceEvent) -> None:
+        """Test-and-test-and-set: spin on *reads* (L1 hits once cached)
+        until the lock is observed free, then attempt the atomic RMW.
+        A plain test-and-set spin floods the chip with exclusive
+        requests from every waiter and convoys the whole system."""
+        def probe() -> None:
+            def after_read() -> None:
+                holder = self.sync.lock_holders.get(ev.line_addr)
+                if holder is None or holder == self.tile:
+                    attempt()
+                else:
+                    self.stats.counter("lock_spins").inc()
+                    self.sim.schedule(_SPIN_BACKOFF, probe)
+
+            self.stats.counter("mem_refs").inc()
+            self.l1.access(ev.line_addr, False, after_read)
+
+        def attempt() -> None:
+            def after_rmw() -> None:
+                if self.sync.try_lock(ev.line_addr, self.tile):
+                    self._step()
+                else:
+                    self.stats.counter("lock_spins").inc()
+                    self.sim.schedule(_SPIN_BACKOFF, probe)
+
+            self.stats.counter("mem_refs").inc()
+            self.l1.access(ev.line_addr, True, after_rmw)
+
+        attempt()
+
+    def _do_unlock(self, ev: TraceEvent) -> None:
+        def after_store() -> None:
+            self.sync.unlock(ev.line_addr, self.tile)
+            self._step()
+
+        self.stats.counter("mem_refs").inc()
+        self.l1.access(ev.line_addr, True, after_store)
+
+    # ------------------------------------------------------------------
+    def _finish(self) -> None:
+        if not self.finished:
+            self.finished = True
+            self.finish_cycle = self.sim.cycle
+            self.stats.counter("cores_finished").inc()
+
+    @property
+    def progress(self) -> float:
+        return self._pc / len(self.trace) if self.trace else 1.0

@@ -1,0 +1,33 @@
+"""Factory mapping an :class:`Organization` to its L2 controller class."""
+
+from __future__ import annotations
+
+from repro.coherence.context import SystemContext
+from repro.coherence.l2_cluster import TokenL2Controller
+from repro.coherence.l2_home import HomeL2Base
+from repro.coherence.l2_private import DirectoryL2Controller
+from repro.coherence.l2_shared import SharedL2Controller
+from repro.errors import ConfigError
+from repro.params import Organization
+
+
+def make_l2_controller(ctx: SystemContext, tile: int) -> HomeL2Base:
+    """Instantiate the L2 controller for ``tile`` per the configured
+    organization.
+
+    * PRIVATE — directory protocol with per-tile peers (the directory at
+      the memory controllers tracks every private L2);
+    * SHARED — one chip-wide home per line, memory behind it;
+    * LOCO_CC — directory protocol with cluster-home peers;
+    * LOCO_CC_VMS / +IVR — token coherence over VMS broadcasts.
+    """
+    org = ctx.config.organization
+    if org is Organization.PRIVATE:
+        return DirectoryL2Controller(ctx, tile)
+    if org is Organization.SHARED:
+        return SharedL2Controller(ctx, tile)
+    if org is Organization.LOCO_CC:
+        return DirectoryL2Controller(ctx, tile)
+    if org in (Organization.LOCO_CC_VMS, Organization.LOCO_CC_VMS_IVR):
+        return TokenL2Controller(ctx, tile, ivr_enabled=org.uses_ivr)
+    raise ConfigError(f"unknown organization {org!r}")

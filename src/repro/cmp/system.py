@@ -1,0 +1,189 @@
+"""The full tiled-CMP system: build, run, and harvest results.
+
+``CmpSystem`` wires together the simulation kernel, the selected NoC,
+one L1 + L2 controller per tile, the memory controllers, and one core
+per tile replaying its trace. ``run()`` drives the simulation until all
+cores finish (or a cycle limit) and returns a :class:`RunResult` with
+the metrics every figure of the paper is computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cmp.core import Core, SyncState, WarmupTracker
+from repro.cmp.organizations import make_l2_controller
+from repro.coherence.context import SystemContext
+from repro.coherence.l1 import L1Controller
+from repro.coherence.memory_controller import MemoryController
+from repro.errors import ConfigError, SimulationError
+from repro.noc.interface import build_network
+from repro.noc.topology import Mesh
+from repro.params import SystemConfig
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.stats import Stats
+from repro.traces.events import TraceEvent
+
+
+@dataclass
+class RunResult:
+    """Everything the harness needs from one simulation run."""
+
+    config: SystemConfig
+    runtime: int
+    instructions: int
+    stats: Stats
+    finished: bool
+    per_core_finish: List[Optional[int]] = field(default_factory=list)
+
+    # -- derived metrics (the paper's y-axes) ---------------------------
+    # All use post-warmup deltas when a warmup mark was placed (the
+    # paper gathers statistics at the end of the parallel portion).
+    @property
+    def measured_instructions(self) -> int:
+        return self.stats.delta("instructions")
+
+    @property
+    def mpki(self) -> float:
+        """L2 misses per 1000 instructions (Figure 8)."""
+        instr = self.measured_instructions
+        if instr == 0:
+            return 0.0
+        return 1000.0 * self.stats.delta("l2_misses") / instr
+
+    @property
+    def l2_hit_latency(self) -> float:
+        """Mean L1-miss-to-grant latency for home-L2 hits (Figure 7)."""
+        return self.stats.delta_mean("l2_hit_latency")
+
+    @property
+    def search_delay(self) -> float:
+        """Mean delay to find on-chip data in other clusters (Figure 9)."""
+        return self.stats.delta_mean("search_delay")
+
+    @property
+    def offchip_accesses(self) -> int:
+        """Off-chip fetches + dirty writebacks (Figure 10)."""
+        return (self.stats.delta("offchip_fetches")
+                + self.stats.delta("offchip_writebacks"))
+
+    @property
+    def offchip_fetches(self) -> int:
+        return self.stats.delta("offchip_fetches")
+
+    def to_dict(self) -> Dict[str, float]:
+        out = self.stats.to_dict()
+        out.update(runtime=self.runtime, instructions=self.instructions,
+                   mpki=self.mpki, l2_hit_latency=self.l2_hit_latency,
+                   search_delay=self.search_delay,
+                   offchip_accesses=self.offchip_accesses)
+        return out
+
+
+class CmpSystem:
+    """A buildable, runnable instance of the target CMP (Table 1)."""
+
+    def __init__(self, config: SystemConfig,
+                 traces: Sequence[Sequence[TraceEvent]],
+                 full_system: bool = False,
+                 barrier_populations: Optional[Sequence[int]] = None,
+                 keep_samples: bool = False,
+                 warmup_fraction: float = 0.0) -> None:
+        if len(traces) != config.num_tiles:
+            raise ConfigError(
+                f"need {config.num_tiles} traces, got {len(traces)}")
+        self.config = config
+        self.sim = Simulator()
+        self.stats = Stats(keep_samples=keep_samples)
+        self.rng = RngStreams(config.seed)
+        mesh = Mesh(config.mesh_width, config.mesh_height)
+        self.network = build_network(self.sim, mesh, config.noc, self.stats)
+        self.ctx = SystemContext(self.sim, self.network, config,
+                                 self.stats, self.rng)
+        self.mcs = [MemoryController(self.ctx, t)
+                    for t in self.ctx.mc_tiles]
+        self.l2s = [make_l2_controller(self.ctx, t)
+                    for t in range(config.num_tiles)]
+        self.l1s = [L1Controller(self.ctx, t)
+                    for t in range(config.num_tiles)]
+        self.sync = SyncState(config.num_tiles)
+        pops = (list(barrier_populations) if barrier_populations is not None
+                else [config.num_tiles] * config.num_tiles)
+        warmup: Optional[WarmupTracker] = None
+        if warmup_fraction > 0.0:
+            total_events = sum(len(t) for t in traces)
+            threshold = int(warmup_fraction * total_events)
+            if threshold > 0:
+                warmup = WarmupTracker(self.stats, threshold)
+        self.cores = [
+            Core(self.sim, t, self.l1s[t], traces[t], self.sync, self.stats,
+                 full_system=full_system, barrier_population=pops[t],
+                 warmup=warmup)
+            for t in range(config.num_tiles)
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 50_000_000) -> RunResult:
+        """Run to completion of all cores (or ``max_cycles``)."""
+        for core in self.cores:
+            core.start()
+        done = lambda: all(c.finished for c in self.cores)  # noqa: E731
+        self.sim.run(until=max_cycles, stop_when=done)
+        finished = done()
+        if not finished:
+            raise SimulationError(
+                f"run hit the {max_cycles}-cycle limit with "
+                f"{sum(not c.finished for c in self.cores)} cores "
+                f"unfinished (slowest at "
+                f"{min(c.progress for c in self.cores):.0%})")
+        runtime = max((c.finish_cycle or 0) for c in self.cores)
+        instructions = sum(c.instructions for c in self.cores)
+        return RunResult(config=self.config, runtime=runtime,
+                         instructions=instructions, stats=self.stats,
+                         finished=finished,
+                         per_core_finish=[c.finish_cycle
+                                          for c in self.cores])
+
+    # ------------------------------------------------------------------
+    # invariant checks (used by tests)
+    # ------------------------------------------------------------------
+    def check_token_conservation(self) -> None:
+        """At quiescence, each line's tokens across all L2s + memory must
+        equal the cluster count (token-protocol organizations only).
+
+        Drains in-flight background traffic (evictions, migrations,
+        late responses) before counting — tokens in flight are not
+        leaked tokens.
+        """
+        if not self.config.organization.uses_vms:
+            return
+        for _ in range(200):
+            if self.network.in_flight == 0 and self.sim.pending_events() == 0:
+                break
+            self.sim.run(until=self.sim.cycle + 10_000)
+        if self.network.in_flight:
+            raise SimulationError(
+                f"network never quiesced: {self.network.in_flight} packets "
+                f"still in flight")
+        total = self.ctx.cluster_map.num_clusters
+        held: Dict[int, int] = {}
+        owners: Dict[int, int] = {}
+        for l2 in self.l2s:
+            for line in l2.array.lines():
+                held[line.line_addr] = held.get(line.line_addr, 0) + line.tokens
+                if line.owner_token:
+                    owners[line.line_addr] = owners.get(line.line_addr, 0) + 1
+        for line_addr, cached in held.items():
+            mc = self.mcs[self.ctx.mc_tiles.index(
+                self.ctx.mc_tile(line_addr))]
+            mem_tokens, mem_owner = mc.token_state(line_addr)
+            if cached + mem_tokens != total:
+                raise SimulationError(
+                    f"token leak on line {line_addr:#x}: "
+                    f"{cached}+{mem_tokens} != {total}")
+            owner_count = owners.get(line_addr, 0) + (1 if mem_owner else 0)
+            if owner_count != 1:
+                raise SimulationError(
+                    f"line {line_addr:#x} has {owner_count} owners")

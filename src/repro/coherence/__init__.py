@@ -1,0 +1,28 @@
+"""Coherence protocols: L1 MSI, home-L2 MOESI, directory and token
+inter-cluster protocols, memory controllers."""
+
+from repro.coherence.messages import Msg, MsgKind, Unit
+from repro.coherence.context import SystemContext, edge_mc_tiles
+from repro.coherence.directory import Directory, DirectoryEntry
+from repro.coherence.l1 import L1Controller
+from repro.coherence.l2_home import HomeL2Base
+from repro.coherence.l2_shared import SharedL2Controller
+from repro.coherence.l2_private import DirectoryL2Controller
+from repro.coherence.l2_cluster import TokenL2Controller
+from repro.coherence.memory_controller import MemoryController
+
+__all__ = [
+    "Msg",
+    "MsgKind",
+    "Unit",
+    "SystemContext",
+    "edge_mc_tiles",
+    "Directory",
+    "DirectoryEntry",
+    "L1Controller",
+    "HomeL2Base",
+    "SharedL2Controller",
+    "DirectoryL2Controller",
+    "TokenL2Controller",
+    "MemoryController",
+]

@@ -1,0 +1,142 @@
+"""Shared wiring context handed to every controller.
+
+Bundles the simulator, the network, the configuration, address-mapping
+helpers (home tile, memory-controller tile), the coarse timestamp
+source, RNG streams and the run's Stats — so controller constructors
+stay small and mapping policy lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cache.timestamp import CoarseTimestamp
+from repro.coherence.messages import Msg, Unit
+from repro.errors import ConfigError
+from repro.noc.packet import Packet
+from repro.noc.router import BaseNetwork
+from repro.noc.topology import ClusterMap, Mesh
+from repro.noc.vms import VirtualMesh, build_all_vms
+from repro.params import Organization, SystemConfig
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.stats import Stats
+
+
+def edge_mc_tiles(mesh: Mesh, count: int) -> List[int]:
+    """Memory-controller tiles, one per edge midpoint (Table 1: "4
+    memory controllers (one on each edge)"). For count != 4 the tiles
+    are spread round-robin over the four edges."""
+    w, h = mesh.width, mesh.height
+    anchors = [
+        mesh.tile(w // 2, 0),        # south edge
+        mesh.tile(w // 2, h - 1),    # north edge
+        mesh.tile(0, h // 2),        # west edge
+        mesh.tile(w - 1, h // 2),    # east edge
+    ]
+    if count <= 4:
+        return anchors[:count]
+    tiles = list(anchors)
+    step = 1
+    while len(tiles) < count:
+        for ax, ay in [(w // 2 - step, 0), (w // 2 + step, h - 1),
+                       (0, h // 2 - step), (w - 1, h // 2 + step)]:
+            if len(tiles) >= count:
+                break
+            if 0 <= ax < w and 0 <= ay < h:
+                t = mesh.tile(ax, ay)
+                if t not in tiles:
+                    tiles.append(t)
+        step += 1
+    return tiles
+
+
+class SystemContext:
+    """Everything a controller needs to know about the rest of the chip."""
+
+    def __init__(self, sim: Simulator, network: BaseNetwork,
+                 config: SystemConfig, stats: Optional[Stats] = None,
+                 rng: Optional[RngStreams] = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.stats = stats if stats is not None else Stats()
+        self.rng = rng if rng is not None else RngStreams(config.seed)
+        self.mesh = network.mesh
+        self.cluster_map = ClusterMap(self.mesh, config.cluster_width,
+                                      config.cluster_height)
+        self.vms: Dict[int, VirtualMesh] = build_all_vms(self.cluster_map)
+        self.timestamp = CoarseTimestamp(sim, config.ivr.timestamp_quantum)
+        self.mc_tiles = edge_mc_tiles(self.mesh, config.memory.num_controllers)
+        self.data_flits = config.data_flits()
+        #: dispatch table: (tile, unit) -> handler(msg)
+        self._handlers: Dict[tuple, Callable[[Msg], None]] = {}
+        for tile in range(self.mesh.num_tiles):
+            network.attach(tile, self._make_receiver(tile))
+
+    # ------------------------------------------------------------------
+    # address mapping
+    # ------------------------------------------------------------------
+    def home_tile(self, tile: int, line_addr: int) -> int:
+        """The home L2 tile for ``line_addr`` as seen from ``tile``."""
+        org = self.config.organization
+        if org is Organization.PRIVATE:
+            return tile
+        if org is Organization.SHARED:
+            return line_addr % self.mesh.num_tiles
+        return self.cluster_map.home_tile_for_line(tile, line_addr)
+
+    def home_interleave(self) -> int:
+        """How many distinct home slices the L2 address space is
+        interleaved across — the stride an L2 array must strip before
+        set indexing (see CacheArray.index_stride)."""
+        org = self.config.organization
+        if org is Organization.PRIVATE:
+            return 1
+        if org is Organization.SHARED:
+            return self.mesh.num_tiles
+        return self.cluster_map.cluster_size
+
+    def mc_tile(self, line_addr: int) -> int:
+        """The memory controller owning ``line_addr`` (address-interleaved)."""
+        return self.mc_tiles[line_addr % len(self.mc_tiles)]
+
+    def vms_of_line(self, line_addr: int) -> VirtualMesh:
+        return self.vms[self.cluster_map.hnid_of_line(line_addr)]
+
+    # ------------------------------------------------------------------
+    # unit registry + messaging
+    # ------------------------------------------------------------------
+    def register(self, tile: int, unit: Unit,
+                 handler: Callable[[Msg], None]) -> None:
+        key = (tile, unit)
+        if key in self._handlers:
+            raise ConfigError(f"unit {unit} at tile {tile} already registered")
+        self._handlers[key] = handler
+
+    def _make_receiver(self, tile: int) -> Callable[[Packet], None]:
+        def receive(packet: Packet) -> None:
+            msg: Msg = packet.payload
+            handler = self._handlers.get((tile, msg.unit))
+            if handler is None:
+                raise ConfigError(
+                    f"no {msg.unit} handler at tile {tile} for {msg}")
+            handler(msg)
+        return receive
+
+    def _size_of(self, msg: Msg) -> int:
+        return self.data_flits if msg.carries_data else 1
+
+    def send(self, msg: Msg, src: int, dst: int) -> None:
+        """Unicast ``msg`` from tile ``src`` to tile ``dst``."""
+        self.network.send(Packet(src=src, dst=dst, vn=msg.vn,
+                                 size_flits=self._size_of(msg), payload=msg))
+
+    def multicast(self, msg: Msg, src: int, vms: VirtualMesh) -> None:
+        """Broadcast ``msg`` from ``src`` over ``vms`` (to all other
+        members). SMART does this in hardware; other fabrics fall back
+        to serial unicasts."""
+        packet = Packet(src=src, dst=None, vn=msg.vn,
+                        size_flits=self._size_of(msg), payload=msg,
+                        mcast_group=vms.members)
+        self.network.multicast(packet, vms)

@@ -1,0 +1,76 @@
+"""Directory structures.
+
+Used in three places with different sharer granularity:
+
+* shared baseline — at each home L2 tile, tracking chip-wide L1 sharers;
+* private baseline — at memory controllers, tracking private-L2 sharers;
+* LOCO CC — at memory controllers, tracking *cluster home* sharers
+  (the paper's point: clustering shrinks the vector to 16 bits).
+
+The paper's generous assumption is honoured by the callers: home-node
+directories are read in parallel with the L2 array (no extra latency),
+memory-controller directories cost ``directory_latency`` cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Set
+
+
+@dataclass
+class DirectoryEntry:
+    """Sharers + owner for one line at one directory.
+
+    ``busy``/``grantee``/``queue`` implement per-line transaction
+    serialization: while one requestor's transaction is outstanding
+    (dispatch until its DIR_DONE), other requests queue here. State
+    (owner/sharers) is committed only at DIR_DONE, so a dispatch always
+    computes from stable state — the property that makes forward-NACK
+    retries sound.
+    """
+
+    line_addr: int
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+    busy: bool = False
+    grantee: Optional[int] = None
+    queue: list = field(default_factory=list)
+
+    @property
+    def cached_anywhere(self) -> bool:
+        return bool(self.sharers) or self.owner is not None
+
+    def all_holders(self) -> Set[int]:
+        holders = set(self.sharers)
+        if self.owner is not None:
+            holders.add(self.owner)
+        return holders
+
+
+class Directory:
+    """A sparse full-map directory (entries exist only for cached lines)."""
+
+    def __init__(self, name: str = "dir") -> None:
+        self.name = name
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def entry(self, line_addr: int) -> DirectoryEntry:
+        """Get-or-create the entry for a line."""
+        if line_addr not in self._entries:
+            self._entries[line_addr] = DirectoryEntry(line_addr)
+        return self._entries[line_addr]
+
+    def peek(self, line_addr: int) -> Optional[DirectoryEntry]:
+        return self._entries.get(line_addr)
+
+    def drop_if_empty(self, line_addr: int) -> None:
+        e = self._entries.get(line_addr)
+        if e is not None and not e.cached_anywhere and not e.busy:
+            del self._entries[line_addr]
+
+    def entries(self) -> Iterator[DirectoryEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)

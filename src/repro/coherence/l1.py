@@ -1,0 +1,171 @@
+"""L1 cache controller — MSI, one per tile (paper Table 1).
+
+The L1 talks only to its home L2 (strictly hierarchical: "L1 cache is
+allowed to communicate only with L2 caches"). Which tile hosts the home
+L2 depends on the organization and is resolved by the context:
+
+* private — the local tile;
+* shared — ``line_addr % num_tiles`` anywhere on chip;
+* LOCO — the ``HNid`` home inside the local cluster.
+
+State machine (stable states I/S/M; transient states live in MSHRs):
+
+* read hit (S/M) — done after the 1-cycle L1 latency;
+* write hit (M) — done after 1 cycle;
+* read miss (I) — GETS to home, install S on DATA_L1;
+* write miss/upgrade (I/S) — GETX to home, install M on DATA_L1;
+* INV_L1 from home — invalidate, ack (carrying data if we were M);
+* RECALL_L1 from home — supply data, downgrade M -> S;
+* eviction of an M victim — WB_L1 to the victim's home.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.cache.array import CacheArray
+from repro.cache.line import CacheLine, L1State
+from repro.cache.mshr import MshrFile
+from repro.coherence.context import SystemContext
+from repro.coherence.messages import Msg, MsgKind, Unit
+from repro.errors import ProtocolError
+
+DoneCb = Callable[[], None]
+
+
+class L1Controller:
+    """The private L1 data cache of one tile."""
+
+    def __init__(self, ctx: SystemContext, tile: int) -> None:
+        self.ctx = ctx
+        self.tile = tile
+        self.array = CacheArray(ctx.config.l1)
+        self.mshrs = MshrFile(capacity=8)
+        self.latency = ctx.config.l1.access_latency
+        ctx.register(tile, Unit.L1, self.handle)
+
+    # ------------------------------------------------------------------
+    # core-facing API
+    # ------------------------------------------------------------------
+    def access(self, line_addr: int, is_write: bool, done: DoneCb) -> None:
+        """Issue one memory reference; ``done`` fires when it completes."""
+        self.ctx.sim.schedule(self.latency,
+                              lambda: self._access_body(line_addr, is_write,
+                                                        done))
+
+    def _access_body(self, line_addr: int, is_write: bool, done: DoneCb) -> None:
+        mshr = self.mshrs.get(line_addr)
+        if mshr is not None:
+            # A transaction is in flight for this line: queue behind it.
+            mshr.deferred.append((line_addr, is_write, done))
+            return
+        line = self.array.lookup(line_addr)
+        stats = self.ctx.stats
+        if line is not None and self._hit(line, is_write):
+            stats.counter("l1_hits").inc()
+            done()
+            return
+        stats.counter("l1_misses").inc()
+        kind = "GETX" if is_write else "GETS"
+        mshr = self.mshrs.allocate(line_addr, kind, requestor=self.tile,
+                                   issued_cycle=self.ctx.sim.cycle)
+        mshr.scratch["done_cbs"] = [done]
+        mshr.scratch["upgrade"] = line is not None
+        req_kind = MsgKind.GETX if is_write else MsgKind.GETS
+        home = self.ctx.home_tile(self.tile, line_addr)
+        msg = Msg(req_kind, line_addr, self.tile, Unit.L2,
+                  requestor=self.tile)
+        self.ctx.send(msg, self.tile, home)
+
+    @staticmethod
+    def _hit(line: CacheLine, is_write: bool) -> bool:
+        if is_write:
+            return line.l1_state.writable
+        return line.l1_state.readable
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def handle(self, msg: Msg) -> None:
+        if msg.kind is MsgKind.DATA_L1:
+            self._on_data(msg)
+        elif msg.kind is MsgKind.INV_L1:
+            self._on_inv(msg)
+        elif msg.kind is MsgKind.RECALL_L1:
+            self._on_recall(msg)
+        else:
+            raise ProtocolError(f"L1 at tile {self.tile} got {msg}")
+
+    def _on_data(self, msg: Msg) -> None:
+        line_addr = msg.line_addr
+        mshr = self.mshrs.get(line_addr)
+        if mshr is None:
+            raise ProtocolError(f"unsolicited DATA_L1 for {line_addr:#x} "
+                                f"at tile {self.tile}")
+        line = self.array.lookup(line_addr, touch=True)
+        if line is None:
+            line = self._install(line_addr)
+        line.l1_state = L1State.M if msg.writable else L1State.S
+        # latency accounting (Fig 7): issue-to-grant for on-chip fills
+        elapsed = self.ctx.sim.cycle - mshr.issued_cycle
+        if msg.home_hit:
+            self.ctx.stats.sampler("l2_hit_latency").add(elapsed)
+        if not msg.offchip:
+            self.ctx.stats.sampler("l2_access_latency_onchip").add(elapsed)
+        self.ctx.stats.sampler("miss_latency").add(elapsed)
+        cbs: List[DoneCb] = mshr.scratch["done_cbs"]
+        deferred = self.mshrs.retire(line_addr)
+        for cb in cbs:
+            cb()
+        for args in deferred:
+            self._access_body(*args)
+
+    def _install(self, line_addr: int) -> CacheLine:
+        """Allocate space for a fill, evicting an L1 victim if needed."""
+        if self.array.set_full(line_addr):
+            victim = self._pick_victim(line_addr)
+            self.array.invalidate(victim.line_addr)
+            if victim.l1_state is L1State.M:
+                home = self.ctx.home_tile(self.tile, victim.line_addr)
+                wb = Msg(MsgKind.WB_L1, victim.line_addr, self.tile, Unit.L2,
+                         requestor=self.tile, dirty=True)
+                self.ctx.send(wb, self.tile, home)
+            # S victims evict silently: the home's sharer list goes
+            # stale, which is safe because every INV_L1 is acked even
+            # when the line is absent.
+        new_line, evicted = self.array.allocate(line_addr)
+        if evicted is not None:
+            raise ProtocolError("allocate evicted after explicit make-room")
+        return new_line
+
+    def _pick_victim(self, line_addr: int) -> CacheLine:
+        for cand in self.array.victim_ranking(line_addr):
+            if not self.mshrs.busy(cand.line_addr):
+                return cand
+        raise ProtocolError(
+            f"L1 tile {self.tile}: all ways of set for {line_addr:#x} "
+            f"have in-flight transactions")
+
+    def _on_inv(self, msg: Msg) -> None:
+        line = self.array.invalidate(msg.line_addr)
+        dirty = line is not None and line.l1_state is L1State.M
+        ack = Msg(MsgKind.ACK_INV_L1, msg.line_addr, self.tile, Unit.L2,
+                  requestor=msg.requestor, dirty=dirty, fwd=msg.fwd)
+        self.ctx.send(ack, self.tile, msg.src_tile)
+
+    def _on_recall(self, msg: Msg) -> None:
+        line = self.array.lookup(msg.line_addr, touch=False)
+        dirty = False
+        if line is not None and line.l1_state is L1State.M:
+            dirty = True
+            line.l1_state = L1State.S  # downgrade, keep a readable copy
+        # If the line is absent or clean, a WB_L1 already carried (or no
+        # one ever had) the dirty data; respond so the home can proceed.
+        resp = Msg(MsgKind.RECALL_RESP, msg.line_addr, self.tile, Unit.L2,
+                   requestor=msg.requestor, dirty=dirty, fwd=msg.fwd)
+        self.ctx.send(resp, self.tile, msg.src_tile)
+
+    # ------------------------------------------------------------------
+    def resident_state(self, line_addr: int) -> L1State:
+        line = self.array.lookup(line_addr, touch=False)
+        return line.l1_state if line is not None else L1State.I

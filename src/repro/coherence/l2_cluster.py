@@ -1,0 +1,517 @@
+"""LOCO cluster home L2: token coherence over VMS broadcasts + IVR.
+
+This is the paper's contribution (Sections 3.2-3.4). Each cluster's
+home node for a line may hold a replica; inter-cluster coherence is a
+token protocol (the paper evaluates Token Coherence on the unordered
+virtual meshes):
+
+* every line has ``T = num_clusters`` tokens plus one *owner token*;
+  uncached tokens live at the line's memory controller;
+* a reader needs data + >= 1 token; a writer must collect all T;
+* on a home L2 miss, the home broadcasts TOK_GETS/TOK_GETX over the
+  line's VMS (hardware XY-tree multicast on SMART) and unicasts the
+  same request to the memory controller (Figure 4b: "the request is
+  sent to off-chip memory as well");
+* only the owner responds with data (Figure 4b step 3); on TOK_GETX
+  every holder first invalidates its local L1 sharers, then surrenders
+  all tokens (Figure 4c);
+* requests that starve (token split races) retry with backoff and
+  finally escalate to a *persistent request* serialized at the memory
+  controller — the same forward-progress mechanism as Token Coherence.
+
+IVR (Section 3.3): home victims migrate to the same-HNid home of a
+random other cluster carrying a coarse timestamp and a replacement
+counter; the colder line loses and moves on; at the threshold (4) the
+line is written back. A full outgoing NIC queue forces a direct
+writeback (deadlock avoidance). The replacement counter resets when a
+demand access touches the line (a useful line earns a fresh journey).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.line import CacheLine, L2State
+from repro.cache.mshr import Mshr
+from repro.coherence.context import SystemContext
+from repro.coherence.l2_home import HomeL2Base
+from repro.coherence.messages import Msg, MsgKind, Unit
+from repro.errors import ProtocolError
+
+#: cycles before the first re-broadcast of an unsatisfied token request
+#: (just above a memory round trip, so normal fills never retry)
+_TIMEOUT_BASE = 400
+#: timeout growth factor per retry
+_BACKOFF = 1.4
+#: broadcasts before escalating to a persistent request
+_MAX_RETRIES = 4
+#: NIC backlog above which IVR falls back to a direct writeback
+_IVR_BACKLOG_LIMIT = 16
+
+
+class TokenL2Controller(HomeL2Base):
+    """Cluster home slice running the token/VMS inter-cluster protocol."""
+
+    def __init__(self, ctx: SystemContext, tile: int,
+                 ivr_enabled: bool) -> None:
+        super().__init__(ctx, tile)
+        self.ivr_enabled = ivr_enabled
+        self.total_tokens = ctx.cluster_map.num_clusters
+        self.my_cluster = ctx.cluster_map.cluster_of(tile)
+
+    # ------------------------------------------------------------------
+    # hooks: local write permission
+    # ------------------------------------------------------------------
+    def _can_write(self, line: CacheLine) -> bool:
+        return line.tokens == self.total_tokens
+
+    def _note_write(self, line: CacheLine) -> None:
+        line.l2_state = L2State.M
+
+    # ------------------------------------------------------------------
+    # requestor side
+    # ------------------------------------------------------------------
+    def _fetch(self, mshr: Mshr, exclusive: bool,
+               held_line: Optional[CacheLine] = None) -> None:
+        s = mshr.scratch
+        s.update(tokens_acc=0, owner_acc=False, data_seen=False,
+                 dirty_acc=False, offchip_acc=False, collecting=True,
+                 want_x=exclusive, retries=0,
+                 persist_requested=False, persist_granted=False)
+        if held_line is not None:
+            # Upgrade: our tokens move into the MSHR so concurrent
+            # remote GETX see ``line.tokens == 0`` and cannot
+            # double-count them.
+            s["tokens_acc"] = held_line.tokens
+            s["owner_acc"] = held_line.owner_token
+            s["data_seen"] = True
+            s["dirty_acc"] = held_line.l2_state.dirty
+            held_line.tokens = 0
+            held_line.owner_token = False
+        # Migrants that arrived between MSHR allocation and now are
+        # token+data responses for this very collection.
+        for migrant in s.pop("early_migrants", []):
+            s["tokens_acc"] += migrant.tokens
+            s["owner_acc"] = s["owner_acc"] or migrant.owner_token
+            s["dirty_acc"] = s["dirty_acc"] or migrant.dirty
+            s["data_seen"] = True
+        self._maybe_complete(mshr)
+        if s["collecting"]:
+            self._broadcast(mshr)
+
+    def _upgrade(self, mshr: Mshr, line: CacheLine) -> None:
+        self._fetch(mshr, exclusive=True, held_line=line)
+
+    def _broadcast(self, mshr: Mshr) -> None:
+        s = mshr.scratch
+        kind = MsgKind.TOK_GETX if s["want_x"] else MsgKind.TOK_GETS
+        msg = Msg(kind, mshr.line_addr, self.tile, Unit.L2,
+                  requestor=self.tile, persistent=s["persist_granted"])
+        vms = self.ctx.vms_of_line(mshr.line_addr)
+        if len(vms.members) > 1:
+            self.ctx.multicast(msg, self.tile, vms)
+        mc_msg = Msg(kind, mshr.line_addr, self.tile, Unit.MC,
+                     requestor=self.tile, persistent=s["persist_granted"])
+        self.ctx.send(mc_msg, self.tile, self.ctx.mc_tile(mshr.line_addr))
+        self.ctx.stats.counter("tok_broadcasts").inc()
+        timeout = int(_TIMEOUT_BASE * (_BACKOFF ** s["retries"]))
+        jitter = self.ctx.rng.randint("tok_backoff", 0, 64)
+        s["timeout_ev"] = self.ctx.sim.schedule(
+            timeout + jitter, lambda: self._on_timeout(mshr))
+
+    def _on_timeout(self, mshr: Mshr) -> None:
+        if self.mshrs.get(mshr.line_addr) is not mshr:
+            return  # completed
+        s = mshr.scratch
+        s["retries"] += 1
+        self.ctx.stats.counter("tok_retries").inc()
+        if s["retries"] >= _MAX_RETRIES and not s["persist_requested"]:
+            s["persist_requested"] = True
+            self.ctx.stats.counter("tok_persistent").inc()
+            start = Msg(MsgKind.PERSIST_START, mshr.line_addr, self.tile,
+                        Unit.MC, requestor=self.tile)
+            self.ctx.send(start, self.tile,
+                          self.ctx.mc_tile(mshr.line_addr))
+            return  # re-broadcast when the grant arrives
+        self._broadcast(mshr)
+
+    def _on_persist_grant(self, msg: Msg) -> None:
+        mshr = self.mshrs.get(msg.line_addr)
+        if mshr is None or "persist_requested" not in mshr.scratch:
+            # Completed before the grant arrived: release immediately.
+            done = Msg(MsgKind.PERSIST_DONE, msg.line_addr, self.tile,
+                       Unit.MC, requestor=self.tile)
+            self.ctx.send(done, self.tile, self.ctx.mc_tile(msg.line_addr))
+            return
+        s = mshr.scratch
+        s["persist_granted"] = True
+        ev = s.get("timeout_ev")
+        if ev is not None:
+            ev.cancel()
+        self._broadcast(mshr)
+
+    def _absorb_tokens(self, msg: Msg) -> None:
+        """Token response with no live transaction (late response after a
+        retry already completed): merge into the resident line, or
+        return to memory. Tokens are never dropped — conservation is the
+        protocol's correctness backbone."""
+        line = self.array.lookup(msg.line_addr, touch=False)
+        if line is not None and line.l2_state.readable:
+            line.tokens += msg.tokens
+            line.owner_token = line.owner_token or msg.owner_token
+            if msg.owner_token:
+                line.l2_state = self._owned_state(line.tokens,
+                                                  msg.dirty or
+                                                  line.l2_state.dirty)
+            return
+        wb = Msg(MsgKind.TOK_WB, msg.line_addr, self.tile, Unit.MC,
+                 requestor=self.tile, tokens=msg.tokens,
+                 owner_token=msg.owner_token, dirty=msg.dirty)
+        self.ctx.send(wb, self.tile, self.ctx.mc_tile(msg.line_addr))
+
+    def _on_token_response(self, msg: Msg) -> None:
+        mshr = self.mshrs.get(msg.line_addr)
+        if mshr is None or not mshr.scratch.get("collecting"):
+            self._absorb_tokens(msg)
+            return
+        s = mshr.scratch
+        s["tokens_acc"] += msg.tokens
+        s["owner_acc"] = s["owner_acc"] or msg.owner_token
+        s["dirty_acc"] = s["dirty_acc"] or msg.dirty
+        s["offchip_acc"] = s["offchip_acc"] or msg.offchip
+        if msg.kind is MsgKind.TOK_DATA:
+            s["data_seen"] = True
+        self._maybe_complete(mshr)
+
+    def _maybe_complete(self, mshr: Mshr) -> None:
+        s = mshr.scratch
+        if not s.get("collecting"):
+            return
+        if s["want_x"]:
+            ready = (s["tokens_acc"] == self.total_tokens and s["data_seen"])
+        else:
+            ready = (s["tokens_acc"] >= 1 and s["data_seen"])
+        if not ready:
+            return
+        s["collecting"] = False  # token handlers stop touching this MSHR
+        ev = s.get("timeout_ev")
+        if ev is not None:
+            ev.cancel()
+        if s["persist_requested"]:
+            done = Msg(MsgKind.PERSIST_DONE, mshr.line_addr, self.tile,
+                       Unit.MC, requestor=self.tile)
+            self.ctx.send(done, self.tile, self.ctx.mc_tile(mshr.line_addr))
+        tokens = s["tokens_acc"]
+        owner = s["owner_acc"]
+        dirty = s["dirty_acc"]
+        want_x = s["want_x"]
+
+        def apply(line: CacheLine) -> None:
+            line.tokens = tokens
+            line.owner_token = owner
+            if want_x:
+                line.l2_state = L2State.M
+            elif owner:
+                line.l2_state = self._owned_state(tokens, dirty)
+            else:
+                line.l2_state = L2State.S
+
+        self._fill(mshr, apply, offchip=s["offchip_acc"])
+
+    def _owned_state(self, tokens: int, dirty: bool) -> L2State:
+        if tokens == self.total_tokens:
+            return L2State.M if dirty else L2State.E
+        # Owner while other token holders exist: O (owned, maybe stale
+        # in memory) regardless of dirtiness — the owner carries the
+        # writeback responsibility either way.
+        return L2State.O
+
+    # ------------------------------------------------------------------
+    # level-2 message handling
+    # ------------------------------------------------------------------
+    def _handle_level2(self, msg: Msg) -> None:
+        kind = msg.kind
+        if kind in (MsgKind.TOK_DATA, MsgKind.TOK_ACK):
+            self._on_token_response(msg)
+        elif kind is MsgKind.TOK_GETS:
+            self.ctx.sim.schedule(self.latency,
+                                  lambda: self._peer_gets(msg))
+        elif kind is MsgKind.TOK_GETX:
+            self.ctx.sim.schedule(self.latency,
+                                  lambda: self._peer_getx(msg))
+        elif kind is MsgKind.PERSIST_GRANT:
+            self._on_persist_grant(msg)
+        elif kind is MsgKind.IVR_MIGRATE:
+            self._on_migrate(msg)
+        else:
+            raise ProtocolError(f"token L2 at {self.tile} got {msg}")
+
+    # -- peer read: only the owner responds -----------------------------
+    def _peer_gets(self, msg: Msg) -> None:
+        if msg.requestor == self.tile:
+            return
+        line = self.array.lookup(msg.line_addr, touch=False)
+        mshr = self.mshrs.get(msg.line_addr)
+        if line is not None and line.owner_token and line.tokens >= 1:
+            self._owner_serve_gets(msg, line)
+            return
+        if (msg.persistent and mshr is not None
+                and mshr.scratch.get("collecting")
+                and mshr.scratch["tokens_acc"] > 1
+                and (mshr.scratch.get("data_seen")
+                     or (line is not None and line.l2_state.readable))):
+            # A collector with valid data (an upgrade, or a fetch whose
+            # data already arrived) can spare a plain token for a
+            # starving persistent reader.
+            mshr.scratch["tokens_acc"] -= 1
+            resp = Msg(MsgKind.TOK_DATA, msg.line_addr, self.tile, Unit.L2,
+                       requestor=msg.requestor, tokens=1)
+            self.ctx.send(resp, self.tile, msg.requestor)
+        # otherwise: not the owner — stay silent.
+
+    def _owner_serve_gets(self, msg: Msg, line: CacheLine) -> None:
+        if line.tokens > 1:
+            line.tokens -= 1
+            if line.l2_state in (L2State.M, L2State.E):
+                line.l2_state = L2State.O  # now shared, we keep ownership
+            # Recall the latest data from a dirty local L1 first.
+            def after_recall(recall_dirty: bool, line=line) -> None:
+                if recall_dirty:
+                    line.l2_state = L2State.O
+                resp = Msg(MsgKind.TOK_DATA, msg.line_addr, self.tile,
+                           Unit.L2, requestor=msg.requestor, tokens=1)
+                self.ctx.send(resp, self.tile, msg.requestor)
+
+            self._local_recall(msg.line_addr, after_recall)
+        else:
+            # Last token: the owner token (and our copy) leaves with it.
+            # Invalidate synchronously so nothing merges into a doomed
+            # line while the L1 purge is in flight.
+            targets = sorted(line.sharers)
+            state_dirty = line.l2_state.dirty
+            self.array.invalidate(line.line_addr)
+
+            def after_purge(purge_dirty: bool) -> None:
+                resp = Msg(MsgKind.TOK_DATA, msg.line_addr, self.tile,
+                           Unit.L2, requestor=msg.requestor, tokens=1,
+                           owner_token=True,
+                           dirty=state_dirty or purge_dirty)
+                self.ctx.send(resp, self.tile, msg.requestor)
+
+            self._local_purge(msg.line_addr, after_purge, targets=targets)
+
+    # -- peer write: every holder surrenders everything ------------------
+    def _peer_getx(self, msg: Msg) -> None:
+        if msg.requestor == self.tile:
+            return
+        line = self.array.lookup(msg.line_addr, touch=False)
+        if line is not None and line.tokens > 0:
+            tokens = line.tokens
+            owner = line.owner_token
+            state_dirty = line.l2_state.dirty
+            targets = sorted(line.sharers)
+            # Invalidate synchronously: a doomed-but-resident line would
+            # silently swallow tokens merged into it during the purge.
+            self.array.invalidate(msg.line_addr)
+
+            def after_purge(purge_dirty: bool) -> None:
+                dirty = state_dirty or purge_dirty
+                kind = MsgKind.TOK_DATA if owner else MsgKind.TOK_ACK
+                resp = Msg(kind, msg.line_addr, self.tile, Unit.L2,
+                           requestor=msg.requestor, tokens=tokens,
+                           owner_token=owner, dirty=dirty)
+                self.ctx.send(resp, self.tile, msg.requestor)
+
+            self._local_purge(msg.line_addr, after_purge, targets=targets)
+            return
+        mshr = self.mshrs.get(msg.line_addr)
+        if (mshr is not None and mshr.scratch.get("collecting")
+                and mshr.scratch["tokens_acc"] > 0
+                and (msg.persistent or msg.requestor < self.tile)):
+            # Surrender accumulated tokens to the persistent winner —
+            # or, for ordinary races, to the lower-numbered home: a
+            # deterministic priority that resolves token splits without
+            # waiting out retry timeouts (hot-line write races would
+            # otherwise convoy). Starvation of high-numbered homes is
+            # still bounded by persistent-request escalation.
+            s = mshr.scratch
+            tokens, owner = s["tokens_acc"], s["owner_acc"]
+            dirty = s["dirty_acc"]
+            s["tokens_acc"] = 0
+            s["owner_acc"] = False
+            if owner:
+                s["data_seen"] = False
+            kind = MsgKind.TOK_DATA if owner else MsgKind.TOK_ACK
+            resp = Msg(kind, msg.line_addr, self.tile, Unit.L2,
+                       requestor=msg.requestor, tokens=tokens,
+                       owner_token=owner, dirty=dirty)
+            self.ctx.send(resp, self.tile, msg.requestor)
+
+    # ------------------------------------------------------------------
+    # victims: IVR or token writeback
+    # ------------------------------------------------------------------
+    def _dispose_victim(self, victim: CacheLine) -> None:
+        if victim.tokens <= 0:
+            return
+        if self._should_migrate(victim):
+            self._send_migrate(victim, victim.migrations + 1)
+        else:
+            self._token_writeback(victim.line_addr, victim.tokens,
+                                  victim.owner_token,
+                                  victim.l2_state.dirty)
+
+    def _should_migrate(self, victim: CacheLine) -> bool:
+        if not self.ivr_enabled:
+            return False
+        if self.ctx.cluster_map.num_clusters < 2:
+            return False
+        if victim.migrations + 1 >= self.ctx.config.ivr.replacement_threshold:
+            return False
+        # Deadlock avoidance (Section 3.3): never wait on a full
+        # outgoing queue — write back off-chip instead.
+        if self.ctx.network.nic_backlog(self.tile) > _IVR_BACKLOG_LIMIT:
+            self.ctx.stats.counter("ivr_backlog_writebacks").inc()
+            return False
+        return True
+
+    def _send_migrate(self, line: CacheLine, migrations: int) -> None:
+        target = self._pick_ivr_target(line.line_addr)
+        msg = Msg(MsgKind.IVR_MIGRATE, line.line_addr, self.tile, Unit.L2,
+                  requestor=self.tile, tokens=line.tokens,
+                  owner_token=line.owner_token, dirty=line.l2_state.dirty,
+                  timestamp=line.timestamp, migrations=migrations)
+        self.ctx.stats.counter("ivr_migrations").inc()
+        self.ctx.send(msg, self.tile, target)
+
+    def _pick_ivr_target(self, line_addr: int) -> int:
+        cm = self.ctx.cluster_map
+        hnid = cm.hnid_of_line(line_addr)
+        others = [c for c in range(cm.num_clusters) if c != self.my_cluster]
+        if self.ctx.config.ivr.target_policy == "round_robin":
+            idx = self.ctx.stats.counter("ivr_rr_cursor")
+            target = others[idx.value % len(others)]
+            idx.inc()
+        else:
+            target = self.ctx.rng.choice("ivr", others)
+        return cm.home_tile(target, hnid)
+
+    def _token_writeback(self, line_addr: int, tokens: int, owner: bool,
+                         dirty: bool) -> None:
+        wb = Msg(MsgKind.TOK_WB, line_addr, self.tile, Unit.MC,
+                 requestor=self.tile, tokens=tokens, owner_token=owner,
+                 dirty=dirty)
+        self.ctx.send(wb, self.tile, self.ctx.mc_tile(line_addr))
+
+    # -- receiving a migrant ---------------------------------------------
+    def _on_migrate(self, msg: Msg) -> None:
+        mshr = self.mshrs.get(msg.line_addr)
+        if mshr is not None and mshr.scratch.get("collecting"):
+            # We are fetching this very line: the migrant IS a data +
+            # token response (deferring it behind our own MSHR would
+            # deadlock — the MSHR is waiting for these tokens).
+            s = mshr.scratch
+            s["tokens_acc"] += msg.tokens
+            s["owner_acc"] = s["owner_acc"] or msg.owner_token
+            s["dirty_acc"] = s["dirty_acc"] or msg.dirty
+            s["data_seen"] = True  # a migrant carries the full line
+            self.ctx.stats.counter("ivr_fetch_merges").inc()
+            self._maybe_complete(mshr)
+            return
+        line = self.array.lookup(msg.line_addr, touch=False)
+        if line is not None:
+            # We already hold a copy: merge tokens (conservation!).
+            line.tokens += msg.tokens
+            line.owner_token = line.owner_token or msg.owner_token
+            if msg.owner_token:
+                line.l2_state = self._owned_state(
+                    line.tokens, msg.dirty or line.l2_state.dirty)
+            line.timestamp = max(line.timestamp, msg.timestamp)
+            self.ctx.stats.counter("ivr_merges").inc()
+            return
+        if mshr is not None:
+            if mshr.kind == "SERVE" and "collecting" not in mshr.scratch:
+                # Pre-fetch window: the serve transaction was allocated
+                # but hasn't reached _fetch yet — stash the migrant for
+                # _fetch to consume (deferring would deadlock).
+                mshr.scratch.setdefault("early_migrants", []).append(msg)
+                return
+            # EVICT in progress, or a completed collection mid-fill:
+            # replay once the transaction retires.
+            self.mshrs.defer(msg.line_addr, msg)
+            return
+        if not self.array.set_full(msg.line_addr):
+            self._install_migrant(msg)
+            return
+        cand = self._ivr_local_victim(msg.line_addr)
+        if cand is None or not msg.timestamp > cand.timestamp:
+            # Deny: the migrant is older (or nothing evictable) — send it
+            # onward or write it back at the threshold (Figure 5 step 4).
+            self._forward_or_writeback(msg)
+            return
+        # Accept: evict the colder local line onward, install the migrant.
+        self.array.invalidate(cand.line_addr)
+        if cand.migrations + 1 >= self.ctx.config.ivr.replacement_threshold \
+                or self.ctx.cluster_map.num_clusters < 2:
+            self._token_writeback(cand.line_addr, cand.tokens,
+                                  cand.owner_token, cand.l2_state.dirty)
+            self.ctx.stats.counter("ivr_threshold_writebacks").inc()
+        else:
+            self._send_migrate(cand, cand.migrations + 1)
+        self._install_migrant(msg)
+
+    def _ivr_local_victim(self, line_addr: int) -> Optional[CacheLine]:
+        """A local line IVR may displace: not mid-transaction and with no
+        L1 sharers (avoiding a nested invalidation round — see DESIGN.md)."""
+        for cand in self.array.victim_ranking(line_addr):
+            if self.mshrs.busy(cand.line_addr):
+                continue
+            if cand.line_addr in self._fwd_ops:
+                continue
+            if cand.sharers or cand.dirty_l1 is not None:
+                continue
+            return cand
+        return None
+
+    def _forward_or_writeback(self, msg: Msg) -> None:
+        migrations = msg.migrations + 1
+        if migrations >= self.ctx.config.ivr.replacement_threshold or \
+                self.ctx.network.nic_backlog(self.tile) > _IVR_BACKLOG_LIMIT:
+            self._token_writeback(msg.line_addr, msg.tokens,
+                                  msg.owner_token, msg.dirty)
+            self.ctx.stats.counter("ivr_threshold_writebacks").inc()
+            return
+        cm = self.ctx.cluster_map
+        hnid = cm.hnid_of_line(msg.line_addr)
+        others = [c for c in range(cm.num_clusters) if c != self.my_cluster]
+        target = cm.home_tile(self.ctx.rng.choice("ivr", others), hnid)
+        onward = Msg(MsgKind.IVR_MIGRATE, msg.line_addr, self.tile, Unit.L2,
+                     requestor=msg.requestor, tokens=msg.tokens,
+                     owner_token=msg.owner_token, dirty=msg.dirty,
+                     timestamp=msg.timestamp, migrations=migrations)
+        self.ctx.stats.counter("ivr_forwards").inc()
+        self.ctx.send(onward, self.tile, target)
+
+    def _install_migrant(self, msg: Msg) -> None:
+        line, evicted = self.array.allocate(msg.line_addr)
+        if evicted is not None:
+            raise ProtocolError("migrant install evicted unexpectedly")
+        line.tokens = msg.tokens
+        line.owner_token = msg.owner_token
+        line.timestamp = msg.timestamp
+        line.migrations = msg.migrations
+        if msg.owner_token:
+            line.l2_state = self._owned_state(line.tokens, msg.dirty)
+        else:
+            line.l2_state = L2State.S
+        self.ctx.stats.counter("ivr_installs").inc()
+
+    # ------------------------------------------------------------------
+    # demand touches reset the migration counter
+    # ------------------------------------------------------------------
+    def _finish_read(self, mshr: Mshr, line: CacheLine) -> None:
+        line.migrations = 0
+        super()._finish_read(mshr, line)
+
+    def _finish_write(self, mshr: Mshr, line: CacheLine) -> None:
+        line.migrations = 0
+        super()._finish_write(mshr, line)

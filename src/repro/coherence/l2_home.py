@@ -1,0 +1,393 @@
+"""Home-L2 controller base: the first-level (intra-cluster) protocol.
+
+Every organization's L2 home behaves identically toward its L1s — a
+directory-based inclusive MOESI home that tracks L1 sharers, recalls
+dirty L1 data, invalidates sharers on writes, and evicts inclusively.
+Subclasses supply the *second level*: where data comes from on a home
+miss (memory, a chip-wide directory, or a token broadcast over a VMS),
+and where victims go (writeback, directory notify, or IVR migration).
+
+Concurrency discipline:
+
+* One live transaction per line via the MSHR file; later requests for a
+  busy line are deferred and replayed at retire.
+* Remote-initiated work (forwarded GETS/GETX, invalidations, token
+  grabs) must NOT block on the line MSHR — that deadlocks two homes
+  waiting on each other. It runs through per-line *forward ops* keyed
+  separately, using ``fwd=True`` tagged INV/RECALL messages so acks
+  route to the right waiter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cache.array import CacheArray
+from repro.cache.line import CacheLine, L2State
+from repro.cache.mshr import Mshr, MshrFile
+from repro.coherence.context import SystemContext
+from repro.coherence.messages import Msg, MsgKind, Unit
+from repro.errors import ProtocolError
+
+
+class HomeL2Base:
+    """Shared first-level home behaviour; see module docstring."""
+
+    def __init__(self, ctx: SystemContext, tile: int) -> None:
+        self.ctx = ctx
+        self.tile = tile
+        self.array = CacheArray(ctx.config.l2,
+                                index_stride=ctx.home_interleave())
+        self.mshrs = MshrFile(capacity=16)
+        self.latency = ctx.config.l2.access_latency
+        self._fwd_ops: Dict[int, Dict] = {}
+        self._overflow: List[Msg] = []  # requests parked on a full MSHR file
+        ctx.register(tile, Unit.L2, self.handle)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def handle(self, msg: Msg) -> None:
+        kind = msg.kind
+        if kind in (MsgKind.GETS, MsgKind.GETX):
+            self._serve_request(msg)
+        elif kind is MsgKind.WB_L1:
+            self._on_wb_l1(msg)
+        elif kind is MsgKind.ACK_INV_L1:
+            self._on_ack_inv(msg)
+        elif kind is MsgKind.RECALL_RESP:
+            self._on_recall_resp(msg)
+        else:
+            self._handle_level2(msg)
+
+    # ------------------------------------------------------------------
+    # first-level service
+    # ------------------------------------------------------------------
+    def _serve_request(self, msg: Msg) -> None:
+        line_addr = msg.line_addr
+        if self.mshrs.busy(line_addr):
+            self.mshrs.defer(line_addr, msg)
+            return
+        if self.mshrs.full:
+            # Structural hazard: park the request; replayed on retire.
+            self._overflow.append(msg)
+            self.ctx.stats.counter("mshr_overflow").inc()
+            return
+        mshr = self.mshrs.allocate(line_addr, "SERVE",
+                                   requestor=msg.requestor,
+                                   issued_cycle=self.ctx.sim.cycle)
+        mshr.scratch["msg"] = msg
+        self.ctx.stats.counter("l2_accesses").inc()
+        self.ctx.sim.schedule(self.latency, lambda: self._serve_body(mshr))
+
+    def _serve_body(self, mshr: Mshr) -> None:
+        msg: Msg = mshr.scratch["msg"]
+        line = self.array.lookup(msg.line_addr)
+        if msg.kind is MsgKind.GETS:
+            if line is not None and line.l2_state.readable:
+                self.ctx.stats.counter("l2_hits").inc()
+                mshr.scratch["home_hit"] = True
+                self._grant_read(mshr, line)
+            else:
+                self._start_miss(mshr, exclusive=False)
+        else:  # GETX
+            if line is not None and self._can_write(line):
+                self.ctx.stats.counter("l2_hits").inc()
+                mshr.scratch["home_hit"] = True
+                self._grant_write(mshr, line)
+            elif line is not None and line.l2_state.readable:
+                self.ctx.stats.counter("l2_upgrades").inc()
+                mshr.scratch["miss_cycle"] = self.ctx.sim.cycle
+                self._upgrade(mshr, line)
+            else:
+                self._start_miss(mshr, exclusive=True)
+
+    def _start_miss(self, mshr: Mshr, exclusive: bool) -> None:
+        self.ctx.stats.counter("l2_misses").inc()
+        mshr.scratch["miss_cycle"] = self.ctx.sim.cycle
+        self._fetch(mshr, exclusive)
+
+    # -- read grant ------------------------------------------------------
+    def _grant_read(self, mshr: Mshr, line: CacheLine) -> None:
+        mshr.scratch["granting"] = True
+        req = mshr.requestor
+        if line.dirty_l1 is not None and line.dirty_l1 != req:
+            holder = line.dirty_l1
+            mshr.scratch["cont"] = lambda: self._finish_read(mshr, line)
+            recall = Msg(MsgKind.RECALL_L1, line.line_addr, self.tile,
+                         Unit.L1, requestor=req)
+            line.dirty_l1 = None  # holder downgrades to S on recall
+            self.ctx.send(recall, self.tile, holder)
+            return
+        self._finish_read(mshr, line)
+
+    def _finish_read(self, mshr: Mshr, line: CacheLine) -> None:
+        req = mshr.requestor
+        line.sharers.add(req)
+        line.touch(self.ctx.timestamp.now())
+        self._send_grant(mshr, writable=False)
+        self._retire(mshr)
+
+    # -- write grant -----------------------------------------------------
+    def _grant_write(self, mshr: Mshr, line: CacheLine) -> None:
+        mshr.scratch["granting"] = True
+        req = mshr.requestor
+        targets = sorted(line.sharers - {req})
+        if targets:
+            mshr.pending_acks = len(targets)
+            mshr.scratch["cont"] = lambda: self._finish_write(mshr, line)
+            for t in targets:
+                inv = Msg(MsgKind.INV_L1, line.line_addr, self.tile, Unit.L1,
+                          requestor=req)
+                self.ctx.send(inv, self.tile, t)
+            line.sharers = {req} & line.sharers
+            line.dirty_l1 = None
+            return
+        self._finish_write(mshr, line)
+
+    def _finish_write(self, mshr: Mshr, line: CacheLine) -> None:
+        req = mshr.requestor
+        self._note_write(line)
+        line.sharers = {req}
+        line.dirty_l1 = req
+        line.touch(self.ctx.timestamp.now())
+        self._send_grant(mshr, writable=True)
+        self._retire(mshr)
+
+    def _send_grant(self, mshr: Mshr, writable: bool) -> None:
+        msg: Msg = mshr.scratch["msg"]
+        grant = Msg(MsgKind.DATA_L1, msg.line_addr, self.tile, Unit.L1,
+                    requestor=mshr.requestor, writable=writable,
+                    home_hit=mshr.scratch.get("home_hit", False),
+                    offchip=mshr.scratch.get("offchip", False))
+        self.ctx.send(grant, self.tile, mshr.requestor)
+
+    def _retire(self, mshr: Mshr) -> None:
+        deferred = self.mshrs.retire(mshr.line_addr)
+        for item in deferred:
+            self.handle(item)
+        while self._overflow and not self.mshrs.full:
+            self._serve_request(self._overflow.pop(0))
+
+    # ------------------------------------------------------------------
+    # fills and evictions
+    # ------------------------------------------------------------------
+    def _fill(self, mshr: Mshr, apply_state: Callable[[CacheLine], None],
+              offchip: bool) -> None:
+        """Second-level data arrived: install and grant."""
+        mshr.scratch["offchip"] = offchip
+        if not offchip:
+            delay = self.ctx.sim.cycle - mshr.scratch["miss_cycle"]
+            self.ctx.stats.sampler("search_delay").add(delay)
+            self.ctx.stats.counter("fills_onchip").inc()
+        else:
+            self.ctx.stats.counter("fills_offchip").inc()
+
+        def install() -> None:
+            existing = self.array.lookup(mshr.line_addr, touch=True)
+            if existing is None:
+                existing, evicted = self.array.allocate(mshr.line_addr)
+                if evicted is not None:
+                    raise ProtocolError("allocate evicted despite make-room")
+            apply_state(existing)
+            existing.touch(self.ctx.timestamp.now())
+            msg: Msg = mshr.scratch["msg"]
+            if msg.kind is MsgKind.GETS:
+                self._grant_read(mshr, existing)
+            else:
+                self._grant_write(mshr, existing)
+
+        def try_install() -> None:
+            # Re-check fullness every time: while our eviction waited
+            # for L1 acks, a concurrent fill may have taken the way.
+            if self.array.set_full(mshr.line_addr):
+                self._make_room(mshr.line_addr, try_install)
+            else:
+                install()
+
+        try_install()
+
+    def _make_room(self, line_addr: int, cont: Callable[[], None]) -> None:
+        victim = self._pick_victim(line_addr)
+        if victim is None:
+            # Every way is mid-transaction; retry shortly.
+            self.ctx.sim.schedule(self.latency,
+                                  lambda: self._retry_make_room(line_addr, cont))
+            return
+        self.array.invalidate(victim.line_addr)
+        ev = self.mshrs.allocate(victim.line_addr, "EVICT",
+                                 requestor=self.tile,
+                                 issued_cycle=self.ctx.sim.cycle,
+                                 force=True)
+        ev.scratch["victim"] = victim
+        self.ctx.stats.counter("l2_evictions").inc()
+
+        def done() -> None:
+            self._dispose_victim(victim)
+            self._retire(ev)
+            cont()
+
+        targets = sorted(victim.sharers)
+        victim.sharers = set()
+        victim.dirty_l1 = None
+        if targets:
+            ev.pending_acks = len(targets)
+            ev.scratch["cont"] = done
+            for t in targets:
+                inv = Msg(MsgKind.INV_L1, victim.line_addr, self.tile,
+                          Unit.L1, requestor=self.tile)
+                self.ctx.send(inv, self.tile, t)
+        else:
+            done()
+
+    def _retry_make_room(self, line_addr: int, cont: Callable[[], None]) -> None:
+        if self.array.set_full(line_addr):
+            self._make_room(line_addr, cont)
+        else:
+            cont()
+
+    def _pick_victim(self, line_addr: int) -> Optional[CacheLine]:
+        for cand in self.array.victim_ranking(line_addr):
+            if self.mshrs.busy(cand.line_addr):
+                continue
+            if cand.line_addr in self._fwd_ops:
+                continue
+            return cand
+        return None
+
+    # ------------------------------------------------------------------
+    # L1 responses
+    # ------------------------------------------------------------------
+    def _on_wb_l1(self, msg: Msg) -> None:
+        line = self.array.lookup(msg.line_addr, touch=False)
+        if line is None:
+            return  # raced with our own eviction; data logically merged
+        if line.dirty_l1 == msg.src_tile:
+            line.dirty_l1 = None
+        line.sharers.discard(msg.src_tile)
+        # The L1's modified data lands here; the line keeps (or gains)
+        # dirty ownership at L2.
+        if line.l2_state in (L2State.E, L2State.S):
+            line.l2_state = (L2State.M if line.l2_state is L2State.E
+                             else L2State.O)
+
+    def _on_ack_inv(self, msg: Msg) -> None:
+        if msg.fwd:
+            self._fwd_ack(msg)
+            return
+        mshr = self.mshrs.get(msg.line_addr)
+        if mshr is None or mshr.pending_acks <= 0:
+            raise ProtocolError(f"stray ACK_INV_L1 at {self.tile}: {msg}")
+        mshr.pending_acks -= 1
+        if msg.dirty:
+            mshr.scratch["dirty_ack"] = True
+            victim = mshr.scratch.get("victim")
+            if victim is not None and victim.l2_state in (L2State.E,
+                                                          L2State.S):
+                victim.l2_state = (L2State.M if victim.l2_state is L2State.E
+                                   else L2State.O)
+        if mshr.pending_acks == 0:
+            cont = mshr.scratch.pop("cont")
+            cont()
+
+    def _on_recall_resp(self, msg: Msg) -> None:
+        if msg.fwd:
+            self._fwd_ack(msg)
+            return
+        mshr = self.mshrs.get(msg.line_addr)
+        if mshr is None:
+            raise ProtocolError(f"stray RECALL_RESP at {self.tile}: {msg}")
+        line = self.array.lookup(msg.line_addr, touch=False)
+        if msg.dirty and line is not None and \
+                line.l2_state in (L2State.E, L2State.S):
+            line.l2_state = (L2State.M if line.l2_state is L2State.E
+                             else L2State.O)
+        cont = mshr.scratch.pop("cont")
+        cont()
+
+    # ------------------------------------------------------------------
+    # forward ops: remote-initiated local purge / recall
+    # ------------------------------------------------------------------
+    def _local_purge(self, line_addr: int,
+                     cont: Callable[[bool], None],
+                     targets: Optional[List[int]] = None) -> None:
+        """Invalidate all local L1 copies of ``line_addr``, then
+        ``cont(dirty_seen)``. Never blocks on the line MSHR.
+
+        ``targets`` lets the caller pass a sharer list captured before
+        it removed the line from the array (surrender paths invalidate
+        synchronously so concurrent merges cannot target a doomed line).
+        """
+        op = self._fwd_ops.get(line_addr)
+        if op is not None:
+            op["queue"].append(cont)
+            return
+        if targets is None:
+            line = self.array.lookup(line_addr, touch=False)
+            targets = sorted(line.sharers) if line is not None else []
+            if line is not None:
+                line.sharers = set()
+                line.dirty_l1 = None
+        if not targets:
+            cont(False)
+            return
+        self._fwd_ops[line_addr] = {"pending": len(targets), "dirty": False,
+                                    "cont": cont, "queue": []}
+        for t in targets:
+            inv = Msg(MsgKind.INV_L1, line_addr, self.tile, Unit.L1,
+                      requestor=self.tile, fwd=True)
+            self.ctx.send(inv, self.tile, t)
+
+    def _local_recall(self, line_addr: int,
+                      cont: Callable[[bool], None]) -> None:
+        """Pull the latest data from a dirty local L1 (downgrade to S),
+        then ``cont(dirty_seen)``."""
+        op = self._fwd_ops.get(line_addr)
+        if op is not None:
+            op["queue"].append(cont)
+            return
+        line = self.array.lookup(line_addr, touch=False)
+        if line is None or line.dirty_l1 is None:
+            cont(False)
+            return
+        holder = line.dirty_l1
+        line.dirty_l1 = None
+        self._fwd_ops[line_addr] = {"pending": 1, "dirty": False,
+                                    "cont": cont, "queue": []}
+        recall = Msg(MsgKind.RECALL_L1, line_addr, self.tile, Unit.L1,
+                     requestor=self.tile, fwd=True)
+        self.ctx.send(recall, self.tile, holder)
+
+    def _fwd_ack(self, msg: Msg) -> None:
+        op = self._fwd_ops.get(msg.line_addr)
+        if op is None:
+            raise ProtocolError(f"stray fwd ack at {self.tile}: {msg}")
+        op["pending"] -= 1
+        op["dirty"] = op["dirty"] or msg.dirty
+        if op["pending"] == 0:
+            del self._fwd_ops[msg.line_addr]
+            op["cont"](op["dirty"])
+            for queued in op["queue"]:
+                # Re-run: sharer sets may have changed while we waited.
+                self._local_purge(msg.line_addr, queued)
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    def _can_write(self, line: CacheLine) -> bool:
+        raise NotImplementedError
+
+    def _note_write(self, line: CacheLine) -> None:
+        raise NotImplementedError
+
+    def _fetch(self, mshr: Mshr, exclusive: bool) -> None:
+        raise NotImplementedError
+
+    def _upgrade(self, mshr: Mshr, line: CacheLine) -> None:
+        raise NotImplementedError
+
+    def _dispose_victim(self, victim: CacheLine) -> None:
+        raise NotImplementedError
+
+    def _handle_level2(self, msg: Msg) -> None:
+        raise ProtocolError(f"L2 at tile {self.tile} got {msg}")

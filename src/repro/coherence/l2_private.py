@@ -1,0 +1,236 @@
+"""Directory-based second level: private baseline and LOCO CC.
+
+One class serves both organizations because the protocol is identical —
+only the *participants* differ:
+
+* PRIVATE — every tile's L2 is a peer; the memory-controller directory
+  tracks per-tile sharers/owner chip-wide (paper Section 4.1).
+* LOCO_CC — every cluster's home L2 (for the line) is a peer; the
+  directory tracks sharers/owner at *cluster* granularity, which is the
+  clustered-cache-without-VMS configuration of Section 4.2.
+
+Transaction shape (MOESI, forward-from-owner):
+
+1. home miss/upgrade -> DIR_GETS/DIR_GETX to the line's memory
+   controller;
+2. the directory (after ``directory_latency``) forwards to the owner
+   and/or invalidates sharers, or fetches from memory; it sends the
+   requestor a DIR_ACK header carrying how many sharer acks to expect;
+3. the requestor completes when it has the header + data + all acks.
+
+Races: a forwarded request can reach an L2 that just evicted the line
+(its DIR_WB still in flight). The peer answers with a NACK and the
+requestor retries through the directory, which by then has processed
+the writeback — guaranteed progress without a three-phase directory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.line import CacheLine, L2State
+from repro.cache.mshr import Mshr
+from repro.coherence.l2_home import HomeL2Base
+from repro.coherence.messages import Msg, MsgKind, Unit
+from repro.errors import ProtocolError
+
+_RETRY_DELAY = 20  # cycles before re-asking the directory after a NACK
+
+
+class DirectoryL2Controller(HomeL2Base):
+    """Home L2 slice with a directory-based global level."""
+
+    # ------------------------------------------------------------------
+    # hooks: local write permission
+    # ------------------------------------------------------------------
+    def _can_write(self, line: CacheLine) -> bool:
+        return line.l2_state in (L2State.M, L2State.E)
+
+    def _note_write(self, line: CacheLine) -> None:
+        line.l2_state = L2State.M
+
+    # ------------------------------------------------------------------
+    # requestor side
+    # ------------------------------------------------------------------
+    def _fetch(self, mshr: Mshr, exclusive: bool) -> None:
+        mshr.scratch.update(data_seen=False, header_need=None, acks_got=0,
+                            fill_dirty=False, fill_exclusive=False,
+                            fill_offchip=False,
+                            want_x=exclusive)
+        kind = MsgKind.DIR_GETX if exclusive else MsgKind.DIR_GETS
+        req = Msg(kind, mshr.line_addr, self.tile, Unit.MC,
+                  requestor=self.tile)
+        self.ctx.send(req, self.tile, self.ctx.mc_tile(mshr.line_addr))
+
+    def _upgrade(self, mshr: Mshr, line: CacheLine) -> None:
+        # An upgrade is a GETX through the directory; data may be
+        # re-delivered, which is harmless.
+        self._fetch(mshr, exclusive=True)
+
+    def _maybe_complete(self, mshr: Mshr) -> None:
+        s = mshr.scratch
+        if not s["data_seen"] or s["header_need"] is None:
+            return
+        if s["acks_got"] < s["header_need"]:
+            return
+
+        want_x = s["want_x"]
+        dirty = s["fill_dirty"]
+        exclusive = s["fill_exclusive"]
+
+        # Confirm to the directory: it commits owner/sharer state and
+        # unblocks queued requests for this line.
+        done = Msg(MsgKind.DIR_DONE, mshr.line_addr, self.tile, Unit.MC,
+                   requestor=self.tile, writable=want_x,
+                   exclusive=exclusive)
+        self.ctx.send(done, self.tile, self.ctx.mc_tile(mshr.line_addr))
+
+        def apply(line: CacheLine) -> None:
+            if want_x:
+                line.l2_state = L2State.M
+            elif exclusive:
+                line.l2_state = L2State.E
+            else:
+                line.l2_state = L2State.S
+
+        self._fill(mshr, apply, offchip=s["fill_offchip"])
+
+    # ------------------------------------------------------------------
+    # level-2 message handling
+    # ------------------------------------------------------------------
+    def _handle_level2(self, msg: Msg) -> None:
+        kind = msg.kind
+        if kind is MsgKind.DATA_L2:
+            self._on_data_l2(msg)
+        elif kind is MsgKind.DIR_ACK:
+            self._on_dir_ack(msg)
+        elif kind in (MsgKind.DIR_FWD_GETS, MsgKind.DIR_FWD_GETX):
+            self._on_forward(msg)
+        elif kind is MsgKind.DIR_INV:
+            self._on_dir_inv(msg)
+        else:
+            raise ProtocolError(f"directory L2 at {self.tile} got {msg}")
+
+    def _on_data_l2(self, msg: Msg) -> None:
+        mshr = self.mshrs.get(msg.line_addr)
+        if mshr is None or mshr.kind != "SERVE" or \
+                "data_seen" not in mshr.scratch:
+            # Late data after a NACK-retry already completed: drop (the
+            # directory's view was updated when it dispatched this).
+            return
+        if msg.nack:
+            # The forward raced an eviction or an in-flight fill at the
+            # old owner: retry through the directory with backoff (the
+            # target's own transaction needs time to complete).
+            self.ctx.stats.counter("dir_nacks").inc()
+            n = mshr.scratch.get("nack_retries", 0)
+            mshr.scratch["nack_retries"] = n + 1
+            delay = min(_RETRY_DELAY * (2 ** n), 800)
+            self.ctx.sim.schedule(delay, lambda: self._refetch(mshr))
+            return
+        s = mshr.scratch
+        s["data_seen"] = True
+        s["fill_dirty"] = s["fill_dirty"] or msg.dirty
+        s["fill_exclusive"] = s["fill_exclusive"] or msg.exclusive
+        s["fill_offchip"] = s["fill_offchip"] or msg.offchip
+        self._maybe_complete(mshr)
+
+    def _refetch(self, mshr: Mshr) -> None:
+        if self.mshrs.get(mshr.line_addr) is not mshr:
+            return  # completed meanwhile
+        self._fetch(mshr, mshr.scratch["want_x"])
+
+    def _on_dir_ack(self, msg: Msg) -> None:
+        """Either the directory's header (ack_count >= 0, src = MC tile)
+        or a sharer's invalidation ack (src = sharer tile)."""
+        mshr = self.mshrs.get(msg.line_addr)
+        if mshr is None or "data_seen" not in mshr.scratch:
+            return  # stray ack after retry completion: safe to drop
+        s = mshr.scratch
+        if msg.fwd:          # a sharer's invalidation ack
+            s["acks_got"] += 1
+        else:                # the directory's header
+            s["header_need"] = msg.ack_count
+        self._maybe_complete(mshr)
+
+    # ------------------------------------------------------------------
+    # peer side: forwarded requests and invalidations
+    # ------------------------------------------------------------------
+    def _must_defer_forward(self, line_addr: int) -> bool:
+        """Forwards are never parked behind an in-flight transaction —
+        cross-deferral between two requestors deadlocks (each waits for
+        the other's data). Instead, a non-owner NACKs and the requestor
+        retries through the directory. The single exception is a grant
+        in progress: it completes using only local L1 acks, so deferring
+        is safe — and serving would invalidate the line under the grant.
+        """
+        mshr = self.mshrs.get(line_addr)
+        return mshr is not None and bool(mshr.scratch.get("granting"))
+
+    def _on_forward(self, msg: Msg) -> None:
+        if self._must_defer_forward(msg.line_addr):
+            self.mshrs.defer(msg.line_addr, msg)
+            return
+        self.ctx.sim.schedule(self.latency,
+                              lambda: self._forward_body(msg))
+
+    def _forward_body(self, msg: Msg) -> None:
+        # Re-check: state may have changed during the array latency.
+        if self._must_defer_forward(msg.line_addr):
+            self.mshrs.defer(msg.line_addr, msg)
+            return
+        line = self.array.lookup(msg.line_addr, touch=False)
+        if line is None or not line.l2_state.is_owner:
+            nack = Msg(MsgKind.DATA_L2, msg.line_addr, self.tile, Unit.L2,
+                       requestor=msg.requestor, nack=True)
+            self.ctx.send(nack, self.tile, msg.requestor)
+            return
+        if msg.kind is MsgKind.DIR_FWD_GETS:
+            def after_recall(_dirty: bool, line=line) -> None:
+                resp = Msg(MsgKind.DATA_L2, msg.line_addr, self.tile,
+                           Unit.L2, requestor=msg.requestor,
+                           dirty=line.l2_state.dirty)
+                self.ctx.send(resp, self.tile, msg.requestor)
+                line.l2_state = L2State.O  # shared, we keep ownership
+
+            self._local_recall(msg.line_addr, after_recall)
+        else:  # DIR_FWD_GETX: hand everything over
+            targets = sorted(line.sharers)
+            state_dirty = line.l2_state.dirty
+            self.array.invalidate(line.line_addr)
+
+            def after_purge(dirty_l1: bool) -> None:
+                resp = Msg(MsgKind.DATA_L2, msg.line_addr, self.tile,
+                           Unit.L2, requestor=msg.requestor,
+                           dirty=state_dirty or dirty_l1)
+                self.ctx.send(resp, self.tile, msg.requestor)
+
+            self._local_purge(msg.line_addr, after_purge, targets=targets)
+
+    def _on_dir_inv(self, msg: Msg) -> None:
+        """Invalidate our (shared) copy. Must not block on the MSHR: a
+        concurrent upgrade of ours lost the race at the directory and
+        the winner is waiting for this ack."""
+        line = self.array.lookup(msg.line_addr, touch=False)
+        targets = sorted(line.sharers) if line is not None else []
+        self.array.invalidate(msg.line_addr)
+
+        def after_purge(_dirty: bool) -> None:
+            # fwd=True marks this as a sharer ack, distinguishing it
+            # from the directory's DIR_ACK header at the requestor.
+            ack = Msg(MsgKind.DIR_ACK, msg.line_addr, self.tile, Unit.L2,
+                      requestor=msg.requestor, fwd=True)
+            self.ctx.send(ack, self.tile, msg.requestor)
+
+        self._local_purge(msg.line_addr, after_purge, targets=targets)
+
+    # ------------------------------------------------------------------
+    # victims
+    # ------------------------------------------------------------------
+    def _dispose_victim(self, victim: CacheLine) -> None:
+        if victim.l2_state.is_owner:
+            wb = Msg(MsgKind.DIR_WB, victim.line_addr, self.tile, Unit.MC,
+                     requestor=self.tile, dirty=victim.l2_state.dirty)
+            self.ctx.send(wb, self.tile, self.ctx.mc_tile(victim.line_addr))
+        # Plain S victims evict silently; the directory's stale sharer
+        # bit costs one spurious DIR_INV/DIR_ACK later, never correctness.

@@ -1,0 +1,23 @@
+"""Experiment harness: one entry point per paper figure."""
+
+from repro.harness.experiment import ExperimentConfig, run_benchmark, run_workload
+from repro.harness.report import format_table, normalize
+from repro.harness.sweep import best, sweep
+from repro.harness.checks import (check_all, check_inclusion,
+                                  check_sharer_lists, check_single_writer)
+from repro.harness import figures
+
+__all__ = [
+    "ExperimentConfig",
+    "run_benchmark",
+    "run_workload",
+    "format_table",
+    "normalize",
+    "best",
+    "sweep",
+    "check_all",
+    "check_inclusion",
+    "check_sharer_lists",
+    "check_single_writer",
+    "figures",
+]

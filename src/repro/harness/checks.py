@@ -1,0 +1,91 @@
+"""Post-run invariant checkers (public API).
+
+These snapshot a quiesced :class:`~repro.cmp.system.CmpSystem` and
+verify the properties every correct run must satisfy. The test suite's
+property tests use them; users extending the protocols should run them
+after any change.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.line import L1State
+from repro.cmp.system import CmpSystem
+from repro.errors import SimulationError
+
+
+def check_single_writer(system: CmpSystem) -> List[str]:
+    """SWMR: at most one M copy of any line across all L1s, and never
+    alongside S copies. Returns a list of violation strings (empty =
+    clean); raises nothing so callers can aggregate."""
+    violations: List[str] = []
+    lines = set()
+    for l1 in system.l1s:
+        lines.update(ln.line_addr for ln in l1.array.lines())
+    for addr in lines:
+        m = [t for t in range(system.config.num_tiles)
+             if system.l1s[t].resident_state(addr) is L1State.M]
+        s = [t for t in range(system.config.num_tiles)
+             if system.l1s[t].resident_state(addr) is L1State.S]
+        if len(m) > 1:
+            violations.append(f"line {addr:#x}: M copies at {m}")
+        if m and s:
+            violations.append(
+                f"line {addr:#x}: M at {m} coexists with S at {s}")
+    return violations
+
+
+def check_inclusion(system: CmpSystem) -> List[str]:
+    """Inclusive hierarchy: every valid L1 line must be resident at its
+    home L2."""
+    violations: List[str] = []
+    for tile in range(system.config.num_tiles):
+        l1 = system.l1s[tile]
+        for line in l1.array.lines():
+            if line.l1_state is L1State.I:
+                continue
+            home = system.ctx.home_tile(tile, line.line_addr)
+            if system.l2s[home].array.lookup(line.line_addr,
+                                             touch=False) is None:
+                violations.append(
+                    f"line {line.line_addr:#x}: L1 copy at tile {tile} "
+                    f"but home L2 {home} has no line")
+    return violations
+
+
+def check_sharer_lists(system: CmpSystem) -> List[str]:
+    """Every valid L1 copy must appear in its home's sharer list (the
+    reverse may not hold — silent S evictions leave stale bits, which
+    is legal)."""
+    violations: List[str] = []
+    for tile in range(system.config.num_tiles):
+        l1 = system.l1s[tile]
+        for line in l1.array.lines():
+            if line.l1_state is L1State.I:
+                continue
+            home = system.ctx.home_tile(tile, line.line_addr)
+            home_line = system.l2s[home].array.lookup(line.line_addr,
+                                                      touch=False)
+            if home_line is not None and tile not in home_line.sharers:
+                violations.append(
+                    f"line {line.line_addr:#x}: L1 at {tile} missing "
+                    f"from home {home} sharer list {home_line.sharers}")
+    return violations
+
+
+def check_all(system: CmpSystem, raise_on_violation: bool = True
+              ) -> List[str]:
+    """Run every checker (plus token conservation for VMS organizations);
+    optionally raise :class:`SimulationError` listing all violations."""
+    violations = (check_single_writer(system)
+                  + check_inclusion(system)
+                  + check_sharer_lists(system))
+    try:
+        system.check_token_conservation()
+    except SimulationError as exc:
+        violations.append(str(exc))
+    if violations and raise_on_violation:
+        raise SimulationError(
+            "invariant violations:\n  " + "\n  ".join(violations))
+    return violations

@@ -1,0 +1,113 @@
+"""Single-run experiment driver.
+
+Wraps trace generation + system construction + execution into one
+call, with an in-process trace cache so the *same* traces are replayed
+across the organizations being compared (paired comparison, as the
+paper does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cmp.system import CmpSystem, RunResult
+from repro.params import NocKind, Organization, SystemConfig, paper_config
+from repro.traces.benchmarks import get_benchmark
+from repro.traces.events import TraceEvent
+from repro.traces.multiprogram import CLUSTER_SHAPE, build_workload
+from repro.traces.synthetic import generate_traces
+
+#: trace-length scaling presets (DESIGN.md §5)
+SCALE_SMALL = 0.25    # benches / CI
+SCALE_MEDIUM = 1.0    # EXPERIMENTS.md numbers
+
+_trace_cache: Dict[Tuple, Tuple[List[List[TraceEvent]], Optional[List[int]]]] = {}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """What to run: workload x machine."""
+
+    benchmark: str
+    organization: Organization
+    cores: int = 64
+    noc: NocKind = NocKind.SMART
+    cluster: Tuple[int, int] = (4, 4)
+    scale: float = SCALE_MEDIUM
+    full_system: bool = False
+    seed: int = 1
+    #: fraction of trace events treated as cache warmup; statistics are
+    #: gathered after it (paper: "statistics are gathered at the end of
+    #: the parallel portion")
+    warmup_fraction: float = 0.35
+    #: proportional cache shrink matching the scaled-down traces
+    #: (DESIGN.md §5): 1/8 of Table 1 by default -> 2 KB L1 slices,
+    #: 8 KB L2 slices. Set to 1.0 for the paper's raw geometry.
+    cache_scale: float = 0.125
+
+    def system_config(self) -> SystemConfig:
+        cfg = paper_config(self.cores, organization=self.organization)
+        cfg = cfg.with_cluster(*self.cluster).with_noc(self.noc)
+        if self.cache_scale != 1.0:
+            cfg = cfg.with_cache_scale(self.cache_scale)
+        return cfg
+
+
+def _traces_for(exp: ExperimentConfig
+                ) -> Tuple[List[List[TraceEvent]], Optional[List[int]]]:
+    key = ("bench", exp.benchmark, exp.cores, exp.scale, exp.full_system,
+           exp.seed)
+    if key not in _trace_cache:
+        spec = get_benchmark(exp.benchmark, scale=exp.scale,
+                             full_system=exp.full_system)
+        traces = generate_traces(spec, exp.cores, seed=exp.seed)
+        _trace_cache[key] = (traces, None)
+    return _trace_cache[key]
+
+
+def run_benchmark(exp: ExperimentConfig,
+                  max_cycles: int = 50_000_000) -> RunResult:
+    """Run one benchmark under one machine configuration."""
+    traces, populations = _traces_for(exp)
+    system = CmpSystem(exp.system_config(), traces,
+                       full_system=exp.full_system,
+                       barrier_populations=populations,
+                       warmup_fraction=exp.warmup_fraction)
+    result = system.run(max_cycles=max_cycles)
+    system.check_token_conservation()
+    return result
+
+
+def run_workload(name: str, organization: Organization, cores: int = 64,
+                 noc: NocKind = NocKind.SMART, scale: float = SCALE_MEDIUM,
+                 seed: int = 1, full_system: bool = False,
+                 cluster: Optional[Tuple[int, int]] = None,
+                 warmup_fraction: float = 0.35,
+                 cache_scale: float = 0.125,
+                 max_cycles: int = 50_000_000) -> RunResult:
+    """Run one multi-program workload (Table 2) under an organization.
+
+    The cluster shape defaults to the paper's recommendation for the
+    workload (4x1 / 8x1 / 4x4)."""
+    key = ("mp", name, cores, scale, full_system, seed)
+    if key not in _trace_cache:
+        _trace_cache[key] = build_workload(name, num_cores=cores,
+                                           scale=scale, seed=seed,
+                                           full_system=full_system)
+    traces, populations = _trace_cache[key]
+    shape = cluster if cluster is not None else CLUSTER_SHAPE[name]
+    cfg = paper_config(cores, organization=organization)
+    cfg = cfg.with_cluster(*shape).with_noc(noc)
+    if cache_scale != 1.0:
+        cfg = cfg.with_cache_scale(cache_scale)
+    system = CmpSystem(cfg, traces, full_system=full_system,
+                       barrier_populations=populations,
+                       warmup_fraction=warmup_fraction)
+    result = system.run(max_cycles=max_cycles)
+    system.check_token_conservation()
+    return result
+
+
+def clear_trace_cache() -> None:
+    _trace_cache.clear()

@@ -1,0 +1,320 @@
+"""One entry point per figure of the paper's evaluation (Section 4).
+
+Every ``figureN`` function runs the configurations that figure compares
+and returns a ``{row -> {series -> value}}`` mapping (the same rows and
+series the paper plots); with ``verbose=True`` it prints the table.
+Absolute values come from our simulator + synthetic traces, so the
+*shape* (orderings, rough ratios) is the reproduction target — see
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.harness.experiment import (SCALE_MEDIUM, ExperimentConfig,
+                                      run_benchmark, run_workload)
+from repro.harness.report import format_table, normalize
+from repro.params import NocKind, Organization
+from repro.traces.benchmarks import FULL_SYSTEM, TRACE_DRIVEN
+from repro.traces.multiprogram import workload_names
+
+Rows = Dict[str, Dict[str, float]]
+
+#: the three LOCO variants of the ablation figures
+_LOCO_STACK = [Organization.LOCO_CC, Organization.LOCO_CC_VMS,
+               Organization.LOCO_CC_VMS_IVR]
+_LOCO_LABEL = {
+    Organization.SHARED: "Shared",
+    Organization.PRIVATE: "Private",
+    Organization.LOCO_CC: "LOCO CC",
+    Organization.LOCO_CC_VMS: "LOCO CC+VMS",
+    Organization.LOCO_CC_VMS_IVR: "LOCO CC+VMS+IVR",
+}
+
+
+def _run(benchmark: str, org: Organization, cores: int = 64,
+         noc: NocKind = NocKind.SMART, cluster: Tuple[int, int] = (4, 4),
+         scale: float = SCALE_MEDIUM, full_system: bool = False,
+         seed: int = 1):
+    return run_benchmark(ExperimentConfig(
+        benchmark=benchmark, organization=org, cores=cores, noc=noc,
+        cluster=cluster, scale=scale, full_system=full_system, seed=seed))
+
+
+def _emit(title: str, rows: Rows, verbose: bool) -> Rows:
+    if verbose:
+        print(format_table(title, rows))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+def figure6(benchmarks: Optional[Sequence[str]] = None,
+            scale: float = SCALE_MEDIUM, verbose: bool = True) -> Rows:
+    """Normalized runtime of private vs shared caches (64-core).
+
+    Paper: private is on average 2.3x slower than shared."""
+    benchmarks = list(benchmarks or TRACE_DRIVEN)
+    rows: Rows = {}
+    for b in benchmarks:
+        shared = _run(b, Organization.SHARED, scale=scale)
+        private = _run(b, Organization.PRIVATE, scale=scale)
+        rows[b] = {"Private/Shared": private.runtime / shared.runtime}
+    return _emit("Figure 6: normalized runtime, private vs shared (64c)",
+                 rows, verbose)
+
+
+def figure7(benchmarks: Optional[Sequence[str]] = None,
+            cores: int = 64, scale: float = SCALE_MEDIUM,
+            verbose: bool = True) -> Rows:
+    """L2 hit-latency increase over the private cache.
+
+    Paper (64c): LOCO adds ~2.9 cycles, shared ~11.5 cycles; the gap
+    grows at 256 cores."""
+    benchmarks = list(benchmarks or TRACE_DRIVEN)
+    rows: Rows = {}
+    for b in benchmarks:
+        private = _run(b, Organization.PRIVATE, cores=cores, scale=scale)
+        shared = _run(b, Organization.SHARED, cores=cores, scale=scale)
+        loco = _run(b, Organization.LOCO_CC_VMS_IVR, cores=cores,
+                    scale=scale)
+        base = private.l2_hit_latency
+        rows[b] = {"Shared": shared.l2_hit_latency - base,
+                   "LOCO": loco.l2_hit_latency - base}
+    return _emit(f"Figure 7: L2 hit latency increase over private ({cores}c)",
+                 rows, verbose)
+
+
+def figure8(benchmarks: Optional[Sequence[str]] = None,
+            cores: int = 64, scale: float = SCALE_MEDIUM,
+            verbose: bool = True) -> Rows:
+    """L2 misses per 1000 instructions: shared vs LOCO.
+
+    Paper: LOCO's MPKI is within a fraction of a percent of shared."""
+    benchmarks = list(benchmarks or TRACE_DRIVEN)
+    rows: Rows = {}
+    for b in benchmarks:
+        shared = _run(b, Organization.SHARED, cores=cores, scale=scale)
+        loco = _run(b, Organization.LOCO_CC_VMS_IVR, cores=cores,
+                    scale=scale)
+        rows[b] = {"Shared": shared.mpki, "LOCO": loco.mpki}
+    return _emit(f"Figure 8: L2 MPKI ({cores}c)", rows, verbose)
+
+
+def figure9(benchmarks: Optional[Sequence[str]] = None,
+            cores: int = 64, scale: float = SCALE_MEDIUM,
+            verbose: bool = True) -> Rows:
+    """On-chip data search delay: LOCO CC (directory) vs CC+VMS.
+
+    Paper: VMS cuts search delay by 34.8% (64c) / 39.9% (256c)."""
+    benchmarks = list(benchmarks or TRACE_DRIVEN)
+    rows: Rows = {}
+    for b in benchmarks:
+        cc = _run(b, Organization.LOCO_CC, cores=cores, scale=scale)
+        vms = _run(b, Organization.LOCO_CC_VMS, cores=cores, scale=scale)
+        rows[b] = {"LOCO CC": cc.search_delay,
+                   "LOCO CC+VMS": vms.search_delay}
+    return _emit(f"Figure 9: on-chip data search delay ({cores}c)",
+                 rows, verbose)
+
+
+def figure10(benchmarks: Optional[Sequence[str]] = None,
+             cores: int = 64, scale: float = SCALE_MEDIUM,
+             verbose: bool = True) -> Rows:
+    """Off-chip memory accesses normalized to shared.
+
+    Paper: IVR cuts off-chip accesses by 15.6% (64c) / 17.9% (256c)
+    over LOCO CC+VMS, landing close to shared overall."""
+    benchmarks = list(benchmarks or TRACE_DRIVEN)
+    rows: Rows = {}
+    for b in benchmarks:
+        shared = _run(b, Organization.SHARED, cores=cores, scale=scale)
+        vms = _run(b, Organization.LOCO_CC_VMS, cores=cores, scale=scale)
+        ivr = _run(b, Organization.LOCO_CC_VMS_IVR, cores=cores,
+                   scale=scale)
+        base = max(1, shared.offchip_accesses)
+        rows[b] = {"LOCO CC+VMS": vms.offchip_accesses / base,
+                   "LOCO CC+VMS+IVR": ivr.offchip_accesses / base}
+    return _emit(f"Figure 10: normalized off-chip accesses ({cores}c)",
+                 rows, verbose)
+
+
+def figure11(benchmarks: Optional[Sequence[str]] = None,
+             cores: int = 64, scale: float = SCALE_MEDIUM,
+             verbose: bool = True) -> Rows:
+    """Normalized runtime of the LOCO stack against shared.
+
+    Paper: overall -13.9% (64c), -17.9% (256c), accumulating over CC,
+    +VMS, +IVR."""
+    benchmarks = list(benchmarks or TRACE_DRIVEN)
+    rows: Rows = {}
+    for b in benchmarks:
+        shared = _run(b, Organization.SHARED, cores=cores, scale=scale)
+        cells = {"Shared": 1.0}
+        for org in _LOCO_STACK:
+            r = _run(b, org, cores=cores, scale=scale)
+            cells[_LOCO_LABEL[org]] = r.runtime / shared.runtime
+        rows[b] = cells
+    return _emit(f"Figure 11: normalized runtime ({cores}c)", rows, verbose)
+
+
+def figure12(benchmarks: Optional[Sequence[str]] = None,
+             cores: int = 64, scale: float = SCALE_MEDIUM,
+             verbose: bool = True) -> Tuple[Rows, Rows]:
+    """LOCO on SMART vs conventional NoC vs high-radix routers:
+    (a) L2 hit latency increase over private, (b) search delay.
+
+    Paper (256c): conventional is ~2x on both; high-radix is ~3.1x on
+    hit latency (every hop pays the 4-stage pipeline)."""
+    benchmarks = list(benchmarks or TRACE_DRIVEN)
+    lat: Rows = {}
+    search: Rows = {}
+    nocs = [(NocKind.SMART, "SMART"), (NocKind.CONVENTIONAL, "Conv"),
+            (NocKind.FLATTENED_BUTTERFLY, "HighRadix")]
+    for b in benchmarks:
+        private = _run(b, Organization.PRIVATE, cores=cores, scale=scale)
+        lat[b] = {}
+        search[b] = {}
+        for kind, label in nocs:
+            r = _run(b, Organization.LOCO_CC_VMS_IVR, cores=cores,
+                     noc=kind, scale=scale)
+            lat[b][label] = r.l2_hit_latency - private.l2_hit_latency
+            search[b][label] = r.search_delay
+    _emit(f"Figure 12a: L2 hit latency increase by NoC ({cores}c)",
+          lat, verbose)
+    _emit(f"Figure 12b: search delay by NoC ({cores}c)", search, verbose)
+    return lat, search
+
+
+def figure13(benchmarks: Optional[Sequence[str]] = None,
+             cores: int = 64, scale: float = SCALE_MEDIUM,
+             verbose: bool = True) -> Rows:
+    """Runtime of LOCO under the three NoCs, normalized to shared+SMART.
+
+    Paper: SMART beats conventional by 18.9% (64c) / 24.6% (256c);
+    high-radix is worst."""
+    benchmarks = list(benchmarks or TRACE_DRIVEN)
+    rows: Rows = {}
+    nocs = [(NocKind.SMART, "SMART"), (NocKind.CONVENTIONAL, "Conv"),
+            (NocKind.FLATTENED_BUTTERFLY, "HighRadix")]
+    for b in benchmarks:
+        shared = _run(b, Organization.SHARED, cores=cores, scale=scale)
+        rows[b] = {}
+        for kind, label in nocs:
+            r = _run(b, Organization.LOCO_CC_VMS_IVR, cores=cores,
+                     noc=kind, scale=scale)
+            rows[b][label] = r.runtime / shared.runtime
+    return _emit(f"Figure 13: normalized runtime by NoC ({cores}c)",
+                 rows, verbose)
+
+
+def figure14(benchmarks: Optional[Sequence[str]] = None,
+             scale: float = SCALE_MEDIUM, verbose: bool = True
+             ) -> Dict[str, Rows]:
+    """Cluster size/topology study: 4x1, 8x1, 4x4 (64-core LOCO).
+
+    Paper: smaller clusters cut hit latency but raise MPKI ~35% (4x1) /
+    ~20% (8x1); the best shape is application-dependent."""
+    benchmarks = list(benchmarks or TRACE_DRIVEN)
+    shapes = [((4, 1), "4x1"), ((8, 1), "8x1"), ((4, 4), "4x4")]
+    out: Dict[str, Rows] = {"hit_latency": {}, "mpki": {},
+                            "search_delay": {}, "runtime": {}}
+    for b in benchmarks:
+        shared = _run(b, Organization.SHARED, scale=scale)
+        for metric in out:
+            out[metric][b] = {}
+        for shape, label in shapes:
+            r = _run(b, Organization.LOCO_CC_VMS_IVR, cluster=shape,
+                     scale=scale)
+            out["hit_latency"][b][label] = r.l2_hit_latency
+            out["mpki"][b][label] = r.mpki
+            out["search_delay"][b][label] = r.search_delay
+            out["runtime"][b][label] = r.runtime / shared.runtime
+    for metric, title in [("hit_latency", "Figure 14a: L2 hit latency"),
+                          ("mpki", "Figure 14b: MPKI"),
+                          ("search_delay", "Figure 14c: search delay"),
+                          ("runtime", "Figure 14d: normalized runtime")]:
+        _emit(f"{title} by cluster size (64c)", out[metric], verbose)
+    return out
+
+
+def figure15(workloads: Optional[Sequence[str]] = None,
+             scale: float = SCALE_MEDIUM, verbose: bool = True
+             ) -> Tuple[Rows, Rows]:
+    """Multi-program workloads W0-W9: (a) off-chip accesses and
+    (b) runtime, normalized to shared.
+
+    Paper: the baseline clustered cache (LOCO CC) has +26.6% off-chip
+    accesses; IVR pulls that back to +5.1% and cuts runtime 13.8%
+    vs clustered."""
+    workloads = list(workloads or workload_names())
+    offchip: Rows = {}
+    runtime: Rows = {}
+    for w in workloads:
+        shared = run_workload(w, Organization.SHARED, scale=scale)
+        cc = run_workload(w, Organization.LOCO_CC, scale=scale)
+        ivr = run_workload(w, Organization.LOCO_CC_VMS_IVR, scale=scale)
+        base_off = max(1, shared.offchip_accesses)
+        offchip[w] = {"Shared": 1.0,
+                      "LOCO CC": cc.offchip_accesses / base_off,
+                      "LOCO CC+VMS+IVR": ivr.offchip_accesses / base_off}
+        runtime[w] = {"Shared": 1.0,
+                      "LOCO CC": cc.runtime / shared.runtime,
+                      "LOCO CC+VMS+IVR": ivr.runtime / shared.runtime}
+    _emit("Figure 15a: normalized off-chip accesses (multi-program)",
+          offchip, verbose)
+    _emit("Figure 15b: normalized runtime (multi-program)",
+          runtime, verbose)
+    return offchip, runtime
+
+
+def figure16(benchmarks: Optional[Sequence[str]] = None,
+             scale: float = SCALE_MEDIUM, verbose: bool = True
+             ) -> Tuple[Rows, Rows]:
+    """Full-system (dependency-aware) simulation, 64 cores:
+    (a) MPKI shared vs LOCO, (b) normalized runtime of the LOCO stack.
+
+    Paper: spinning amplifies LOCO's advantage to 44.5% average
+    runtime reduction."""
+    benchmarks = list(benchmarks or FULL_SYSTEM)
+    mpki: Rows = {}
+    runtime: Rows = {}
+    for b in benchmarks:
+        shared = _run(b, Organization.SHARED, scale=scale,
+                      full_system=True)
+        mpki[b] = {"Shared": shared.mpki}
+        cells = {}
+        for org in _LOCO_STACK:
+            r = _run(b, org, scale=scale, full_system=True)
+            cells[_LOCO_LABEL[org]] = r.runtime / shared.runtime
+            if org is Organization.LOCO_CC_VMS_IVR:
+                mpki[b]["LOCO"] = r.mpki
+        runtime[b] = cells
+    _emit("Figure 16a: MPKI, full-system (64c)", mpki, verbose)
+    _emit("Figure 16b: normalized runtime, full-system (64c)",
+          runtime, verbose)
+    return mpki, runtime
+
+
+def all_figures(scale: float = SCALE_MEDIUM,
+                verbose: bool = True) -> Dict[str, object]:
+    """Run every figure at the given scale (hours at medium scale on a
+    laptop; use a smaller scale for a quick pass)."""
+    return {
+        "fig6": figure6(scale=scale, verbose=verbose),
+        "fig7_64": figure7(cores=64, scale=scale, verbose=verbose),
+        "fig7_256": figure7(cores=256, scale=scale, verbose=verbose),
+        "fig8_64": figure8(cores=64, scale=scale, verbose=verbose),
+        "fig8_256": figure8(cores=256, scale=scale, verbose=verbose),
+        "fig9_64": figure9(cores=64, scale=scale, verbose=verbose),
+        "fig9_256": figure9(cores=256, scale=scale, verbose=verbose),
+        "fig10_64": figure10(cores=64, scale=scale, verbose=verbose),
+        "fig10_256": figure10(cores=256, scale=scale, verbose=verbose),
+        "fig11_64": figure11(cores=64, scale=scale, verbose=verbose),
+        "fig11_256": figure11(cores=256, scale=scale, verbose=verbose),
+        "fig12": figure12(cores=64, scale=scale, verbose=verbose),
+        "fig13": figure13(cores=64, scale=scale, verbose=verbose),
+        "fig14": figure14(scale=scale, verbose=verbose),
+        "fig15": figure15(scale=scale, verbose=verbose),
+        "fig16": figure16(scale=scale, verbose=verbose),
+    }

@@ -1,0 +1,69 @@
+"""Parameter-sweep utility: run a grid of experiment variations.
+
+Used by the ablation benches and available for exploration::
+
+    from repro.harness.sweep import sweep
+    rows = sweep("barnes",
+                 organization=[Organization.SHARED,
+                               Organization.LOCO_CC_VMS_IVR],
+                 cores=[64],
+                 metric="runtime")
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import fields, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.cmp.system import RunResult
+from repro.errors import ConfigError
+from repro.harness.experiment import ExperimentConfig, run_benchmark
+
+_VALID_FIELDS = {f.name for f in fields(ExperimentConfig)}
+
+
+def sweep(benchmark: str, metric: Optional[str] = None,
+          max_cycles: int = 50_000_000,
+          **axes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Run ``benchmark`` for the cross product of ``axes``.
+
+    Each axis keyword must be an :class:`ExperimentConfig` field name
+    mapped to a list of values. Returns one dict per run containing the
+    axis values plus either the named ``metric`` or the full result.
+    """
+    for name in axes:
+        if name not in _VALID_FIELDS:
+            raise ConfigError(
+                f"unknown sweep axis {name!r}; valid: {sorted(_VALID_FIELDS)}")
+    names = list(axes)
+    rows: List[Dict[str, Any]] = []
+    for combo in itertools.product(*(axes[n] for n in names)):
+        kwargs = dict(zip(names, combo))
+        exp = ExperimentConfig(benchmark=benchmark, **kwargs)
+        result = run_benchmark(exp, max_cycles=max_cycles)
+        row: Dict[str, Any] = dict(kwargs)
+        if metric is not None:
+            row[metric] = _metric_of(result, metric)
+        else:
+            row["result"] = result
+        rows.append(row)
+    return rows
+
+
+def _metric_of(result: RunResult, metric: str):
+    if hasattr(result, metric):
+        return getattr(result, metric)
+    value = result.to_dict().get(metric)
+    if value is None:
+        raise ConfigError(f"unknown metric {metric!r}")
+    return value
+
+
+def best(rows: List[Dict[str, Any]], metric: str,
+         minimize: bool = True) -> Dict[str, Any]:
+    """The sweep row with the best value of ``metric``."""
+    if not rows:
+        raise ConfigError("empty sweep")
+    pick = min if minimize else max
+    return pick(rows, key=lambda r: r[metric])

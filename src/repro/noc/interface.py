@@ -1,0 +1,27 @@
+"""Network factory: build the fabric selected by the configuration."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.noc.conventional import ConventionalNetwork
+from repro.noc.flattened_butterfly import FlattenedButterflyNetwork
+from repro.noc.router import BaseNetwork
+from repro.noc.smart import SmartNetwork
+from repro.noc.topology import Mesh
+from repro.params import NocConfig, NocKind
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Stats
+
+
+def build_network(sim: Simulator, mesh: Mesh, config: NocConfig,
+                  stats: Optional[Stats] = None) -> BaseNetwork:
+    """Instantiate the NoC named by ``config.kind`` on ``mesh``."""
+    if config.kind is NocKind.SMART:
+        return SmartNetwork(sim, mesh, config, stats)
+    if config.kind is NocKind.CONVENTIONAL:
+        return ConventionalNetwork(sim, mesh, config, stats)
+    if config.kind is NocKind.FLATTENED_BUTTERFLY:
+        return FlattenedButterflyNetwork(sim, mesh, config, stats)
+    raise ConfigError(f"unknown NoC kind {config.kind!r}")

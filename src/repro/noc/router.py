@@ -1,0 +1,329 @@
+"""Shared cycle-level network engine.
+
+All three fabrics (SMART, conventional, flattened butterfly) share this
+engine; they differ only in how far a buffered flit may move per
+traversal, how long it waits between traversals (router pipeline + SSR),
+which physical links a traversal claims, and whether a flit may be
+*prematurely stopped* partway through its planned traversal.
+
+Modelling decisions (see DESIGN.md §2):
+
+* Head-flit granularity: a traversal claims its links for
+  ``size_flits`` cycles so body flits consume link bandwidth, and the
+  receiver callback is delayed by the serialization tail.
+* Arbitration is distance-priority, as in SMART SSR arbitration: the
+  engine claims links position-by-position, so a flit whose very next
+  link this is (a "local" flit) always beats a flit trying to bypass
+  through. Ties break by flit age, preventing starvation.
+* Buffer space is enforced at the router where a flit stops; bypassed
+  routers hold nothing. Injection queues (NICs) are unbounded, but
+  flits only enter a router when its buffers have room.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.errors import NetworkError
+from repro.noc.packet import Packet
+from repro.noc.topology import Mesh
+from repro.params import NocConfig
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Stats
+
+Link = Tuple[int, int]  # directed (src_tile, dst_tile)
+
+_flit_seq = itertools.count()
+
+
+class _Flit:
+    """A head flit in flight. ``leg_dst`` is where this flit stops for
+    good: the packet destination (unicast) or the next home router on a
+    VMS tree (multicast); multicast flits then eject a copy and fork."""
+
+    __slots__ = ("packet", "at", "leg_dst", "ready", "seq", "mcast_root",
+                 "vms")
+
+    def __init__(self, packet: Packet, at: int, leg_dst: int, ready: int,
+                 mcast_root: Optional[int] = None, vms=None) -> None:
+        self.packet = packet
+        self.at = at
+        self.leg_dst = leg_dst
+        self.ready = ready
+        self.seq = next(_flit_seq)
+        self.mcast_root = mcast_root
+        self.vms = vms
+
+    @property
+    def is_mcast(self) -> bool:
+        return self.vms is not None
+
+
+class BaseNetwork:
+    """Common buffered-mesh machinery; subclasses set traversal policy.
+
+    Subclass knobs:
+
+    * ``wait_cycles`` — cycles between arriving at a router and being
+      able to traverse again (2 = 1-cycle router + 1-cycle link, or
+      SSR + ST-LT for SMART; 5 for the 4-stage high-radix router).
+    * ``max_hops_per_move`` — mesh hops coverable per traversal.
+    * ``allow_partial`` — premature stops (SMART yes, others no).
+    * ``express_links`` — True if a multi-hop traversal uses one
+      dedicated physical channel (flattened butterfly) instead of a
+      chain of unit mesh links (SMART).
+    """
+
+    wait_cycles = 2
+    max_hops_per_move = 1
+    allow_partial = False
+    express_links = False
+    #: cycles between NIC injection and first traversal (the first
+    #: router stage overlaps injection on shallow-pipeline routers)
+    injection_delay = 1
+
+    def __init__(self, sim: Simulator, mesh: Mesh, config: NocConfig,
+                 stats: Optional[Stats] = None, name: str = "noc") -> None:
+        self.sim = sim
+        self.mesh = mesh
+        self.config = config
+        self.stats = stats if stats is not None else Stats()
+        self.name = name
+        n = mesh.num_tiles
+        self._buffers: List[List[Deque[_Flit]]] = [
+            [deque() for _ in range(config.num_vns)] for _ in range(n)]
+        self._occupancy: List[int] = [0] * n
+        self._capacity = config.num_vns * config.vcs_per_vn * config.vc_depth
+        self._nic_queues: List[Deque[_Flit]] = [deque() for _ in range(n)]
+        self._receivers: List[Optional[Callable[[Packet], None]]] = [None] * n
+        self._link_busy: Dict[Link, int] = {}
+        self._active: Set[int] = set()
+        self._in_flight = 0
+        self._tid = sim.add_ticker(self)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def attach(self, tile: int, receiver: Callable[[Packet], None]) -> None:
+        """Register the callback invoked when a packet ejects at ``tile``."""
+        self._receivers[tile] = receiver
+
+    def send(self, packet: Packet) -> None:
+        """Inject a unicast packet at ``packet.src`` this cycle."""
+        if packet.dst is None:
+            raise NetworkError("use multicast() for multicast packets")
+        packet.injected_at = self.sim.cycle
+        self.stats.counter(f"{self.name}.injected").inc()
+        if packet.dst == packet.src:
+            # Loopback through the NIC: one cycle.
+            self._in_flight += 1
+            self.sim.schedule(1, lambda p=packet: self._deliver_local(p))
+            return
+        flit = _Flit(packet, packet.src, packet.dst, 0)
+        self._enqueue_nic(flit)
+
+    def multicast(self, packet: Packet, vms) -> None:
+        """Broadcast ``packet`` from ``packet.src`` to every other member
+        of the virtual mesh ``vms``. Base fabrics (no VMS hardware
+        support) fall back to serial unicasts from the source — the
+        paper's "15 copies sent from the source" case."""
+        packet.injected_at = self.sim.cycle
+        self.stats.counter(f"{self.name}.mcast_injected").inc()
+        for member in vms.members:
+            if member == packet.src:
+                continue
+            copy = packet.clone_for(member)
+            copy.injected_at = packet.injected_at
+            flit = _Flit(copy, packet.src, member, 0)
+            self._enqueue_nic(flit)
+
+    @property
+    def in_flight(self) -> int:
+        """Packets injected but not yet delivered (all copies counted)."""
+        return self._in_flight
+
+    def nic_backlog(self, tile: int) -> int:
+        """Flits waiting in the tile's injection queue. Controllers use
+        this to detect output-queue pressure (IVR deadlock avoidance)."""
+        return len(self._nic_queues[tile])
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _deliver_local(self, packet: Packet) -> None:
+        packet.delivered_at = self.sim.cycle
+        self._in_flight -= 1
+        self.stats.counter(f"{self.name}.delivered").inc()
+        self.stats.sampler(f"{self.name}.latency").add(packet.latency)
+        receiver = self._receivers[packet.src]
+        if receiver is None:
+            raise NetworkError(f"no receiver attached at tile {packet.src}")
+        receiver(packet)
+
+    def _enqueue_nic(self, flit: _Flit) -> None:
+        self._in_flight += 1
+        self._nic_queues[flit.at].append(flit)
+        self._active.add(flit.at)
+        self.sim.wake(self._tid)
+
+    def _buffer_flit(self, flit: _Flit, tile: int, cycle: int) -> None:
+        flit.at = tile
+        flit.ready = cycle + self.wait_cycles
+        self._buffers[tile][flit.packet.vn].append(flit)
+        self._occupancy[tile] += 1
+        self._active.add(tile)
+
+    def _eject(self, flit: _Flit, cycle: int) -> None:
+        """Deliver the packet at its destination tile (= flit.at).
+
+        Latency is charged at head-flit arrival (+1 NIC cycle); the
+        serialization tail of multi-flit packets is modelled as link
+        *bandwidth* (reservations in ``_link_busy``), matching how
+        packet latency is normally reported.
+        """
+        packet = flit.packet
+        tile = flit.at
+        delay = 1
+        self.stats.counter(f"{self.name}.delivered").inc()
+
+        def fire(p=packet, t=tile) -> None:
+            p.delivered_at = self.sim.cycle
+            self._in_flight -= 1
+            self.stats.sampler(f"{self.name}.latency").add(p.latency)
+            receiver = self._receivers[t]
+            if receiver is None:
+                raise NetworkError(f"no receiver attached at tile {t}")
+            receiver(p)
+
+        self.sim.schedule(delay, fire)
+
+    # -- route planning (subclass hooks) --------------------------------
+    def _plan_links(self, flit: _Flit) -> Tuple[List[Link], List[int]]:
+        """Links (in order) and the routers after each link for one
+        traversal toward ``flit.leg_dst``. Default: unit-link XY walk of
+        up to ``max_hops_per_move`` hops along one dimension."""
+        links: List[Link] = []
+        routers: List[int] = []
+        at = flit.at
+        remaining = self.max_hops_per_move
+        while remaining > 0 and at != flit.leg_dst:
+            nxt, moved = self.mesh.xy_next_stop(at, flit.leg_dst, 1)
+            if moved == 0:
+                break
+            # Stay within one dimension per traversal (SMART 1D: stop at
+            # turns). xy_next_stop is dimension-ordered so consecutive
+            # unit steps share a dimension until X is exhausted.
+            if links and self._turns(links[-1], (at, nxt)):
+                break
+            links.append((at, nxt))
+            routers.append(nxt)
+            at = nxt
+            remaining -= 1
+        return links, routers
+
+    @staticmethod
+    def _turns(prev: Link, cur: Link) -> bool:
+        dx_prev = prev[1] - prev[0]
+        dx_cur = cur[1] - cur[0]
+        return (abs(dx_prev) == 1) != (abs(dx_cur) == 1)
+
+    # -- main per-cycle evaluation --------------------------------------
+    def tick(self, cycle: int) -> bool:
+        self._drain_nics(cycle)
+        movers = self._gather_movers(cycle)
+        if movers:
+            self._arbitrate_and_move(movers, cycle)
+        self._active = {t for t in self._active
+                        if self._occupancy[t] or self._nic_queues[t]}
+        return bool(self._active)
+
+    def _drain_nics(self, cycle: int) -> None:
+        for tile in list(self._active):
+            q = self._nic_queues[tile]
+            while q and self._occupancy[tile] < self._capacity:
+                flit = q.popleft()
+                self._buffer_flit(flit, tile, cycle)
+                flit.ready = cycle + self.injection_delay
+
+    def _gather_movers(self, cycle: int) -> List[_Flit]:
+        movers: List[_Flit] = []
+        for tile in self._active:
+            for vn_q in self._buffers[tile]:
+                for flit in vn_q:
+                    if flit.ready <= cycle:
+                        movers.append(flit)
+        movers.sort(key=lambda f: (f.packet.injected_at, f.seq))
+        return movers
+
+    def _arbitrate_and_move(self, movers: List[_Flit], cycle: int) -> None:
+        plans: List[Tuple[_Flit, List[Link], List[int]]] = []
+        for flit in movers:
+            links, routers = self._plan_links(flit)
+            if links:
+                plans.append((flit, links, routers))
+            else:
+                # Shouldn't happen: flit buffered at its leg destination
+                # is ejected on arrival, never re-buffered.
+                raise NetworkError(
+                    f"flit at {flit.at} has no route to {flit.leg_dst}")
+        claimed: Set[Link] = set()
+        progress: Dict[int, int] = {}  # flit.seq -> links acquired
+        max_len = max((len(links) for _, links, _ in plans), default=0)
+        # Distance-priority arbitration: position 0 (local) claims first.
+        for pos in range(max_len):
+            for flit, links, _routers in plans:
+                if progress.get(flit.seq, 0) != pos or pos >= len(links):
+                    continue
+                link = links[pos]
+                if link in claimed or self._link_busy.get(link, -1) >= cycle:
+                    continue  # flit stops before this link
+                claimed.add(link)
+                progress[flit.seq] = pos + 1
+        for flit, links, routers in plans:
+            got = progress.get(flit.seq, 0)
+            if not self.allow_partial and got < len(links):
+                got = 0  # all-or-nothing fabrics release their claims
+            # Back off from full routers (cannot stop where there is no
+            # buffer space; the leg destination ejects, needing none).
+            while got > 0:
+                stop = routers[got - 1]
+                if stop == flit.leg_dst or \
+                        self._occupancy[stop] < self._capacity:
+                    break
+                got -= 1
+                self.stats.counter(f"{self.name}.buffer_backoff").inc()
+            if got == 0:
+                flit.ready = cycle + 1  # fresh SSR / re-arbitrate next cycle
+                self.stats.counter(f"{self.name}.arb_losses").inc()
+                continue
+            for link in links[:got]:
+                self._link_busy[link] = cycle + flit.packet.size_flits - 1
+            self._move_flit(flit, routers[got - 1], got, cycle,
+                            premature=(got < len(links)))
+
+    def _move_flit(self, flit: _Flit, to: int, hops: int, cycle: int,
+                   premature: bool) -> None:
+        self._buffers[flit.at][flit.packet.vn].remove(flit)
+        self._occupancy[flit.at] -= 1
+        self.stats.counter(f"{self.name}.flit_hops").inc(
+            hops * flit.packet.size_flits)
+        if premature:
+            self.stats.counter(f"{self.name}.premature_stops").inc()
+        flit.at = to
+        if to == flit.leg_dst:
+            self._on_leg_complete(flit, cycle)
+        else:
+            self._buffer_flit(flit, to, cycle)
+
+    def _on_leg_complete(self, flit: _Flit, cycle: int) -> None:
+        """Unicast: eject. Multicast (SMART subclass): eject + fork."""
+        self._eject(flit, cycle)
+
+    # ------------------------------------------------------------------
+    def occupancy(self, tile: int) -> int:
+        return self._occupancy[tile]
+
+    def buffered_flits(self) -> int:
+        return sum(self._occupancy)

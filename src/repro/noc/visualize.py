@@ -1,0 +1,76 @@
+"""ASCII visualization of the chip: mesh, clusters, VMS trees.
+
+Debugging a clustered NoC protocol without seeing the topology is
+miserable; these helpers render the paper's Figure 1 / Figure 3 views
+as text. Pure functions over the topology objects — no simulator state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.noc.topology import ClusterMap, Mesh
+from repro.noc.vms import VirtualMesh
+
+
+def render_mesh(mesh: Mesh, labels: Optional[Dict[int, str]] = None,
+                cell_width: int = 4) -> str:
+    """The mesh as a grid of tile ids (row 0 at the bottom, like the
+    paper's Figure 1), with optional per-tile label overrides."""
+    labels = labels or {}
+    rows = []
+    for y in reversed(range(mesh.height)):
+        cells = []
+        for x in range(mesh.width):
+            tile = mesh.tile(x, y)
+            cells.append(labels.get(tile, str(tile)).rjust(cell_width))
+        rows.append("".join(cells))
+    return "\n".join(rows)
+
+
+def render_clusters(cluster_map: ClusterMap) -> str:
+    """Tiles labelled by their cluster id."""
+    mesh = cluster_map.mesh
+    labels = {t: f"c{cluster_map.cluster_of(t)}"
+              for t in range(mesh.num_tiles)}
+    return render_mesh(mesh, labels)
+
+
+def render_homes(cluster_map: ClusterMap, line_addr: int) -> str:
+    """Mark each cluster's home tile for ``line_addr`` with '*'."""
+    mesh = cluster_map.mesh
+    hnid = cluster_map.hnid_of_line(line_addr)
+    homes = set(cluster_map.vms_members(hnid))
+    labels = {t: ("*" + str(t) if t in homes else str(t))
+              for t in range(mesh.num_tiles)}
+    return render_mesh(mesh, labels, cell_width=5)
+
+
+def render_vms_tree(vms: VirtualMesh, root_tile: int) -> str:
+    """The XY multicast tree of a VMS as an indented list (the paper's
+    Figure 3, textually)."""
+    lines = [f"VMS hnid={vms.hnid} root=tile {root_tile} "
+             f"({vms.grid_w}x{vms.grid_h} virtual grid)"]
+
+    def walk(tile: int, depth: int) -> None:
+        vx, vy = vms.vpos(tile)
+        marker = "roottile" if tile == root_tile else f"tile {tile}"
+        lines.append("  " * depth + f"+- {marker} @v({vx},{vy})")
+        for child in vms.tree_children(root_tile, tile):
+            walk(child, depth + 1)
+
+    walk(root_tile, 0)
+    return "\n".join(lines)
+
+
+def render_path(mesh: Mesh, path: Sequence[int]) -> str:
+    """Mark a route on the mesh: S = source, D = destination,
+    o = intermediate hops."""
+    if not path:
+        return render_mesh(mesh)
+    labels = {t: "o" for t in path}
+    labels[path[0]] = "S"
+    labels[path[-1]] = "D"
+    for t in range(mesh.num_tiles):
+        labels.setdefault(t, ".")
+    return render_mesh(mesh, labels, cell_width=2)

@@ -1,0 +1,150 @@
+"""Virtual Mesh with SMART (VMS) construction and XY-tree multicast.
+
+For each home-node id (``HNid``) there is one VMS: the grid of
+same-``HNid`` home tiles, one per cluster (paper Figure 1). A broadcast
+on a VMS follows an XY tree rooted at the initiating home node
+(Figure 3): the flit propagates East and West along the root's row of
+the virtual grid, and every node on that row (including the root) forks
+North and South; column traffic keeps going away from the root's row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import NetworkError
+from repro.noc.topology import ClusterMap, Coord
+
+
+def xy_tree_children(grid_w: int, grid_h: int, root: Tuple[int, int],
+                     node: Tuple[int, int]) -> List[Tuple[int, int]]:
+    """Children of ``node`` in the XY multicast tree rooted at ``root``.
+
+    Coordinates are virtual-grid positions ``(vx, vy)`` with
+    ``0 <= vx < grid_w`` and ``0 <= vy < grid_h``.
+    """
+    rx, ry = root
+    nx, ny = node
+    if not (0 <= nx < grid_w and 0 <= ny < grid_h):
+        raise NetworkError(f"node {node} outside {grid_w}x{grid_h} grid")
+    if not (0 <= rx < grid_w and 0 <= ry < grid_h):
+        raise NetworkError(f"root {root} outside {grid_w}x{grid_h} grid")
+    children: List[Tuple[int, int]] = []
+    if ny == ry:
+        # On the root's row: continue outward in X, and fork N/S.
+        if nx >= rx and nx + 1 < grid_w:
+            children.append((nx + 1, ny))
+        if nx <= rx and nx - 1 >= 0:
+            children.append((nx - 1, ny))
+        if ny + 1 < grid_h:
+            children.append((nx, ny + 1))
+        if ny - 1 >= 0:
+            children.append((nx, ny - 1))
+    else:
+        # Off the root's row: keep moving away from it in Y.
+        if ny > ry and ny + 1 < grid_h:
+            children.append((nx, ny + 1))
+        if ny < ry and ny - 1 >= 0:
+            children.append((nx, ny - 1))
+    return children
+
+
+@dataclass(frozen=True)
+class VmsHop:
+    """One physical-mesh leg of a VMS tree: home tile -> next home tile."""
+
+    src_tile: int
+    dst_tile: int
+
+
+class VirtualMesh:
+    """The VMS for one ``HNid``: member tiles and multicast trees.
+
+    The virtual grid has one node per cluster, laid out exactly like the
+    cluster grid, so a virtual-grid hop spans ``cluster_width`` (X) or
+    ``cluster_height`` (Y) physical hops.
+    """
+
+    def __init__(self, cluster_map: ClusterMap, hnid: int) -> None:
+        self.cluster_map = cluster_map
+        self.hnid = hnid
+        self.grid_w = cluster_map.clusters_x
+        self.grid_h = cluster_map.clusters_y
+        self.members: Tuple[int, ...] = cluster_map.vms_members(hnid)
+        self._tile_to_vpos: Dict[int, Tuple[int, int]] = {}
+        for cluster, tile in enumerate(self.members):
+            vx = cluster % self.grid_w
+            vy = cluster // self.grid_w
+            self._tile_to_vpos[tile] = (vx, vy)
+        self._tree_cache: Dict[int, Dict[int, List[int]]] = {}
+
+    def vpos(self, tile: int) -> Tuple[int, int]:
+        if tile not in self._tile_to_vpos:
+            raise NetworkError(f"tile {tile} is not on VMS hnid={self.hnid}")
+        return self._tile_to_vpos[tile]
+
+    def tile_at(self, vx: int, vy: int) -> int:
+        cluster = vy * self.grid_w + vx
+        return self.members[cluster]
+
+    def is_member(self, tile: int) -> bool:
+        return tile in self._tile_to_vpos
+
+    def tree_children(self, root_tile: int, tile: int) -> List[int]:
+        """Next home tiles from ``tile`` for a broadcast rooted at
+        ``root_tile`` (memoized per root)."""
+        per_root = self._tree_cache.get(root_tile)
+        if per_root is None:
+            per_root = {}
+            root_v = self.vpos(root_tile)
+            for member in self.members:
+                kids = xy_tree_children(self.grid_w, self.grid_h,
+                                        root_v, self.vpos(member))
+                per_root[member] = [self.tile_at(vx, vy) for vx, vy in kids]
+            self._tree_cache[root_tile] = per_root
+        return per_root[tile]
+
+    def tree_edges(self, root_tile: int) -> List[VmsHop]:
+        """All legs of the broadcast tree rooted at ``root_tile``."""
+        edges: List[VmsHop] = []
+        frontier = [root_tile]
+        seen = {root_tile}
+        while frontier:
+            nxt: List[int] = []
+            for tile in frontier:
+                for child in self.tree_children(root_tile, tile):
+                    if child in seen:
+                        continue
+                    seen.add(child)
+                    edges.append(VmsHop(tile, child))
+                    nxt.append(child)
+            frontier = nxt
+        if len(seen) != len(self.members):
+            raise NetworkError(
+                f"VMS tree from {root_tile} covered {len(seen)} of "
+                f"{len(self.members)} members")
+        return edges
+
+    def broadcast_depth(self, root_tile: int) -> int:
+        """Tree depth in VMS hops (SMART-hops between home routers)."""
+        depth = 0
+        frontier = [root_tile]
+        seen = {root_tile}
+        while frontier:
+            nxt = []
+            for tile in frontier:
+                for child in self.tree_children(root_tile, tile):
+                    if child not in seen:
+                        seen.add(child)
+                        nxt.append(child)
+            if nxt:
+                depth += 1
+            frontier = nxt
+        return depth
+
+
+def build_all_vms(cluster_map: ClusterMap) -> Dict[int, VirtualMesh]:
+    """One VirtualMesh per HNid slot in a cluster."""
+    return {hnid: VirtualMesh(cluster_map, hnid)
+            for hnid in range(cluster_map.cluster_size)}

@@ -1,0 +1,15 @@
+"""Discrete-event simulation substrate: kernel, statistics, RNG streams."""
+
+from repro.sim.kernel import Event, Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.stats import Counter, Histogram, LatencySampler, Stats
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "RngStreams",
+    "Counter",
+    "Histogram",
+    "LatencySampler",
+    "Stats",
+]

@@ -1,0 +1,189 @@
+"""Cycle-based discrete-event simulation kernel.
+
+The kernel mixes two styles of simulation, which is what makes a pure
+Python cycle-level NoC + coherence model tractable:
+
+* **Scheduled events** (:meth:`Simulator.schedule`) for anything with a
+  known future time — memory responses, cache access latencies, core
+  issue gaps.
+* **Tickers** (:meth:`Simulator.add_ticker`) for components that need
+  per-cycle evaluation *while they have work* — the NoC router fabric.
+  A ticker is only invoked on cycles where it declared itself active,
+  so an idle network costs nothing and the kernel can fast-forward
+  between events.
+
+The event queue is a binary heap keyed on ``(cycle, seq)``; ``seq`` is a
+monotonically increasing tie-breaker so same-cycle events run in the
+order they were scheduled (deterministic replay).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by (cycle, seq) for determinism."""
+
+    cycle: int
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays in the heap lazily)."""
+        self.cancelled = True
+
+
+class Ticker:
+    """Interface for per-cycle components (duck-typed; see SmartNetwork).
+
+    A ticker must expose ``tick(cycle) -> bool`` returning whether it
+    still has work; when it returns False the kernel stops ticking it
+    until :meth:`Simulator.wake` is called for it again.
+    """
+
+    def tick(self, cycle: int) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Simulator:
+    """The simulation kernel.
+
+    Parameters
+    ----------
+    deadlock_window:
+        If no event fires and no ticker makes progress for this many
+        *events processed* cycles, :class:`DeadlockError` is raised.
+        The watchdog compares wall-simulation progress, not host time.
+    """
+
+    def __init__(self, deadlock_window: int = 2_000_000) -> None:
+        self.cycle: int = 0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self._tickers: List[Any] = []
+        self._awake: List[bool] = []
+        self._running = False
+        self._deadlock_window = deadlock_window
+        self._stop_requested = False
+        #: arbitrary per-run scratch, used by controllers to find peers
+        self.registry: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` cycles from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        ev = Event(self.cycle + delay, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def at(self, cycle: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at an absolute cycle (must not be in the past)."""
+        if cycle < self.cycle:
+            raise SimulationError(f"cycle {cycle} is in the past (now {self.cycle})")
+        return self.schedule(cycle - self.cycle, fn)
+
+    # ------------------------------------------------------------------
+    # tickers
+    # ------------------------------------------------------------------
+    def add_ticker(self, ticker: Any) -> int:
+        """Register a per-cycle component; returns its ticker id."""
+        tid = len(self._tickers)
+        self._tickers.append(ticker)
+        self._awake.append(False)
+        return tid
+
+    def wake(self, tid: int) -> None:
+        """Mark a ticker as having work, starting next cycle boundary."""
+        self._awake[tid] = True
+
+    def _any_awake(self) -> bool:
+        return any(self._awake)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the run loop to exit at the end of the current cycle."""
+        self._stop_requested = True
+
+    def run(self, until: Optional[int] = None,
+            stop_when: Optional[Callable[[], bool]] = None) -> int:
+        """Run until the event queue drains, ``until`` cycles elapse, or
+        ``stop_when()`` becomes true. Returns the final cycle."""
+        self._running = True
+        self._stop_requested = False
+        last_progress_cycle = self.cycle
+        while not self._stop_requested:
+            if stop_when is not None and stop_when():
+                break
+            next_event_cycle = self._peek_cycle()
+            if self._any_awake():
+                target = self.cycle
+            elif next_event_cycle is not None:
+                target = next_event_cycle  # fast-forward over idle gap
+            else:
+                break  # nothing scheduled, nothing awake: simulation done
+            if until is not None and target > until:
+                self.cycle = until
+                break
+            self.cycle = target
+            progressed = self._run_cycle()
+            if progressed:
+                last_progress_cycle = self.cycle
+            elif self.cycle - last_progress_cycle > self._deadlock_window:
+                raise DeadlockError(
+                    f"no progress since cycle {last_progress_cycle} "
+                    f"(now {self.cycle})")
+            if not self._any_awake() and self._peek_cycle() is None:
+                break
+            if self._any_awake():
+                self.cycle += 1
+            if until is not None and self.cycle > until:
+                self.cycle = until
+                break
+        self._running = False
+        return self.cycle
+
+    def _peek_cycle(self) -> Optional[int]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].cycle if self._heap else None
+
+    def _run_cycle(self) -> bool:
+        """Fire all events due this cycle, then tick awake tickers.
+
+        Returns True if anything ran.
+        """
+        progressed = False
+        while self._heap and self._heap[0].cycle <= self.cycle:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if ev.cycle < self.cycle:
+                raise SimulationError(
+                    f"event for cycle {ev.cycle} fired late at {self.cycle}")
+            progressed = True
+            ev.fn()
+        for tid, ticker in enumerate(self._tickers):
+            if self._awake[tid]:
+                progressed = True
+                still_busy = ticker.tick(self.cycle)
+                if not still_busy:
+                    self._awake[tid] = False
+        return progressed
+
+    # ------------------------------------------------------------------
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

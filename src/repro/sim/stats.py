@@ -1,0 +1,236 @@
+"""Statistics primitives used by every component of the simulator.
+
+Three building blocks:
+
+* :class:`Counter` — a named integer counter.
+* :class:`Histogram` — fixed-width binned distribution with overflow bin.
+* :class:`LatencySampler` — running mean/min/max/count of samples; keeps
+  the raw samples optionally for percentile queries in tests.
+
+:class:`Stats` is a flat namespace of those, created on demand, so
+controllers can do ``stats.counter("l2_miss").inc()`` without central
+registration. :meth:`Stats.to_dict` renders everything for reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A named monotonic (usually) integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-width binned histogram with a final overflow bin."""
+
+    def __init__(self, name: str, bin_width: int = 1, num_bins: int = 64) -> None:
+        if bin_width <= 0 or num_bins <= 0:
+            raise ValueError("bin_width and num_bins must be positive")
+        self.name = name
+        self.bin_width = bin_width
+        self.bins: List[int] = [0] * (num_bins + 1)  # last bin = overflow
+        self.count = 0
+        self.total = 0
+
+    def add(self, value: float) -> None:
+        idx = int(value // self.bin_width)
+        if idx >= len(self.bins) - 1 or idx < 0:
+            idx = len(self.bins) - 1
+        self.bins[idx] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.2f})"
+
+
+class LatencySampler:
+    """Running latency statistics; optionally retains raw samples."""
+
+    def __init__(self, name: str, keep_samples: bool = False) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.sq_total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: Optional[List[float]] = [] if keep_samples else None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.sq_total += value * value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self._samples is not None:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = self.sq_total / self.count - self.mean ** 2
+        return math.sqrt(max(var, 0.0))
+
+    def percentile(self, p: float) -> float:
+        """Return the p-th percentile (requires keep_samples=True)."""
+        if self._samples is None:
+            raise ValueError(f"{self.name}: samples were not retained")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        k = min(len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[k]
+
+    @property
+    def samples(self) -> List[float]:
+        if self._samples is None:
+            raise ValueError(f"{self.name}: samples were not retained")
+        return list(self._samples)
+
+    def __repr__(self) -> str:
+        return f"LatencySampler({self.name}, n={self.count}, mean={self.mean:.2f})"
+
+
+class Stats:
+    """On-demand flat registry of counters/histograms/samplers."""
+
+    def __init__(self, keep_samples: bool = False) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._samplers: Dict[str, LatencySampler] = {}
+        self._keep_samples = keep_samples
+        self._mark_counters: Optional[Dict[str, int]] = None
+        self._mark_samplers: Optional[Dict[str, Tuple[int, float]]] = None
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str, bin_width: int = 1, num_bins: int = 64) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, bin_width, num_bins)
+        return self._histograms[name]
+
+    def sampler(self, name: str) -> LatencySampler:
+        if name not in self._samplers:
+            self._samplers[name] = LatencySampler(name, self._keep_samples)
+        return self._samplers[name]
+
+    # warmup mark ------------------------------------------------------------
+    def mark(self) -> None:
+        """Snapshot current counters/samplers as the end of warmup.
+
+        After a mark, :meth:`delta` and :meth:`delta_mean` report only
+        the measured (post-warmup) region. Re-marking overwrites.
+        """
+        self._mark_counters = {n: c.value for n, c in self._counters.items()}
+        self._mark_samplers = {n: (s.count, s.total)
+                               for n, s in self._samplers.items()}
+
+    @property
+    def marked(self) -> bool:
+        return self._mark_counters is not None
+
+    def delta(self, name: str) -> int:
+        """Counter growth since :meth:`mark` (raw value if unmarked)."""
+        v = self.value(name)
+        if self._mark_counters is None:
+            return v
+        return v - self._mark_counters.get(name, 0)
+
+    def delta_mean(self, name: str) -> float:
+        """Mean of samples added since :meth:`mark` (overall mean if
+        unmarked or nothing new arrived)."""
+        s = self._samplers.get(name)
+        if s is None:
+            return 0.0
+        if self._mark_samplers is None or name not in self._mark_samplers:
+            return s.mean
+        count0, total0 = self._mark_samplers[name]
+        n = s.count - count0
+        if n <= 0:
+            return s.mean
+        return (s.total - total0) / n
+
+    # convenience accessors -------------------------------------------------
+    def value(self, name: str) -> int:
+        """Counter value, 0 if the counter was never touched."""
+        c = self._counters.get(name)
+        return c.value if c else 0
+
+    def mean(self, name: str) -> float:
+        """Sampler mean, 0.0 if no samples."""
+        s = self._samplers.get(name)
+        return s.mean if s else 0.0
+
+    def sample_count(self, name: str) -> int:
+        s = self._samplers.get(name)
+        return s.count if s else 0
+
+    def merge(self, other: "Stats") -> None:
+        """Accumulate another Stats object into this one (counters and
+        sampler moments only; histograms merged bin-wise when shapes match)."""
+        for name, c in other._counters.items():
+            self.counter(name).inc(c.value)
+        for name, s in other._samplers.items():
+            mine = self.sampler(name)
+            mine.count += s.count
+            mine.total += s.total
+            mine.sq_total += s.sq_total
+            for bound in (s.min, s.max):
+                if bound is None:
+                    continue
+                if mine.min is None or bound < mine.min:
+                    mine.min = bound
+                if mine.max is None or bound > mine.max:
+                    mine.max = bound
+            if mine._samples is not None and s._samples is not None:
+                mine._samples.extend(s._samples)
+        for name, h in other._histograms.items():
+            mine = self.histogram(name, h.bin_width, len(h.bins) - 1)
+            if len(mine.bins) == len(h.bins) and mine.bin_width == h.bin_width:
+                for i, v in enumerate(h.bins):
+                    mine.bins[i] += v
+                mine.count += h.count
+                mine.total += h.total
+
+    def to_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for name, c in sorted(self._counters.items()):
+            out[name] = c.value
+        for name, s in sorted(self._samplers.items()):
+            out[f"{name}.mean"] = s.mean
+            out[f"{name}.count"] = s.count
+        for name, h in sorted(self._histograms.items()):
+            out[f"{name}.mean"] = h.mean
+            out[f"{name}.count"] = h.count
+        return out

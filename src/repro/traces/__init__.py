@@ -1,0 +1,22 @@
+"""Synthetic workloads: trace records, generator, benchmark presets,
+multi-program workload table."""
+
+from repro.traces.events import Op, TraceEvent, instruction_count, validate_trace
+from repro.traces.synthetic import (TraceGenerator, WorkloadSpec,
+                                    generate_traces)
+from repro.traces.characterize import (TraceProfile, capacity_pressure,
+                                       characterize, profile_report)
+
+__all__ = [
+    "Op",
+    "TraceEvent",
+    "instruction_count",
+    "validate_trace",
+    "TraceGenerator",
+    "WorkloadSpec",
+    "generate_traces",
+    "TraceProfile",
+    "capacity_pressure",
+    "characterize",
+    "profile_report",
+]

@@ -1,0 +1,64 @@
+"""Trace record types.
+
+A trace is a per-core sequence of :class:`TraceEvent`. ``gap`` models
+the non-memory instructions executed (1/cycle on the 2-way in-order
+SPARC of Table 1) before the event's memory operation issues.
+
+LOCK/UNLOCK/BARRIER events only have an effect in *full-system mode*
+(dependency-aware execution, Section 4.3): cores then really spin on
+the lock/barrier lines through the cache hierarchy, producing the
+busy-wait amplification that plain trace replay misses. In trace mode
+they degrade to plain accesses / free synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import List, Sequence
+
+from repro.errors import TraceError
+
+
+class Op(Enum):
+    LOAD = auto()
+    STORE = auto()
+    LOCK = auto()
+    UNLOCK = auto()
+    BARRIER = auto()
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: optional compute gap, then one operation."""
+
+    op: Op
+    line_addr: int      # line address (or barrier id for BARRIER)
+    gap: int = 0        # non-memory instructions before this op
+
+    def __post_init__(self) -> None:
+        if self.gap < 0:
+            raise TraceError("negative gap")
+        if self.line_addr < 0:
+            raise TraceError("negative address")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in (Op.LOAD, Op.STORE, Op.LOCK, Op.UNLOCK)
+
+    @property
+    def is_write(self) -> bool:
+        return self.op in (Op.STORE, Op.LOCK, Op.UNLOCK)
+
+
+def validate_trace(events: Sequence[TraceEvent]) -> None:
+    """Raise :class:`TraceError` on malformed traces (defensive check
+    for externally supplied traces)."""
+    for i, ev in enumerate(events):
+        if not isinstance(ev, TraceEvent):
+            raise TraceError(f"record {i} is not a TraceEvent")
+
+
+def instruction_count(events: Sequence[TraceEvent]) -> int:
+    """Total instructions a trace represents (gaps + the ops themselves)."""
+    return sum(ev.gap + 1 for ev in events)

@@ -1,0 +1,114 @@
+"""Multi-program workloads W0-W9 (paper Table 2).
+
+Each workload packs several independent benchmark *instances* onto the
+64-core CMP: e.g. W0 = 4 x blackscholes(4) + 4 x ferret(4) + 4 x fmm(4)
++ 4 x lu(4). Instances have mutually exclusive address spaces (the
+paper: "each task is assumed to have exclusive address space"), so
+there is no inter-cluster sharing — the second-level protocol only
+matters for IVR capacity spilling, exactly the effect Figure 15
+studies.
+
+Each instance occupies a contiguous block of tiles matching the
+recommended cluster shape (Table 2 + Section 4.2: 4x1 clusters for
+W0-W4, 8x1 for W5-W7, 4x4 for W8-W9), and its threads synchronize only
+among themselves (``barrier_population`` = threads of the instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import TraceError
+from repro.traces.benchmarks import get_benchmark
+from repro.traces.events import Op, TraceEvent
+from repro.traces.synthetic import TraceGenerator
+
+#: per-instance address-space offset (line addresses) guaranteeing
+#: exclusivity between instances
+_INSTANCE_STRIDE = 1 << 34
+
+
+@dataclass(frozen=True)
+class Instance:
+    benchmark: str
+    threads: int
+    count: int  # how many copies of this instance
+
+
+#: Table 2 of the paper.
+WORKLOADS: Dict[str, List[Instance]] = {
+    "W0": [Instance("blackscholes", 4, 4), Instance("ferret", 4, 4),
+           Instance("fmm", 4, 4), Instance("lu", 4, 4)],
+    "W1": [Instance("nlu", 4, 4), Instance("swaptions", 4, 4),
+           Instance("water_nsq", 4, 4), Instance("water_spatial", 4, 4)],
+    "W2": [Instance("blackscholes", 4, 4), Instance("ferret", 4, 4),
+           Instance("water_nsq", 4, 4), Instance("water_spatial", 4, 4)],
+    "W3": [Instance("fmm", 4, 4), Instance("lu", 4, 4),
+           Instance("nlu", 4, 4), Instance("swaptions", 4, 4)],
+    "W4": [Instance("blackscholes", 4, 4), Instance("ferret", 4, 4),
+           Instance("nlu", 4, 4), Instance("swaptions", 4, 4)],
+    "W5": [Instance("blackscholes", 8, 2), Instance("ferret", 8, 2),
+           Instance("fmm", 8, 2), Instance("lu", 8, 2)],
+    "W6": [Instance("nlu", 8, 2), Instance("swaptions", 8, 2),
+           Instance("water_nsq", 8, 2), Instance("water_spatial", 8, 2)],
+    "W7": [Instance("blackscholes", 8, 2), Instance("ferret", 8, 2),
+           Instance("water_nsq", 8, 2), Instance("water_spatial", 8, 2)],
+    "W8": [Instance("blackscholes", 16, 1), Instance("ferret", 16, 1),
+           Instance("fmm", 16, 1), Instance("lu", 16, 1)],
+    "W9": [Instance("nlu", 16, 1), Instance("swaptions", 16, 1),
+           Instance("water_nsq", 16, 1), Instance("water_spatial", 16, 1)],
+}
+
+#: recommended cluster shape per workload (Section 4.2)
+CLUSTER_SHAPE: Dict[str, Tuple[int, int]] = {
+    **{w: (4, 1) for w in ("W0", "W1", "W2", "W3", "W4")},
+    **{w: (8, 1) for w in ("W5", "W6", "W7")},
+    **{w: (4, 4) for w in ("W8", "W9")},
+}
+
+
+def workload_names() -> List[str]:
+    return sorted(WORKLOADS)
+
+
+def build_workload(name: str, num_cores: int = 64, scale: float = 1.0,
+                   seed: int = 1, full_system: bool = False
+                   ) -> Tuple[List[List[TraceEvent]], List[int]]:
+    """Per-core traces + per-core barrier populations for workload
+    ``name``. Instances are laid out on consecutive tiles in Table-2
+    order, one instance per cluster-shaped block."""
+    if name not in WORKLOADS:
+        raise TraceError(f"unknown workload {name!r}; "
+                         f"choose from {workload_names()}")
+    traces: List[List[TraceEvent]] = []
+    populations: List[int] = []
+    inst_id = 0
+    for inst in WORKLOADS[name]:
+        for _copy in range(inst.count):
+            spec = get_benchmark(inst.benchmark, scale=scale,
+                                 full_system=full_system)
+            # One sharing group spanning the whole instance.
+            spec = replace(spec, group_size=inst.threads,
+                           sharing="neighbor")
+            gen = TraceGenerator(spec, inst.threads,
+                                 seed=seed * 1000 + inst_id)
+            offset = (inst_id + 1) * _INSTANCE_STRIDE
+            for core_trace in gen.generate():
+                traces.append([_offset_event(ev, offset)
+                               for ev in core_trace])
+                populations.append(inst.threads)
+            inst_id += 1
+    if len(traces) > num_cores:
+        raise TraceError(f"{name} needs {len(traces)} cores, "
+                         f"have {num_cores}")
+    while len(traces) < num_cores:
+        traces.append([])      # idle tiles
+        populations.append(1)
+    return traces, populations
+
+
+def _offset_event(ev: TraceEvent, offset: int) -> TraceEvent:
+    """Relocate an event into the instance's exclusive address space.
+    BARRIER ids are offset too so instances never share barriers."""
+    return TraceEvent(ev.op, ev.line_addr + offset, ev.gap)

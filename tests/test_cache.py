@@ -1,0 +1,220 @@
+"""Unit tests for the cache substrate: arrays, replacement, MSHRs,
+lines, timestamps."""
+
+import pytest
+
+from repro.cache.array import CacheArray
+from repro.cache.line import CacheLine, L1State, L2State
+from repro.cache.mshr import MshrFile
+from repro.cache.replacement import LruPolicy, PseudoLruPolicy, make_policy
+from repro.cache.timestamp import CoarseTimestamp
+from repro.errors import ConfigError, ProtocolError
+from repro.params import CacheConfig
+from repro.sim.kernel import Simulator
+
+
+def small_array(sets=4, assoc=2, policy="lru"):
+    cfg = CacheConfig(size_bytes=sets * assoc * 32, assoc=assoc,
+                      line_bytes=32, access_latency=1)
+    return CacheArray(cfg, policy=policy)
+
+
+class TestCacheArray:
+    def test_allocate_and_lookup(self):
+        a = small_array()
+        line, victim = a.allocate(0x10)
+        assert victim is None
+        assert a.lookup(0x10) is line
+        assert a.contains(0x10)
+
+    def test_lookup_missing_returns_none(self):
+        assert small_array().lookup(0x99) is None
+
+    def test_double_allocate_rejected(self):
+        a = small_array()
+        a.allocate(0x10)
+        with pytest.raises(ConfigError):
+            a.allocate(0x10)
+
+    def test_lru_eviction_order(self):
+        a = small_array(sets=1, assoc=2)
+        a.allocate(1)
+        a.allocate(2)
+        a.lookup(1)  # 1 becomes MRU
+        _, victim = a.allocate(3)
+        assert victim is not None and victim.line_addr == 2
+
+    def test_set_isolation(self):
+        a = small_array(sets=4, assoc=2)
+        # addresses 0,4,8 map to set 0; 1 maps to set 1
+        a.allocate(0)
+        a.allocate(4)
+        _, victim = a.allocate(8)
+        assert victim.line_addr == 0
+        assert a.contains(1) is False
+        a.allocate(1)
+        assert a.contains(4) and a.contains(8)
+
+    def test_invalidate_frees_way(self):
+        a = small_array(sets=1, assoc=2)
+        a.allocate(1)
+        a.allocate(2)
+        a.invalidate(1)
+        _, victim = a.allocate(3)
+        assert victim is None
+
+    def test_invalidate_missing_returns_none(self):
+        assert small_array().invalidate(0x5) is None
+
+    def test_set_full(self):
+        a = small_array(sets=1, assoc=2)
+        assert not a.set_full(1)
+        a.allocate(1)
+        a.allocate(2)
+        assert a.set_full(3)
+        assert not a.set_full(1)  # resident line: not "full" for it
+
+    def test_victim_candidate_nondestructive(self):
+        a = small_array(sets=1, assoc=2)
+        a.allocate(1)
+        a.allocate(2)
+        cand = a.victim_candidate(3)
+        assert cand.line_addr == 1
+        assert a.contains(1) and a.contains(2)
+
+    def test_victim_candidate_none_when_space(self):
+        a = small_array(sets=1, assoc=2)
+        a.allocate(1)
+        assert a.victim_candidate(3) is None
+
+    def test_victim_ranking_order(self):
+        a = small_array(sets=1, assoc=4)
+        for i in (1, 2, 3, 4):
+            a.allocate(i)
+        a.lookup(1)
+        ranking = [ln.line_addr for ln in a.victim_ranking(9)]
+        assert ranking[0] == 2  # LRU first
+        assert ranking[-1] == 1  # MRU last
+
+    def test_resident_count(self):
+        a = small_array()
+        a.allocate(1)
+        a.allocate(2)
+        assert a.resident_count == 2
+        assert len(list(a.lines())) == 2
+
+
+class TestReplacementPolicies:
+    def test_lru_victim_is_least_recent(self):
+        p = LruPolicy(4)
+        for w in (0, 1, 2, 3):
+            p.touch(w)
+        p.touch(0)
+        assert p.victim() == 1
+
+    def test_plru_requires_pow2(self):
+        with pytest.raises(ConfigError):
+            PseudoLruPolicy(3)
+
+    def test_plru_never_victimizes_just_touched(self):
+        p = PseudoLruPolicy(4)
+        for w in range(4):
+            p.touch(w)
+            assert p.victim() != w
+
+    def test_plru_ranking_covers_all_ways(self):
+        p = PseudoLruPolicy(8)
+        assert sorted(p.victim_ranking()) == list(range(8))
+
+    def test_factory(self):
+        assert isinstance(make_policy("lru", 4), LruPolicy)
+        assert isinstance(make_policy("plru", 4), PseudoLruPolicy)
+        with pytest.raises(ConfigError):
+            make_policy("rand", 4)
+
+    def test_plru_array_integration(self):
+        a = small_array(sets=2, assoc=4, policy="plru")
+        for i in range(16):
+            a.allocate(i * 2)  # all in set 0
+            assert a.resident_count <= 8
+
+
+class TestMshrFile:
+    def test_allocate_get_retire(self):
+        f = MshrFile(4)
+        m = f.allocate(0x10, "GETS", requestor=3)
+        assert f.get(0x10) is m
+        assert f.busy(0x10)
+        f.defer(0x10, "queued-item")
+        assert f.retire(0x10) == ["queued-item"]
+        assert not f.busy(0x10)
+
+    def test_double_allocate_rejected(self):
+        f = MshrFile(4)
+        f.allocate(0x10, "GETS")
+        with pytest.raises(ProtocolError):
+            f.allocate(0x10, "GETX")
+
+    def test_capacity_and_force(self):
+        f = MshrFile(1)
+        f.allocate(1, "A")
+        assert f.full
+        with pytest.raises(ProtocolError):
+            f.allocate(2, "B")
+        m = f.allocate(2, "EVICT", force=True)
+        assert m.kind == "EVICT"
+
+    def test_retire_unknown_rejected(self):
+        with pytest.raises(ProtocolError):
+            MshrFile(4).retire(0x10)
+
+    def test_defer_unknown_rejected(self):
+        with pytest.raises(ProtocolError):
+            MshrFile(4).defer(0x10, "x")
+
+
+class TestLineStates:
+    def test_l1_predicates(self):
+        assert not L1State.I.readable
+        assert L1State.S.readable and not L1State.S.writable
+        assert L1State.M.writable
+
+    def test_l2_predicates(self):
+        assert L2State.M.is_owner and L2State.M.dirty and L2State.M.writable
+        assert L2State.O.is_owner and L2State.O.dirty
+        assert not L2State.O.writable
+        assert L2State.E.is_owner and not L2State.E.dirty
+        assert L2State.E.writable
+        assert not L2State.S.is_owner
+        assert not L2State.I.readable
+
+    def test_line_defaults(self):
+        ln = CacheLine(0x10)
+        assert ln.tokens == 0 and not ln.owner_token
+        assert ln.sharers == set()
+        assert not ln.valid
+        ln.l2_state = L2State.S
+        assert ln.valid
+
+    def test_touch(self):
+        ln = CacheLine(0x10)
+        ln.touch(42)
+        assert ln.timestamp == 42
+
+
+class TestCoarseTimestamp:
+    def test_quantization(self):
+        sim = Simulator()
+        ts = CoarseTimestamp(sim, quantum=64)
+        assert ts.now() == 0
+        sim.schedule(200, lambda: None)
+        sim.run()
+        assert ts.now() == 200 // 64
+
+    def test_newer(self):
+        assert CoarseTimestamp.newer(5, 3)
+        assert not CoarseTimestamp.newer(3, 3)
+
+    def test_bad_quantum(self):
+        with pytest.raises(ConfigError):
+            CoarseTimestamp(Simulator(), 0)

@@ -1,0 +1,65 @@
+"""Tests for the public invariant checkers."""
+
+import pytest
+
+from repro.cache.line import L1State
+from repro.errors import SimulationError
+from repro.harness.checks import (check_all, check_inclusion,
+                                  check_sharer_lists, check_single_writer)
+from repro.params import Organization
+from tests.conftest import AccessDriver, build_system
+
+
+def quiesced_system(org=Organization.LOCO_CC_VMS_IVR):
+    drv = AccessDriver(build_system(org))
+    for t in (0, 3, 7, 12):
+        drv.read(t, 0x100)
+        drv.write(t, 0x200 + t)
+    drv.read(5, 0x200)
+    drv.settle(5_000)
+    return drv.system
+
+
+class TestCheckers:
+    @pytest.mark.parametrize("org", [Organization.SHARED,
+                                     Organization.PRIVATE,
+                                     Organization.LOCO_CC_VMS_IVR],
+                             ids=lambda o: o.value)
+    def test_clean_run_passes_all(self, org):
+        system = quiesced_system(org)
+        assert check_all(system) == []
+
+    def test_single_writer_detects_violation(self):
+        system = quiesced_system(Organization.SHARED)
+        # Corrupt: force a second M copy.
+        l1a, l1b = system.l1s[0], system.l1s[1]
+        for l1 in (l1a, l1b):
+            if l1.array.lookup(0x100, touch=False) is None:
+                l1.array.allocate(0x100)
+            l1.array.lookup(0x100, touch=False).l1_state = L1State.M
+        violations = check_single_writer(system)
+        assert any("M copies" in v for v in violations)
+
+    def test_inclusion_detects_violation(self):
+        system = quiesced_system(Organization.SHARED)
+        home = system.ctx.home_tile(0, 0x100)
+        system.l2s[home].array.invalidate(0x100)
+        violations = check_inclusion(system)
+        assert any("no line" in v for v in violations)
+
+    def test_sharer_list_detects_violation(self):
+        system = quiesced_system(Organization.SHARED)
+        home = system.ctx.home_tile(0, 0x100)
+        line = system.l2s[home].array.lookup(0x100, touch=False)
+        assert line is not None
+        line.sharers.clear()
+        violations = check_sharer_lists(system)
+        assert violations
+
+    def test_check_all_raises(self):
+        system = quiesced_system(Organization.SHARED)
+        home = system.ctx.home_tile(0, 0x100)
+        system.l2s[home].array.invalidate(0x100)
+        with pytest.raises(SimulationError):
+            check_all(system)
+        assert check_all(system, raise_on_violation=False)

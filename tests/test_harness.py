@@ -1,0 +1,128 @@
+"""Tests for the experiment harness: configs, reports, figure drivers."""
+
+import pytest
+
+from repro.harness.experiment import (ExperimentConfig, clear_trace_cache,
+                                      run_benchmark, run_workload)
+from repro.harness.report import format_table, normalize
+from repro.harness import figures
+from repro.params import NocKind, Organization
+
+
+class TestExperimentConfig:
+    def test_system_config_honours_fields(self):
+        exp = ExperimentConfig(benchmark="lu",
+                               organization=Organization.LOCO_CC,
+                               cores=64, noc=NocKind.CONVENTIONAL,
+                               cluster=(8, 1))
+        cfg = exp.system_config()
+        assert cfg.organization is Organization.LOCO_CC
+        assert cfg.noc.kind is NocKind.CONVENTIONAL
+        assert cfg.cluster_width == 8 and cfg.cluster_height == 1
+        # default 1/8 cache scale
+        assert cfg.l1.size_bytes == 2 * 1024
+        assert cfg.l2.size_bytes == 8 * 1024
+
+    def test_cache_scale_opt_out(self):
+        exp = ExperimentConfig(benchmark="lu",
+                               organization=Organization.SHARED,
+                               cache_scale=1.0)
+        cfg = exp.system_config()
+        assert cfg.l2.size_bytes == 64 * 1024
+
+    def test_run_benchmark_smoke(self):
+        exp = ExperimentConfig(benchmark="water_spatial",
+                               organization=Organization.SHARED,
+                               scale=0.05)
+        r = run_benchmark(exp)
+        assert r.finished and r.runtime > 0
+
+    def test_trace_cache_pairs_runs(self):
+        """Two organizations on the same benchmark must replay the same
+        traces (paired comparison)."""
+        clear_trace_cache()
+        r1 = run_benchmark(ExperimentConfig(
+            benchmark="water_spatial", organization=Organization.SHARED,
+            scale=0.05))
+        r2 = run_benchmark(ExperimentConfig(
+            benchmark="water_spatial", organization=Organization.PRIVATE,
+            scale=0.05))
+        assert r1.instructions == r2.instructions
+
+    def test_run_workload_smoke(self):
+        r = run_workload("W0", Organization.LOCO_CC_VMS_IVR, scale=0.05)
+        assert r.finished
+
+
+class TestReport:
+    def test_normalize(self):
+        vals = {"a": 2.0, "b": 4.0}
+        n = normalize(vals, "a")
+        assert n == {"a": 1.0, "b": 2.0}
+
+    def test_normalize_zero_baseline(self):
+        assert normalize({"a": 0.0, "b": 1.0}, "a") == {"a": 0.0, "b": 0.0}
+
+    def test_format_table_has_rows_and_avg(self):
+        rows = {"x": {"c1": 1.0, "c2": 2.0},
+                "y": {"c1": 3.0, "c2": 4.0}}
+        text = format_table("T", rows)
+        assert "== T ==" in text
+        assert "x" in text and "y" in text
+        assert "AVG" in text
+        assert "2.000" in text  # AVG of c1
+
+    def test_format_table_missing_cells(self):
+        rows = {"x": {"c1": 1.0}}
+        text = format_table("T", rows, columns=["c1", "c2"])
+        assert "-" in text
+
+    def test_format_empty(self):
+        assert "(no data)" in format_table("T", {})
+
+
+class TestFigureDrivers:
+    """Tiny-scale smoke runs of figure entry points (full-scale shape
+    checks live in benchmarks/)."""
+
+    SCALE = 0.04
+
+    def test_figure6(self, capsys):
+        rows = figures.figure6(benchmarks=["water_spatial"],
+                               scale=self.SCALE)
+        assert "water_spatial" in rows
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_figure7(self):
+        rows = figures.figure7(benchmarks=["water_spatial"],
+                               scale=self.SCALE, verbose=False)
+        assert set(rows["water_spatial"]) == {"Shared", "LOCO"}
+
+    def test_figure9(self):
+        rows = figures.figure9(benchmarks=["water_spatial"],
+                               scale=self.SCALE, verbose=False)
+        assert "LOCO CC+VMS" in rows["water_spatial"]
+
+    def test_figure11(self):
+        rows = figures.figure11(benchmarks=["water_spatial"],
+                                scale=self.SCALE, verbose=False)
+        cells = rows["water_spatial"]
+        assert cells["Shared"] == 1.0
+        assert len(cells) == 4
+
+    def test_figure14(self):
+        out = figures.figure14(benchmarks=["water_spatial"],
+                               scale=self.SCALE, verbose=False)
+        assert set(out) == {"hit_latency", "mpki", "search_delay",
+                            "runtime"}
+
+    def test_figure15(self):
+        offchip, runtime = figures.figure15(workloads=["W0"],
+                                            scale=self.SCALE,
+                                            verbose=False)
+        assert "W0" in offchip and "W0" in runtime
+
+    def test_figure16(self):
+        mpki, runtime = figures.figure16(benchmarks=["water_spatial"],
+                                         scale=self.SCALE, verbose=False)
+        assert "water_spatial" in runtime

@@ -1,0 +1,173 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5, lambda: seen.append(5))
+        sim.schedule(1, lambda: seen.append(1))
+        sim.schedule(3, lambda: seen.append(3))
+        sim.run()
+        assert seen == [1, 3, 5]
+
+    def test_same_cycle_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.schedule(2, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == list(range(10))
+
+    def test_zero_delay_runs_this_or_next_cycle(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0, lambda: seen.append(sim.cycle))
+        sim.run()
+        assert seen == [0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_at_absolute_cycle(self):
+        sim = Simulator()
+        seen = []
+        sim.at(7, lambda: seen.append(sim.cycle))
+        sim.run()
+        assert seen == [7]
+
+    def test_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(3, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        ev = sim.schedule(4, lambda: seen.append("x"))
+        ev.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.cycle))
+            sim.schedule(3, lambda: seen.append(("inner", sim.cycle)))
+
+        sim.schedule(2, outer)
+        sim.run()
+        assert seen == [("outer", 2), ("inner", 5)]
+
+    def test_fast_forward_over_idle_gap(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1_000_000, lambda: seen.append(sim.cycle))
+        sim.run()
+        assert seen == [1_000_000]
+        assert sim.cycle == 1_000_000
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(100, lambda: seen.append("late"))
+        sim.run(until=50)
+        assert seen == []
+        assert sim.cycle == 50
+        sim.run()
+        assert seen == ["late"]
+
+    def test_stop_when_predicate(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.schedule(i, lambda i=i: seen.append(i))
+        sim.run(stop_when=lambda: len(seen) >= 3)
+        assert len(seen) < 10
+
+    def test_pending_events_counts_live_only(self):
+        sim = Simulator()
+        e1 = sim.schedule(5, lambda: None)
+        sim.schedule(6, lambda: None)
+        e1.cancel()
+        assert sim.pending_events() == 1
+
+
+class TestTickers:
+    class CountdownTicker:
+        def __init__(self, n):
+            self.n = n
+            self.ticks = []
+
+        def tick(self, cycle):
+            self.ticks.append(cycle)
+            self.n -= 1
+            return self.n > 0
+
+    def test_ticker_runs_until_idle(self):
+        sim = Simulator()
+        t = self.CountdownTicker(3)
+        tid = sim.add_ticker(t)
+        sim.wake(tid)
+        sim.run()
+        assert t.ticks == [0, 1, 2]
+
+    def test_ticker_wakeable_again(self):
+        sim = Simulator()
+        t = self.CountdownTicker(1)
+        tid = sim.add_ticker(t)
+        sim.wake(tid)
+        sim.run()
+        assert len(t.ticks) == 1
+        t.n = 2
+        sim.wake(tid)
+        sim.run()
+        assert len(t.ticks) == 3
+
+    def test_ticker_and_events_interleave(self):
+        sim = Simulator()
+        order = []
+
+        class T:
+            def __init__(self):
+                self.n = 3
+
+            def tick(self, cycle):
+                order.append(("tick", cycle))
+                self.n -= 1
+                return self.n > 0
+
+        tid = sim.add_ticker(T())
+        sim.wake(tid)
+        sim.schedule(1, lambda: order.append(("event", sim.cycle)))
+        sim.run()
+        # events of a cycle fire before that cycle's ticks
+        assert ("event", 1) in order
+        assert order.index(("tick", 1)) > order.index(("event", 1))
+
+
+class TestDeadlockWatchdog:
+    def test_no_progress_raises(self):
+        sim = Simulator(deadlock_window=100)
+
+        class Stuck:
+            def tick(self, cycle):
+                return True  # claims busy forever
+
+        # A ticker that is awake but produces no events will keep the
+        # kernel cycling; progress is counted, so this must NOT raise.
+        tid = sim.add_ticker(Stuck())
+        sim.wake(tid)
+        sim.run(until=500)
+        assert sim.cycle == 500

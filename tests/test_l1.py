@@ -1,0 +1,84 @@
+"""Focused unit tests for the L1 controller (MSI state machine)."""
+
+import pytest
+
+from repro.cache.line import L1State
+from repro.params import Organization
+from tests.conftest import AccessDriver, build_system
+
+
+@pytest.fixture
+def drv():
+    return AccessDriver(build_system(Organization.SHARED))
+
+
+class TestL1States:
+    def test_read_installs_s(self, drv):
+        drv.read(0, 0x40)
+        assert drv.system.l1s[0].resident_state(0x40) is L1State.S
+
+    def test_write_installs_m(self, drv):
+        drv.write(0, 0x40)
+        assert drv.system.l1s[0].resident_state(0x40) is L1State.M
+
+    def test_read_then_write_upgrades(self, drv):
+        drv.read(0, 0x40)
+        drv.write(0, 0x40)
+        assert drv.system.l1s[0].resident_state(0x40) is L1State.M
+
+    def test_write_then_read_stays_m(self, drv):
+        drv.write(0, 0x40)
+        lat = drv.read(0, 0x40)
+        assert drv.system.l1s[0].resident_state(0x40) is L1State.M
+        assert lat <= 2  # pure L1 hit
+
+    def test_absent_is_i(self, drv):
+        assert drv.system.l1s[0].resident_state(0x999) is L1State.I
+
+
+class TestL1Mshr:
+    def test_secondary_accesses_coalesce(self, drv):
+        """Two reads to the same line issued back to back: the second
+        queues behind the first's MSHR and both complete."""
+        done = []
+        l1 = drv.system.l1s[0]
+        drv.system.sim.schedule(0, lambda: l1.access(
+            0x80, False, lambda: done.append("a")))
+        drv.system.sim.schedule(0, lambda: l1.access(
+            0x80, False, lambda: done.append("b")))
+        drv.system.sim.run(until=100_000,
+                           stop_when=lambda: len(done) == 2)
+        assert done == ["a", "b"]
+        # one home request, not two
+        assert drv.system.stats.value("l1_misses") == 1
+
+    def test_write_queued_behind_read_still_gets_m(self, drv):
+        done = []
+        l1 = drv.system.l1s[0]
+        drv.system.sim.schedule(0, lambda: l1.access(
+            0x80, False, lambda: done.append("r")))
+        drv.system.sim.schedule(0, lambda: l1.access(
+            0x80, True, lambda: done.append("w")))
+        drv.system.sim.run(until=200_000,
+                           stop_when=lambda: len(done) == 2)
+        assert l1.resident_state(0x80) is L1State.M
+
+
+class TestL1Capacity:
+    def test_eviction_respects_associativity(self, drv):
+        l1 = drv.system.l1s[0]
+        sets, assoc = l1.array.num_sets, l1.array.assoc
+        lines = [0x40 + i * sets for i in range(assoc + 2)]
+        for ln in lines:
+            drv.read(0, ln)
+        resident = sum(1 for ln in lines
+                       if l1.resident_state(ln) is not L1State.I)
+        assert resident == assoc
+
+    def test_counters(self, drv):
+        drv.read(0, 0x40)
+        drv.read(0, 0x40)
+        drv.read(0, 0x44)
+        st = drv.system.stats
+        assert st.value("l1_misses") == 2
+        assert st.value("l1_hits") == 1

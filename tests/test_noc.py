@@ -1,0 +1,210 @@
+"""NoC tests: latencies matching the paper, contention, multicast,
+bandwidth, and backpressure across the three fabrics."""
+
+import pytest
+
+from repro.noc.conventional import ConventionalNetwork
+from repro.noc.flattened_butterfly import FlattenedButterflyNetwork
+from repro.noc.packet import Packet, VirtualNetwork
+from repro.noc.smart import SmartNetwork
+from repro.noc.topology import ClusterMap, Mesh
+from repro.noc.vms import VirtualMesh
+from repro.params import NocConfig, NocKind
+from repro.noc.interface import build_network
+from repro.sim.kernel import Simulator
+
+
+def make_net(cls, mesh_side=8, **cfg_kw):
+    sim = Simulator()
+    mesh = Mesh(mesh_side, mesh_side)
+    net = cls(sim, mesh, NocConfig(**cfg_kw))
+    delivered = []
+    for t in range(mesh.num_tiles):
+        net.attach(t, lambda p, t=t: delivered.append((t, sim.cycle, p)))
+    return sim, net, delivered
+
+
+def send_one(sim, net, src, dst, vn=VirtualNetwork.REQUEST, size=1):
+    p = Packet(src=src, dst=dst, vn=vn, size_flits=size)
+    sim.schedule(0, lambda: net.send(p))
+    return p
+
+
+class TestSmartLatency:
+    def test_corner_to_corner_is_8_cycles(self):
+        """Paper Section 2: 14 hops with HPCmax=4 = 4 SMART-hops =
+        8 cycles best case (+1 NIC ejection in our accounting)."""
+        sim, net, _ = make_net(SmartNetwork)
+        p = send_one(sim, net, 0, 63)
+        sim.run(until=100)
+        assert p.latency == 8
+
+    def test_one_smart_hop_is_2_cycles(self):
+        sim, net, _ = make_net(SmartNetwork)
+        p = send_one(sim, net, 0, 4)  # 4 hops X-only
+        sim.run(until=100)
+        assert p.latency <= 3
+
+    def test_turn_forces_extra_smart_hop(self):
+        """SMART 1D: X+Y requires at least two SMART-hops."""
+        sim, net, _ = make_net(SmartNetwork)
+        p_straight = send_one(sim, net, 0, 3)
+        sim.run(until=100)
+        sim2, net2, _ = make_net(SmartNetwork)
+        p_turn = send_one(sim2, net2, 0, 8 * 2 + 2)  # (2,2): 2+2 hops
+        sim2.run(until=100)
+        assert p_turn.latency > p_straight.latency
+
+    def test_loopback(self):
+        sim, net, delivered = make_net(SmartNetwork)
+        p = send_one(sim, net, 5, 5)
+        sim.run(until=10)
+        assert delivered and p.latency >= 1
+
+    def test_hpc_max_1_behaves_like_per_hop(self):
+        sim, net, _ = make_net(SmartNetwork, hpc_max=1)
+        p = send_one(sim, net, 0, 4)
+        sim.run(until=100)
+        # 4 hops x 2 cycles each
+        assert p.latency >= 8
+
+
+class TestConventionalLatency:
+    def test_corner_to_corner_is_28_cycles(self):
+        """Paper: conventional NoC takes 28 cycles best case."""
+        sim, net, _ = make_net(ConventionalNetwork)
+        p = send_one(sim, net, 0, 63)
+        sim.run(until=200)
+        assert p.latency == 28
+
+    def test_two_cycles_per_hop(self):
+        sim, net, _ = make_net(ConventionalNetwork)
+        p = send_one(sim, net, 0, 1)
+        sim.run(until=100)
+        assert p.latency <= 3  # injection overlap on the first hop
+
+
+class TestFlattenedButterfly:
+    def test_single_express_hop(self):
+        sim, net, _ = make_net(FlattenedButterflyNetwork)
+        p = send_one(sim, net, 0, 4)  # one 4-hop express channel
+        sim.run(until=100)
+        # 4-stage pipeline + link, single traversal
+        assert p.latency <= 7
+
+    def test_slower_than_smart_for_short_trips(self):
+        """The paper's key point: every high-radix hop pays the deep
+        pipeline, so local traffic is slower than on SMART."""
+        sim_s, net_s, _ = make_net(SmartNetwork)
+        ps = send_one(sim_s, net_s, 0, 2)
+        sim_s.run(until=100)
+        sim_f, net_f, _ = make_net(FlattenedButterflyNetwork)
+        pf = send_one(sim_f, net_f, 0, 2)
+        sim_f.run(until=100)
+        assert pf.latency > ps.latency
+
+    def test_all_or_nothing_traversal(self):
+        """Express channels have no premature stops: two flits wanting
+        the same channel serialize, the loser waits at its source."""
+        sim, net, _ = make_net(FlattenedButterflyNetwork)
+        p1 = Packet(src=0, dst=4, vn=VirtualNetwork.REQUEST)
+        p2 = Packet(src=0, dst=4, vn=VirtualNetwork.REQUEST)
+        sim.schedule(0, lambda: (net.send(p1), net.send(p2)))
+        sim.run(until=200)
+        assert p1.latency != p2.latency
+        assert net.stats.value("fbfly.premature_stops") == 0
+
+
+class TestContention:
+    def test_premature_stop_under_crossing_traffic(self):
+        """Two flits crossing the same link segment: one stops early and
+        resumes (paper Figure 2c)."""
+        sim, net, _ = make_net(SmartNetwork)
+        # Both traverse the row-0 links eastward
+        p1 = Packet(src=0, dst=7, vn=VirtualNetwork.REQUEST)
+        p2 = Packet(src=1, dst=7, vn=VirtualNetwork.REQUEST)
+        sim.schedule(0, lambda: (net.send(p1), net.send(p2)))
+        sim.run(until=200)
+        assert p1.delivered_at > 0 and p2.delivered_at > 0
+        assert net.stats.value("smart.premature_stops") + \
+            net.stats.value("smart.arb_losses") > 0
+
+    def test_heavy_load_all_delivered(self):
+        sim, net, delivered = make_net(SmartNetwork)
+        n = 200
+        for i in range(n):
+            src, dst = (i * 13) % 64, (i * 29 + 7) % 64
+            if src == dst:
+                dst = (dst + 1) % 64
+            p = Packet(src=src, dst=dst, vn=VirtualNetwork(i % 5))
+            sim.schedule(i % 10, lambda p=p: net.send(p))
+        sim.run(until=5000)
+        assert len(delivered) == n
+        assert net.in_flight == 0
+
+    def test_multiflit_packets_reserve_link_bandwidth(self):
+        """A 3-flit data packet occupies its links for 3 cycles, so a
+        trailing packet on the same path is delayed."""
+        sim, net, _ = make_net(SmartNetwork)
+        big = Packet(src=0, dst=7, vn=VirtualNetwork.RESPONSE, size_flits=3)
+        small = Packet(src=0, dst=7, vn=VirtualNetwork.RESPONSE)
+        sim.schedule(0, lambda: (net.send(big), net.send(small)))
+        sim.run(until=200)
+        solo_sim, solo_net, _ = make_net(SmartNetwork)
+        solo = send_one(solo_sim, solo_net, 0, 7)
+        solo_sim.run(until=200)
+        assert small.delivered_at - small.injected_at > solo.latency
+
+
+class TestVmsMulticast:
+    def make_vms(self):
+        cm = ClusterMap(Mesh(8, 8), 4, 4)
+        return VirtualMesh(cm, 11)
+
+    def test_smart_broadcast_reaches_all_other_members(self):
+        vms = self.make_vms()
+        sim, net, delivered = make_net(SmartNetwork)
+        p = Packet(src=vms.members[0], dst=None, vn=VirtualNetwork.REQUEST,
+                   mcast_group=vms.members)
+        sim.schedule(0, lambda: net.multicast(p, vms))
+        sim.run(until=300)
+        tiles = sorted(t for t, _, _ in delivered)
+        assert tiles == sorted(set(vms.members) - {vms.members[0]})
+        assert net.in_flight == 0
+
+    def test_conventional_falls_back_to_unicasts(self):
+        vms = self.make_vms()
+        sim, net, delivered = make_net(ConventionalNetwork)
+        p = Packet(src=vms.members[0], dst=None, vn=VirtualNetwork.REQUEST,
+                   mcast_group=vms.members)
+        sim.schedule(0, lambda: net.multicast(p, vms))
+        sim.run(until=500)
+        assert len(delivered) == len(vms.members) - 1
+
+    def test_smart_broadcast_faster_than_conventional(self):
+        vms = self.make_vms()
+        results = {}
+        for cls in (SmartNetwork, ConventionalNetwork):
+            sim, net, delivered = make_net(cls)
+            p = Packet(src=vms.members[0], dst=None,
+                       vn=VirtualNetwork.REQUEST, mcast_group=vms.members)
+            sim.schedule(0, lambda: net.multicast(p, vms))
+            sim.run(until=500)
+            results[cls] = max(c for _, c, _ in delivered)
+        assert results[SmartNetwork] < results[ConventionalNetwork]
+
+
+class TestBuildNetwork:
+    @pytest.mark.parametrize("kind,cls", [
+        (NocKind.SMART, SmartNetwork),
+        (NocKind.CONVENTIONAL, ConventionalNetwork),
+        (NocKind.FLATTENED_BUTTERFLY, FlattenedButterflyNetwork),
+    ])
+    def test_factory(self, kind, cls):
+        sim = Simulator()
+        net = build_network(sim, Mesh(4, 4), NocConfig(kind=kind))
+        assert isinstance(net, cls)
+
+    def test_nic_backlog_reported(self):
+        sim, net, _ = make_net(SmartNetwork)
+        assert net.nic_backlog(0) == 0

@@ -1,0 +1,51 @@
+"""Cross-cutting integration: every organization on every fabric, and
+fabric-sensitive latency ordering of the whole memory system."""
+
+import pytest
+
+from repro.cmp.system import CmpSystem
+from repro.params import NocKind, Organization
+from repro.traces.synthetic import WorkloadSpec, generate_traces
+from tests.conftest import tiny_config
+
+
+def workload(seed=4):
+    spec = WorkloadSpec(name="xnoc", refs_per_core=50, private_lines=80,
+                        shared_lines=64, shared_fraction=0.4,
+                        write_fraction=0.25, group_size=4)
+    return generate_traces(spec, 16, seed=seed)
+
+
+@pytest.mark.parametrize("org", [Organization.SHARED,
+                                 Organization.PRIVATE,
+                                 Organization.LOCO_CC,
+                                 Organization.LOCO_CC_VMS_IVR],
+                         ids=lambda o: o.value)
+@pytest.mark.parametrize("noc", list(NocKind), ids=lambda n: n.value)
+class TestOrgNocMatrix:
+    def test_completes(self, org, noc):
+        system = CmpSystem(tiny_config(org, noc=noc), workload())
+        result = system.run(max_cycles=10_000_000)
+        assert result.finished
+        system.check_token_conservation()
+
+
+class TestFabricOrdering:
+    def run_noc(self, noc):
+        system = CmpSystem(
+            tiny_config(Organization.SHARED, noc=noc), workload())
+        return system.run(max_cycles=10_000_000)
+
+    def test_smart_fastest_for_shared(self):
+        """Remote-heavy shared traffic: SMART must beat the
+        conventional mesh end to end, not just per packet."""
+        smart = self.run_noc(NocKind.SMART)
+        conv = self.run_noc(NocKind.CONVENTIONAL)
+        assert smart.runtime < conv.runtime
+
+    def test_hit_latency_ordering(self):
+        smart = self.run_noc(NocKind.SMART)
+        conv = self.run_noc(NocKind.CONVENTIONAL)
+        fbfly = self.run_noc(NocKind.FLATTENED_BUTTERFLY)
+        assert smart.l2_hit_latency < conv.l2_hit_latency
+        assert smart.l2_hit_latency < fbfly.l2_hit_latency

@@ -1,0 +1,51 @@
+"""Tests for the DSENT-style router area/power model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.noc.power import compare, power_report, router_budget
+from repro.params import NocConfig, NocKind
+
+
+def cfg(kind):
+    return NocConfig(kind=kind)
+
+
+class TestRouterBudget:
+    def test_conventional_is_unity(self):
+        b = router_budget(cfg(NocKind.CONVENTIONAL))
+        assert b.ports == 5
+        assert b.area == pytest.approx(1.0)
+        assert b.power == pytest.approx(1.0)
+
+    def test_smart_slightly_above_conventional(self):
+        smart = router_budget(cfg(NocKind.SMART))
+        conv = router_budget(cfg(NocKind.CONVENTIONAL))
+        assert 1.0 < smart.area < 1.3
+        assert 1.0 < smart.power < 1.2
+
+    def test_high_radix_port_count(self):
+        assert router_budget(cfg(NocKind.FLATTENED_BUTTERFLY)).ports == 20
+
+    def test_paper_ratios(self):
+        """Paper: high-radix has 6.7x area and 2.3x power vs SMART."""
+        area, power = compare(cfg(NocKind.FLATTENED_BUTTERFLY),
+                              cfg(NocKind.SMART))
+        assert area == pytest.approx(6.7, rel=0.05)
+        assert power == pytest.approx(2.3, rel=0.05)
+
+    def test_hpc_scales_smart_cost(self):
+        small = router_budget(NocConfig(kind=NocKind.SMART, hpc_max=2))
+        big = router_budget(NocConfig(kind=NocKind.SMART, hpc_max=8))
+        assert big.area > small.area
+        assert big.power > small.power
+
+    def test_report(self):
+        text = power_report({"smart": cfg(NocKind.SMART),
+                             "fbfly": cfg(NocKind.FLATTENED_BUTTERFLY)})
+        assert "smart" in text and "fbfly" in text
+        assert "ports" in text
+
+    def test_report_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            power_report({})

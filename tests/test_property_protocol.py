@@ -1,0 +1,101 @@
+"""Property-based end-to-end protocol tests: coherence and token
+conservation under randomized workloads on every organization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.line import L1State
+from repro.cmp.system import CmpSystem
+from repro.params import Organization
+from repro.traces.events import Op, TraceEvent
+from tests.conftest import tiny_config
+
+# random little programs: (core, line in a small pool, is_write)
+accesses = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 23),
+              st.booleans()),
+    min_size=1, max_size=80)
+
+
+def run_accesses(org, access_list, stagger=3):
+    traces = [[] for _ in range(16)]
+    for core, line_idx, is_write in access_list:
+        op = Op.STORE if is_write else Op.LOAD
+        traces[core].append(TraceEvent(op, 0x100 + line_idx,
+                                       gap=stagger))
+    system = CmpSystem(tiny_config(org), traces)
+    result = system.run(max_cycles=10_000_000)
+    assert result.finished
+    return system
+
+
+def assert_sweng_invariants(system):
+    """Single-writer/multiple-reader + inclusion, checked at quiescence."""
+    for line_idx in range(24):
+        addr = 0x100 + line_idx
+        m_holders = [t for t in range(16)
+                     if system.l1s[t].resident_state(addr) is L1State.M]
+        s_holders = [t for t in range(16)
+                     if system.l1s[t].resident_state(addr) is L1State.S]
+        assert len(m_holders) <= 1, f"line {addr:#x}: two M copies"
+        if m_holders:
+            assert not s_holders, \
+                f"line {addr:#x}: M at {m_holders} with S at {s_holders}"
+        # inclusion: an L1 copy implies the home L2 holds the line
+        for t in m_holders + s_holders:
+            home = system.ctx.home_tile(t, addr)
+            line = system.l2s[home].array.lookup(addr, touch=False)
+            assert line is not None, \
+                f"line {addr:#x}: L1 copy at {t} without home L2 line"
+
+
+class TestCoherenceInvariants:
+    @given(access_list=accesses)
+    @settings(max_examples=15, deadline=None)
+    def test_shared(self, access_list):
+        assert_sweng_invariants(run_accesses(Organization.SHARED,
+                                             access_list))
+
+    @given(access_list=accesses)
+    @settings(max_examples=15, deadline=None)
+    def test_private(self, access_list):
+        assert_sweng_invariants(run_accesses(Organization.PRIVATE,
+                                             access_list))
+
+    @given(access_list=accesses)
+    @settings(max_examples=15, deadline=None)
+    def test_loco_cc(self, access_list):
+        assert_sweng_invariants(run_accesses(Organization.LOCO_CC,
+                                             access_list))
+
+    @given(access_list=accesses)
+    @settings(max_examples=15, deadline=None)
+    def test_loco_vms_tokens_conserved(self, access_list):
+        system = run_accesses(Organization.LOCO_CC_VMS, access_list)
+        assert_sweng_invariants(system)
+        system.check_token_conservation()
+
+    @given(access_list=accesses)
+    @settings(max_examples=15, deadline=None)
+    def test_loco_ivr_tokens_conserved(self, access_list):
+        system = run_accesses(Organization.LOCO_CC_VMS_IVR, access_list)
+        assert_sweng_invariants(system)
+        system.check_token_conservation()
+
+
+class TestWriteSerializationProperty:
+    @given(writers=st.lists(st.integers(0, 15), min_size=2, max_size=8,
+                            unique=True))
+    @settings(max_examples=10, deadline=None)
+    def test_simultaneous_writers_one_survivor(self, writers):
+        traces = [[] for _ in range(16)]
+        for w in writers:
+            traces[w].append(TraceEvent(Op.STORE, 0x200))
+        system = CmpSystem(tiny_config(Organization.LOCO_CC_VMS_IVR),
+                           traces)
+        assert system.run(max_cycles=10_000_000).finished
+        m = [t for t in range(16)
+             if system.l1s[t].resident_state(0x200) is L1State.M]
+        assert len(m) == 1
+        assert m[0] in writers
+        system.check_token_conservation()

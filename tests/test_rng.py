@@ -1,0 +1,55 @@
+"""Unit tests for deterministic RNG streams."""
+
+import pytest
+
+from repro.sim.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_sequence(self):
+        a = RngStreams(42)
+        b = RngStreams(42)
+        assert [a.randint("s", 0, 100) for _ in range(10)] == \
+               [b.randint("s", 0, 100) for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1)
+        b = RngStreams(2)
+        assert [a.randint("s", 0, 10**9) for _ in range(5)] != \
+               [b.randint("s", 0, 10**9) for _ in range(5)]
+
+    def test_streams_are_independent(self):
+        """Draws from stream A must not perturb stream B."""
+        a = RngStreams(7)
+        b = RngStreams(7)
+        # a: interleave two streams; b: only one
+        for _ in range(10):
+            a.randint("noise", 0, 100)
+            a.randint("signal", 0, 100)
+        sig_b = [b.randint("signal", 0, 100) for _ in range(10)]
+        a2 = RngStreams(7)
+        sig_a = []
+        for _ in range(10):
+            a2.randint("noise", 0, 100)
+            sig_a.append(a2.randint("signal", 0, 100))
+        assert sig_a == sig_b
+
+    def test_random_in_unit_interval(self):
+        r = RngStreams(3)
+        for _ in range(100):
+            v = r.random("u")
+            assert 0.0 <= v < 1.0
+
+    def test_randint_bounds(self):
+        r = RngStreams(3)
+        vals = {r.randint("i", 2, 5) for _ in range(200)}
+        assert vals == {2, 3, 4}
+
+    def test_choice(self):
+        r = RngStreams(3)
+        seq = ["a", "b", "c"]
+        assert all(r.choice("c", seq) in seq for _ in range(50))
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            RngStreams(1).choice("c", [])

@@ -1,0 +1,52 @@
+"""Scaling smoke tests: 256-core systems and cache-scale helpers."""
+
+import pytest
+
+from repro.cmp.system import CmpSystem
+from repro.params import Organization, paper_config
+from repro.traces.synthetic import WorkloadSpec, generate_traces
+
+
+@pytest.mark.slow
+class Test256Cores:
+    def make(self, org):
+        spec = WorkloadSpec(name="s256", refs_per_core=25,
+                            private_lines=64, shared_lines=64,
+                            shared_fraction=0.3, group_size=16)
+        traces = generate_traces(spec, 256)
+        cfg = paper_config(256, organization=org).with_cache_scale(0.125)
+        return CmpSystem(cfg, traces)
+
+    @pytest.mark.parametrize("org", [Organization.SHARED,
+                                     Organization.LOCO_CC_VMS_IVR],
+                             ids=lambda o: o.value)
+    def test_runs(self, org):
+        system = self.make(org)
+        result = system.run(max_cycles=20_000_000)
+        assert result.finished
+        system.check_token_conservation()
+
+    def test_16_clusters(self):
+        system = self.make(Organization.LOCO_CC_VMS)
+        assert system.ctx.cluster_map.num_clusters == 16
+        vms = system.ctx.vms_of_line(0)
+        assert len(vms.members) == 16
+
+
+class TestCacheScaling:
+    def test_scaled_preserves_geometry_rules(self):
+        cfg = paper_config(64).with_cache_scale(0.125)
+        assert cfg.l1.size_bytes == 2 * 1024
+        assert cfg.l2.size_bytes == 8 * 1024
+        assert cfg.l1.assoc == 4 and cfg.l2.assoc == 8
+        assert cfg.l1.num_sets == 16
+        assert cfg.l2.num_sets == 32
+
+    def test_scale_floor(self):
+        cfg = paper_config(64).with_cache_scale(1e-9)
+        # never below one set's worth
+        assert cfg.l1.size_bytes == cfg.l1.assoc * cfg.l1.line_bytes
+
+    def test_identity_scale(self):
+        cfg = paper_config(64).with_cache_scale(1.0)
+        assert cfg.l2.size_bytes == 64 * 1024

@@ -1,0 +1,138 @@
+"""Unit tests for statistics primitives."""
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, LatencySampler, Stats
+
+
+class TestCounter:
+    def test_inc_default_and_amount(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestHistogram:
+    def test_binning(self):
+        h = Histogram("h", bin_width=10, num_bins=4)
+        for v in (0, 9, 10, 39):
+            h.add(v)
+        assert h.bins[0] == 2
+        assert h.bins[1] == 1
+        assert h.bins[3] == 1
+
+    def test_overflow_bin(self):
+        h = Histogram("h", bin_width=1, num_bins=2)
+        h.add(100)
+        assert h.bins[-1] == 1
+
+    def test_mean(self):
+        h = Histogram("h")
+        h.add(2)
+        h.add(4)
+        assert h.mean == 3.0
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bin_width=0)
+
+
+class TestLatencySampler:
+    def test_moments(self):
+        s = LatencySampler("s")
+        for v in (1.0, 2.0, 3.0):
+            s.add(v)
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.min == 1.0
+        assert s.max == 3.0
+        assert s.stddev == pytest.approx(0.8165, abs=1e-3)
+
+    def test_percentiles_require_samples(self):
+        s = LatencySampler("s")
+        with pytest.raises(ValueError):
+            s.percentile(50)
+
+    def test_percentiles(self):
+        s = LatencySampler("s", keep_samples=True)
+        for v in range(1, 101):
+            s.add(float(v))
+        assert s.percentile(50) == pytest.approx(50, abs=1)
+        assert s.percentile(99) == pytest.approx(99, abs=1)
+
+    def test_empty_mean(self):
+        assert LatencySampler("s").mean == 0.0
+
+
+class TestStats:
+    def test_on_demand_creation(self):
+        st = Stats()
+        st.counter("a").inc()
+        assert st.value("a") == 1
+        assert st.value("never") == 0
+
+    def test_same_name_same_object(self):
+        st = Stats()
+        assert st.counter("a") is st.counter("a")
+        assert st.sampler("s") is st.sampler("s")
+
+    def test_merge_counters_and_samplers(self):
+        a, b = Stats(), Stats()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.counter("only_b").inc(1)
+        a.sampler("s").add(1.0)
+        b.sampler("s").add(3.0)
+        a.merge(b)
+        assert a.value("c") == 5
+        assert a.value("only_b") == 1
+        assert a.mean("s") == 2.0
+
+    def test_to_dict(self):
+        st = Stats()
+        st.counter("c").inc(7)
+        st.sampler("s").add(4.0)
+        d = st.to_dict()
+        assert d["c"] == 7
+        assert d["s.mean"] == 4.0
+        assert d["s.count"] == 1
+
+    def test_mark_and_delta(self):
+        st = Stats()
+        st.counter("c").inc(10)
+        st.sampler("s").add(100.0)
+        st.mark()
+        st.counter("c").inc(5)
+        st.sampler("s").add(2.0)
+        st.sampler("s").add(4.0)
+        assert st.delta("c") == 5
+        assert st.delta_mean("s") == 3.0
+        # raw values unaffected
+        assert st.value("c") == 15
+
+    def test_delta_without_mark_is_raw(self):
+        st = Stats()
+        st.counter("c").inc(4)
+        assert st.delta("c") == 4
+
+    def test_delta_mean_no_new_samples_falls_back(self):
+        st = Stats()
+        st.sampler("s").add(7.0)
+        st.mark()
+        assert st.delta_mean("s") == 7.0
+
+    def test_counter_created_after_mark(self):
+        st = Stats()
+        st.mark()
+        st.counter("late").inc(3)
+        assert st.delta("late") == 3

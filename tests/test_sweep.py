@@ -1,0 +1,47 @@
+"""Tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.sweep import best, sweep
+from repro.params import Organization
+
+
+class TestSweep:
+    def test_cross_product(self):
+        rows = sweep("water_spatial", metric="runtime",
+                     organization=[Organization.SHARED,
+                                   Organization.PRIVATE],
+                     scale=[0.04])
+        assert len(rows) == 2
+        orgs = {r["organization"] for r in rows}
+        assert orgs == {Organization.SHARED, Organization.PRIVATE}
+        assert all(r["runtime"] > 0 for r in rows)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep("lu", metric="runtime", flux_capacitor=[1])
+
+    def test_metric_from_stats_dict(self):
+        rows = sweep("water_spatial", metric="l2_misses",
+                     organization=[Organization.SHARED], scale=[0.04])
+        assert rows[0]["l2_misses"] >= 0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep("water_spatial", metric="nonsense",
+                  organization=[Organization.SHARED], scale=[0.04])
+
+    def test_full_result_when_no_metric(self):
+        rows = sweep("water_spatial",
+                     organization=[Organization.SHARED], scale=[0.04])
+        assert rows[0]["result"].finished
+
+    def test_best(self):
+        rows = [{"x": 1, "m": 5.0}, {"x": 2, "m": 3.0}]
+        assert best(rows, "m")["x"] == 2
+        assert best(rows, "m", minimize=False)["x"] == 1
+
+    def test_best_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            best([], "m")

@@ -1,0 +1,91 @@
+"""System-level tests: construction, determinism, metrics, all
+organizations end-to-end on generated workloads."""
+
+import pytest
+
+from repro.cmp.system import CmpSystem
+from repro.errors import ConfigError
+from repro.params import NocKind, Organization
+from repro.traces.synthetic import WorkloadSpec, generate_traces
+from tests.conftest import ALL_ORGS, tiny_config
+
+
+def small_workload(seed=1, refs=60):
+    spec = WorkloadSpec(name="sys", refs_per_core=refs, private_lines=96,
+                        shared_lines=64, shared_fraction=0.35,
+                        write_fraction=0.3, group_size=4)
+    return generate_traces(spec, 16, seed=seed)
+
+
+class TestConstruction:
+    def test_trace_count_must_match(self):
+        cfg = tiny_config()
+        with pytest.raises(ConfigError):
+            CmpSystem(cfg, [[]] * 5)
+
+    def test_controllers_built_per_tile(self):
+        cfg = tiny_config()
+        system = CmpSystem(cfg, [[]] * 16)
+        assert len(system.l1s) == 16
+        assert len(system.l2s) == 16
+        assert len(system.mcs) == cfg.memory.num_controllers
+        assert len(system.cores) == 16
+
+
+@pytest.mark.parametrize("org", ALL_ORGS, ids=lambda o: o.value)
+class TestAllOrganizations:
+    def test_runs_to_completion(self, org):
+        system = CmpSystem(tiny_config(org), small_workload())
+        result = system.run(max_cycles=3_000_000)
+        assert result.finished
+        assert result.runtime > 0
+        assert result.instructions > 0
+        system.check_token_conservation()
+
+    def test_deterministic(self, org):
+        runs = []
+        for _ in range(2):
+            system = CmpSystem(tiny_config(org), small_workload())
+            runs.append(system.run(max_cycles=3_000_000).runtime)
+        assert runs[0] == runs[1]
+
+    def test_metrics_populated(self, org):
+        system = CmpSystem(tiny_config(org), small_workload())
+        r = system.run(max_cycles=3_000_000)
+        assert r.mpki >= 0
+        assert r.l2_hit_latency > 0
+        assert r.offchip_fetches > 0
+        d = r.to_dict()
+        assert d["runtime"] == r.runtime
+        assert "l2_misses" in d
+
+
+@pytest.mark.parametrize("noc", list(NocKind), ids=lambda n: n.value)
+class TestAllNocs:
+    def test_loco_on_every_fabric(self, noc):
+        cfg = tiny_config(Organization.LOCO_CC_VMS_IVR, noc=noc)
+        system = CmpSystem(cfg, small_workload())
+        result = system.run(max_cycles=5_000_000)
+        assert result.finished
+        system.check_token_conservation()
+
+
+class TestSeedSensitivity:
+    def test_different_seeds_different_runtimes(self):
+        r = []
+        for seed in (1, 2):
+            system = CmpSystem(tiny_config(Organization.SHARED),
+                               small_workload(seed=seed))
+            r.append(system.run(max_cycles=3_000_000).runtime)
+        assert r[0] != r[1]
+
+
+class TestClusterShapes:
+    @pytest.mark.parametrize("shape", [(2, 2), (4, 1), (2, 1), (4, 4),
+                                       (1, 1)])
+    def test_loco_cluster_shapes(self, shape):
+        cfg = tiny_config(Organization.LOCO_CC_VMS_IVR, cluster=shape)
+        system = CmpSystem(cfg, small_workload())
+        result = system.run(max_cycles=5_000_000)
+        assert result.finished
+        system.check_token_conservation()

@@ -1,0 +1,213 @@
+"""Unit tests for trace events, the synthetic generator, benchmark
+presets and multi-program workloads."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.benchmarks import (FULL_SYSTEM, TRACE_DRIVEN,
+                                     benchmark_names, get_benchmark)
+from repro.traces.events import Op, TraceEvent, instruction_count, validate_trace
+from repro.traces.multiprogram import (CLUSTER_SHAPE, WORKLOADS,
+                                       build_workload, workload_names)
+from repro.traces.synthetic import (TraceGenerator, WorkloadSpec,
+                                    generate_traces)
+
+
+class TestTraceEvent:
+    def test_memory_predicates(self):
+        assert TraceEvent(Op.LOAD, 1).is_memory
+        assert not TraceEvent(Op.LOAD, 1).is_write
+        assert TraceEvent(Op.STORE, 1).is_write
+        assert TraceEvent(Op.LOCK, 1).is_write
+        assert not TraceEvent(Op.BARRIER, 0).is_memory
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            TraceEvent(Op.LOAD, 1, gap=-1)
+        with pytest.raises(TraceError):
+            TraceEvent(Op.LOAD, -5)
+        with pytest.raises(TraceError):
+            validate_trace([TraceEvent(Op.LOAD, 1), "junk"])
+
+    def test_instruction_count(self):
+        evs = [TraceEvent(Op.LOAD, 1, gap=3), TraceEvent(Op.STORE, 2)]
+        assert instruction_count(evs) == 5
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            WorkloadSpec(name="x", shared_fraction=1.5)
+        with pytest.raises(TraceError):
+            WorkloadSpec(name="x", sharing="diagonal")
+        with pytest.raises(TraceError):
+            WorkloadSpec(name="x", refs_per_core=0)
+
+    def test_scaled(self):
+        s = WorkloadSpec(name="x", refs_per_core=100)
+        assert s.scaled(0.25).refs_per_core == 25
+        assert s.scaled(0.001).refs_per_core == 1  # floor at 1
+
+
+class TestGenerator:
+    def spec(self, **kw):
+        defaults = dict(name="t", refs_per_core=100, private_lines=64,
+                        shared_lines=32, shared_fraction=0.4)
+        defaults.update(kw)
+        return WorkloadSpec(**defaults)
+
+    def test_deterministic(self):
+        a = generate_traces(self.spec(), 8, seed=5)
+        b = generate_traces(self.spec(), 8, seed=5)
+        assert a == b
+
+    def test_seed_changes_traces(self):
+        a = generate_traces(self.spec(), 8, seed=5)
+        b = generate_traces(self.spec(), 8, seed=6)
+        assert a != b
+
+    def test_trace_length(self):
+        traces = generate_traces(self.spec(), 4)
+        for t in traces:
+            mem = [e for e in t if e.op in (Op.LOAD, Op.STORE)]
+            assert len(mem) == 100
+
+    def test_private_regions_disjoint(self):
+        gen = TraceGenerator(self.spec(shared_fraction=0.0), 8)
+        traces = gen.generate()
+        per_core = [set(e.line_addr for e in t) for t in traces]
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert not (per_core[i] & per_core[j])
+
+    def test_neighbor_sharing_within_group(self):
+        spec = self.spec(shared_fraction=1.0, sharing="neighbor",
+                         group_size=4)
+        gen = TraceGenerator(spec, 8)
+        t0 = set(e.line_addr for e in gen.generate_core(0))
+        t3 = set(e.line_addr for e in gen.generate_core(3))
+        t4 = set(e.line_addr for e in gen.generate_core(4))
+        assert t0 & t3            # same group shares
+        assert not (t0 & t4)      # different group does not
+
+    def test_uniform_sharing_is_chip_wide(self):
+        spec = self.spec(shared_fraction=1.0, sharing="uniform")
+        gen = TraceGenerator(spec, 8)
+        t0 = set(e.line_addr for e in gen.generate_core(0))
+        t7 = set(e.line_addr for e in gen.generate_core(7))
+        assert t0 & t7
+
+    def test_write_fraction_respected(self):
+        spec = self.spec(write_fraction=0.5, refs_per_core=2000)
+        t = TraceGenerator(spec, 1).generate_core(0)
+        writes = sum(1 for e in t if e.op is Op.STORE)
+        assert 0.4 < writes / 2000 < 0.6
+
+    def test_zipf_concentrates_accesses(self):
+        hot = self.spec(zipf_alpha=1.2, refs_per_core=2000,
+                        shared_fraction=0.0, private_lines=512)
+        cold = self.spec(zipf_alpha=0.0, refs_per_core=2000,
+                         shared_fraction=0.0, private_lines=512)
+        def distinct(spec):
+            t = TraceGenerator(spec, 1).generate_core(0)
+            return len(set(e.line_addr for e in t))
+        assert distinct(hot) < distinct(cold)
+
+    def test_barriers_inserted(self):
+        spec = self.spec(barrier_every=25)
+        t = TraceGenerator(spec, 2).generate_core(0)
+        barriers = [e for e in t if e.op is Op.BARRIER]
+        assert len(barriers) == 3  # 100 refs / 25 (first at 25)
+        ids = [e.line_addr for e in barriers]
+        assert ids == sorted(ids)
+
+    def test_locks_are_paired_and_nested_correctly(self):
+        spec = self.spec(locks=2, lock_period=20)
+        t = TraceGenerator(spec, 2).generate_core(0)
+        depth = 0
+        held = None
+        for e in t:
+            if e.op is Op.LOCK:
+                assert depth == 0
+                depth += 1
+                held = e.line_addr
+            elif e.op is Op.UNLOCK:
+                assert depth == 1 and e.line_addr == held
+                depth -= 1
+        assert depth == 0
+
+    def test_imbalance_shrinks_light_groups(self):
+        spec = self.spec(imbalance=0.5, group_size=4, refs_per_core=2000,
+                         shared_fraction=0.0, private_lines=1024,
+                         zipf_alpha=0.0)
+        gen = TraceGenerator(spec, 8)  # 2 groups: group 0 light
+        light = len(set(e.line_addr for e in gen.generate_core(0)))
+        heavy = len(set(e.line_addr for e in gen.generate_core(4)))
+        assert light < heavy / 2
+
+
+class TestBenchmarkPresets:
+    def test_all_named_benchmarks_exist(self):
+        for name in TRACE_DRIVEN + FULL_SYSTEM:
+            assert name in benchmark_names()
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TraceError):
+            get_benchmark("doom")
+
+    def test_scale(self):
+        full = get_benchmark("lu")
+        half = get_benchmark("lu", scale=0.5)
+        assert half.refs_per_core == full.refs_per_core // 2
+
+    def test_full_system_adds_sync(self):
+        spec = get_benchmark("barnes", full_system=True)
+        assert spec.barrier_every > 0
+        assert spec.locks > 0
+
+    def test_spatial_patterns_assigned(self):
+        assert get_benchmark("blackscholes").sharing == "neighbor"
+        assert get_benchmark("barnes").sharing == "uniform"
+        assert get_benchmark("fft").sharing == "uniform"
+
+    def test_swaptions_is_imbalanced(self):
+        assert get_benchmark("swaptions").imbalance > 0
+
+
+class TestMultiprogram:
+    def test_table2_shapes(self):
+        assert set(WORKLOADS) == {f"W{i}" for i in range(10)}
+        for name, insts in WORKLOADS.items():
+            cores = sum(i.threads * i.count for i in insts)
+            assert cores == 64, f"{name} covers {cores} cores"
+
+    def test_cluster_shapes(self):
+        assert CLUSTER_SHAPE["W0"] == (4, 1)
+        assert CLUSTER_SHAPE["W5"] == (8, 1)
+        assert CLUSTER_SHAPE["W9"] == (4, 4)
+
+    def test_build_workload(self):
+        traces, pops = build_workload("W0", scale=0.05)
+        assert len(traces) == 64 and len(pops) == 64
+        assert set(pops) == {4}
+
+    def test_instance_address_spaces_exclusive(self):
+        traces, _ = build_workload("W8", scale=0.05)
+        # W8: 4 instances of 16 threads
+        spaces = []
+        for inst in range(4):
+            lines = set()
+            for t in traces[inst * 16:(inst + 1) * 16]:
+                lines.update(e.line_addr for e in t if e.is_memory)
+            spaces.append(lines)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (spaces[i] & spaces[j])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(TraceError):
+            build_workload("W42")
+
+    def test_too_many_cores_rejected(self):
+        with pytest.raises(TraceError):
+            build_workload("W0", num_cores=32)

@@ -1,0 +1,109 @@
+"""Unit tests for virtual-mesh construction and XY-tree multicast."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.noc.topology import ClusterMap, Mesh
+from repro.noc.vms import VirtualMesh, build_all_vms, xy_tree_children
+
+
+class TestXyTreeChildren:
+    def test_root_fans_out_in_all_directions(self):
+        kids = xy_tree_children(3, 3, root=(1, 1), node=(1, 1))
+        assert set(kids) == {(2, 1), (0, 1), (1, 2), (1, 0)}
+
+    def test_row_node_continues_and_forks(self):
+        kids = xy_tree_children(4, 4, root=(0, 1), node=(2, 1))
+        assert set(kids) == {(3, 1), (2, 2), (2, 0)}
+
+    def test_column_node_keeps_going_away(self):
+        kids = xy_tree_children(4, 4, root=(1, 1), node=(1, 3))
+        assert kids == []  # at the top edge
+        kids = xy_tree_children(4, 5, root=(1, 1), node=(1, 3))
+        assert kids == [(1, 4)]
+
+    def test_corner_root(self):
+        kids = xy_tree_children(2, 2, root=(0, 0), node=(0, 0))
+        assert set(kids) == {(1, 0), (0, 1)}
+
+    def test_every_node_reached_exactly_once(self):
+        for w, h in [(2, 2), (4, 4), (1, 4), (4, 1), (3, 5)]:
+            for rx in range(w):
+                for ry in range(h):
+                    seen = {(rx, ry)}
+                    frontier = [(rx, ry)]
+                    while frontier:
+                        nxt = []
+                        for node in frontier:
+                            for child in xy_tree_children(w, h, (rx, ry),
+                                                          node):
+                                assert child not in seen, \
+                                    f"{child} reached twice in {w}x{h}"
+                                seen.add(child)
+                                nxt.append(child)
+                        frontier = nxt
+                    assert len(seen) == w * h
+
+    def test_out_of_grid_rejected(self):
+        with pytest.raises(NetworkError):
+            xy_tree_children(2, 2, (0, 0), (5, 0))
+
+
+class TestVirtualMesh:
+    def make(self, hnid=11):
+        return VirtualMesh(ClusterMap(Mesh(8, 8), 4, 4), hnid)
+
+    def test_members_and_vpos(self):
+        vms = self.make()
+        assert len(vms.members) == 4
+        for tile in vms.members:
+            vx, vy = vms.vpos(tile)
+            assert vms.tile_at(vx, vy) == tile
+
+    def test_non_member_rejected(self):
+        vms = self.make()
+        non_member = next(t for t in range(64) if not vms.is_member(t))
+        with pytest.raises(NetworkError):
+            vms.vpos(non_member)
+
+    def test_tree_edges_cover_all_members(self):
+        vms = self.make()
+        for root in vms.members:
+            edges = vms.tree_edges(root)
+            covered = {root} | {e.dst_tile for e in edges}
+            assert covered == set(vms.members)
+            assert len(edges) == len(vms.members) - 1
+
+    def test_broadcast_depth_2x2(self):
+        vms = self.make()
+        # 2x2 virtual grid: corner root -> depth 2 (across, then down)
+        assert vms.broadcast_depth(vms.members[0]) == 2
+
+    def test_broadcast_depth_4x4_grid(self):
+        """Paper Figure 3: 4x4 VMS broadcast completes in 4 SMART-hops
+        from an interior root."""
+        cm = ClusterMap(Mesh(16, 16), 4, 4)  # 16 clusters: 4x4 grid
+        vms = VirtualMesh(cm, 11)
+        # root in the middle-ish of the virtual grid
+        root = vms.tile_at(1, 1)
+        assert vms.broadcast_depth(root) <= 4
+
+    def test_build_all_vms(self):
+        cm = ClusterMap(Mesh(8, 8), 4, 4)
+        all_vms = build_all_vms(cm)
+        assert set(all_vms) == set(range(16))
+        # every tile is a member of exactly one VMS
+        membership = {}
+        for hnid, vms in all_vms.items():
+            for t in vms.members:
+                assert t not in membership
+                membership[t] = hnid
+        assert len(membership) == 64
+
+    def test_1d_cluster_vms(self):
+        cm = ClusterMap(Mesh(8, 8), 4, 1)
+        vms = VirtualMesh(cm, 2)
+        assert len(vms.members) == 16
+        assert vms.grid_w == 2 and vms.grid_h == 8
+        edges = vms.tree_edges(vms.members[0])
+        assert len(edges) == 15
