@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Micro-profiler: cProfile one mid-size run, print top-N cumulative.
+
+Produces the baseline artifact future performance PRs are compared
+against: a single `run_benchmark` call under cProfile, with the top
+functions by cumulative and by internal time. Keep the configuration
+stable across PRs so profiles stay comparable.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_run.py [benchmark] [scale] [top_n]
+
+Defaults: water_spatial at trace scale 0.25 (the CI/bench preset),
+top 20 rows, written to stdout and profile_baseline.txt.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+import time
+
+from repro.harness.experiment import (ExperimentConfig, clear_trace_cache,
+                                      run_benchmark)
+from repro.params import Organization
+
+BENCH = sys.argv[1] if len(sys.argv) > 1 else "water_spatial"
+SCALE = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+TOP_N = int(sys.argv[3]) if len(sys.argv) > 3 else 20
+OUT = "profile_baseline.txt"
+
+
+def main() -> None:
+    exp = ExperimentConfig(benchmark=BENCH, cores=64,
+                           organization=Organization.LOCO_CC_VMS_IVR,
+                           scale=SCALE)
+    # Generate traces outside the profile so trace synthesis (one-time,
+    # cached) does not drown the simulation hot paths.
+    clear_trace_cache()
+    run_benchmark(ExperimentConfig(benchmark=BENCH, cores=64,
+                                   organization=Organization.LOCO_CC_VMS_IVR,
+                                   scale=0.02))
+    clear_trace_cache()
+
+    prof = cProfile.Profile()
+    t0 = time.time()
+    prof.enable()
+    result = run_benchmark(exp)
+    prof.disable()
+    wall = time.time() - t0
+
+    buf = io.StringIO()
+    buf.write(f"# profile: {BENCH} scale={SCALE} "
+              f"org=loco_cc_vms_ivr cores=64\n")
+    buf.write(f"# wall={wall:.2f}s runtime={result.runtime} cycles "
+              f"({result.runtime / max(wall, 1e-9):,.0f} cycles/s)\n\n")
+    for sort in ("cumulative", "tottime"):
+        buf.write(f"== top {TOP_N} by {sort} ==\n")
+        stats = pstats.Stats(prof, stream=buf)
+        stats.strip_dirs().sort_stats(sort).print_stats(TOP_N)
+        buf.write("\n")
+    text = buf.getvalue()
+    print(text)
+    with open(OUT, "w") as f:
+        f.write(text)
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

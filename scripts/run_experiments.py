@@ -6,21 +6,36 @@ each figure needs ONCE, then assembles all figure tables from the shared
 result pool — much cheaper than calling each ``figures.figureN`` (which
 would re-run overlapping configs).
 
-Usage: python scripts/run_experiments.py [scale] [out.md]
+Usage: python scripts/run_experiments.py [scale] [out.md] [--jobs N]
+
+``--jobs N`` pre-runs the whole configuration matrix on an N-process
+pool before the figure tables are assembled from the shared result
+pool. Each run is an independent, deterministically seeded simulation,
+so the tables are identical to a serial run.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
-import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.harness.experiment import ExperimentConfig, run_benchmark, run_workload
 from repro.harness.report import format_table
 from repro.params import NocKind, Organization
 
-SCALE = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
-OUT = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+_cli = argparse.ArgumentParser(description=__doc__)
+_cli.add_argument("scale", nargs="?", type=float, default=0.5,
+                  help="trace-length scale (default 0.5)")
+_cli.add_argument("out", nargs="?", default="EXPERIMENTS.md",
+                  help="output markdown path")
+_cli.add_argument("--jobs", type=int, default=1, metavar="N",
+                  help="worker processes for the run matrix (default 1)")
+_args = _cli.parse_args()
+SCALE = _args.scale
+OUT = _args.out
+JOBS = _args.jobs
 
 BENCHES = ["barnes", "blackscholes", "swaptions", "water_spatial"]
 BENCHES_256 = ["blackscholes"]
@@ -35,6 +50,18 @@ ORGS = {
     "ivr": Organization.LOCO_CC_VMS_IVR,
 }
 
+# Shared figure axes — matrix_units() (the --jobs prewarm) and the
+# figure assembly in main() both iterate these, so the two encodings
+# of the run matrix cannot drift.
+NOC_KINDS = [(NocKind.SMART, "SMART"), (NocKind.CONVENTIONAL, "Conv"),
+             (NocKind.FLATTENED_BUTTERFLY, "HighRadix")]
+CLUSTER_SHAPES = [((4, 1), "4x1"), ((8, 1), "8x1"), ((4, 4), "4x4")]
+FS_ORGS = [("CC", Organization.LOCO_CC),
+           ("CC+VMS", Organization.LOCO_CC_VMS),
+           ("CC+VMS+IVR", Organization.LOCO_CC_VMS_IVR)]
+MP_ORGS = [Organization.SHARED, Organization.LOCO_CC,
+           Organization.LOCO_CC_VMS_IVR]
+
 results: dict = {}
 
 
@@ -46,10 +73,15 @@ _FAILED = dict(runtime=0, mpki=0.0, hit_lat=0.0, search=0.0, offchip=0,
                fetches=0, failed=True)
 
 
+def bench_key(bench, org, cores=64, noc=NocKind.SMART, cluster=(4, 4),
+              full_system=False):
+    return key(bench, org.value, cores, noc.value,
+               f"{cluster[0]}x{cluster[1]}", "fs" if full_system else "tr")
+
+
 def run(bench, org, cores=64, noc=NocKind.SMART, cluster=(4, 4),
         full_system=False):
-    k = key(bench, org.value, cores, noc.value,
-            f"{cluster[0]}x{cluster[1]}", "fs" if full_system else "tr")
+    k = bench_key(bench, org, cores, noc, cluster, full_system)
     if k in results:
         return results[k]
     t0 = time.time()
@@ -88,8 +120,71 @@ def run_mp(workload, org):
     return results[k]
 
 
+# ---- parallel prewarm ---------------------------------------------------
+def matrix_units():
+    """Every (kind, params) unit any figure below will request,
+    enumerated from the same shared axis lists main() iterates."""
+    units = []
+    for b in BENCHES:
+        for org in ORGS.values():
+            units.append(("bench", (b, org, 64, NocKind.SMART, (4, 4), False)))
+    for b in BENCHES[:3]:
+        for noc, _label in NOC_KINDS[1:]:  # SMART covered by the matrix
+            units.append(("bench", (b, Organization.LOCO_CC_VMS_IVR, 64,
+                                    noc, (4, 4), False)))
+    for b in BENCHES:
+        for shape, _label in CLUSTER_SHAPES[:-1]:  # 4x4 covered above
+            units.append(("bench", (b, Organization.LOCO_CC_VMS_IVR, 64,
+                                    NocKind.SMART, shape, False)))
+    for b in BENCHES_256:
+        for org in ORGS.values():
+            units.append(("bench", (b, org, 256, NocKind.SMART, (4, 4),
+                                    False)))
+    for b in BENCHES_FS:
+        for org in [Organization.SHARED] + [o for _, o in FS_ORGS]:
+            units.append(("bench", (b, org, 64, NocKind.SMART, (4, 4),
+                                    True)))
+    for w in WORKLOADS:
+        for org in MP_ORGS:
+            units.append(("mp", (w, org)))
+    return units
+
+
+def _prewarm_unit(unit):
+    """Worker entry point: one matrix cell -> (result key, row dict).
+
+    Delegates to the same run()/run_mp() the figure assembly uses (the
+    worker's `results` dict is its own copy, so the cell simulates
+    fresh there). Determinism comes from the config seed, so parallel
+    results match serial ones.
+    """
+    kind, params = unit
+    if kind == "bench":
+        bench, org, cores, noc, cluster, full_system = params
+        return (bench_key(bench, org, cores, noc, cluster, full_system),
+                run(bench, org, cores=cores, noc=noc, cluster=cluster,
+                    full_system=full_system))
+    workload, org = params
+    return key("mp", workload, org.value), run_mp(workload, org)
+
+
+def prewarm(jobs: int) -> None:
+    units = matrix_units()
+    print(f"== prewarming {len(units)} configs on {jobs} workers ==",
+          flush=True)
+    t0 = time.time()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for k, row in pool.map(_prewarm_unit, units):
+            results[k] = row
+            print(f"  {k}: runtime={row.get('runtime')}", flush=True)
+    print(f"== prewarm done in {time.time()-t0:.0f}s ==", flush=True)
+
+
 def main() -> None:
     sections = []
+
+    if JOBS > 1:
+        prewarm(JOBS)
 
     # ---- 64-core matrix ------------------------------------------------
     print("== 64-core matrix ==", flush=True)
@@ -164,9 +259,7 @@ def main() -> None:
         base = run(b, Organization.PRIVATE)["hit_lat"]
         shared_rt = run(b, Organization.SHARED)["runtime"]
         lat[b], search[b], runt[b] = {}, {}, {}
-        for kind, label in [(NocKind.SMART, "SMART"),
-                            (NocKind.CONVENTIONAL, "Conv"),
-                            (NocKind.FLATTENED_BUTTERFLY, "HighRadix")]:
+        for kind, label in NOC_KINDS:
             r = run(b, Organization.LOCO_CC_VMS_IVR, noc=kind)
             lat[b][label] = r["hit_lat"] - base
             search[b][label] = r["search"]
@@ -188,8 +281,7 @@ def main() -> None:
         shared_rt = run(b, Organization.SHARED)["runtime"]
         for m in out:
             out[m][b] = {}
-        for shape, label in [((4, 1), "4x1"), ((8, 1), "8x1"),
-                             ((4, 4), "4x4")]:
+        for shape, label in CLUSTER_SHAPES:
             r = run(b, Organization.LOCO_CC_VMS_IVR, cluster=shape)
             out["hit"][b][label] = r["hit_lat"]
             out["mpki"][b][label] = r["mpki"]
@@ -266,9 +358,7 @@ def main() -> None:
         sh = run(b, Organization.SHARED, full_system=True)
         rows16a[b] = {"Shared": sh["mpki"]}
         rows16b[b] = {}
-        for label, org in [("CC", Organization.LOCO_CC),
-                           ("CC+VMS", Organization.LOCO_CC_VMS),
-                           ("CC+VMS+IVR", Organization.LOCO_CC_VMS_IVR)]:
+        for label, org in FS_ORGS:
             r = run(b, org, full_system=True)
             rows16b[b][label] = r["runtime"] / sh["runtime"]
             if org is Organization.LOCO_CC_VMS_IVR:

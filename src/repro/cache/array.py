@@ -41,8 +41,12 @@ class CacheArray:
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
         self._policies = [make_policy(policy, self.assoc)
                           for _ in range(self.num_sets)]
-        # way bookkeeping: per set, line_addr -> way and way -> line_addr
+        # way bookkeeping: per set, line_addr -> way plus the reverse
+        # way -> line_addr map (None = free), so victim resolution is an
+        # O(1) list index instead of a scan over the addr->way dict.
         self._ways: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._addr_of_way: List[List[Optional[int]]] = [
+            [None] * self.assoc for _ in range(self.num_sets)]
         self._free_ways: List[List[int]] = [list(range(self.assoc))
                                             for _ in range(self.num_sets)]
 
@@ -82,6 +86,7 @@ class CacheArray:
         line = CacheLine(line_addr)
         self._sets[idx][line_addr] = line
         self._ways[idx][line_addr] = way
+        self._addr_of_way[idx][way] = line_addr
         self._policies[idx].touch(way)
         return line, victim
 
@@ -103,8 +108,10 @@ class CacheArray:
         """
         idx = self.set_index(line_addr)
         ranked = self._policies[idx].victim_ranking()
-        by_way = {w: a for a, w in self._ways[idx].items()}
-        return [self._sets[idx][by_way[w]] for w in ranked if w in by_way]
+        lines = self._sets[idx]
+        addr_of_way = self._addr_of_way[idx]
+        return [lines[addr_of_way[w]] for w in ranked
+                if addr_of_way[w] is not None]
 
     def set_full(self, line_addr: int) -> bool:
         idx = self.set_index(line_addr)
@@ -117,15 +124,16 @@ class CacheArray:
         if line is None:
             return None
         way = self._ways[idx].pop(line_addr)
+        self._addr_of_way[idx][way] = None
         self._free_ways[idx].append(way)
         return line
 
     # ------------------------------------------------------------------
     def _inverse_way(self, idx: int, way: int) -> int:
-        for addr, w in self._ways[idx].items():
-            if w == way:
-                return addr
-        raise ConfigError(f"way {way} of set {idx} not mapped")
+        addr = self._addr_of_way[idx][way]
+        if addr is None:
+            raise ConfigError(f"way {way} of set {idx} not mapped")
+        return addr
 
     def lines(self) -> Iterator[CacheLine]:
         for s in self._sets:

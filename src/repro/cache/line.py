@@ -57,7 +57,7 @@ class L2State(Enum):
         return self in (L2State.M, L2State.O)
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One resident cache line.
 

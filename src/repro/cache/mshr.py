@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.errors import ProtocolError
 
 
-@dataclass
+@dataclass(slots=True)
 class Mshr:
     """One outstanding transaction."""
 

@@ -8,26 +8,36 @@ Policies are per-*set* objects so state never leaks across sets.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List
 
 from repro.errors import ConfigError
 
 
 class LruPolicy:
-    """True LRU over the ways of one set."""
+    """True LRU over the ways of one set.
+
+    The recency order lives in an :class:`OrderedDict` (a hash map over
+    a doubly-linked list), so ``touch`` is an O(1) ``move_to_end``
+    instead of the O(assoc) ``list.remove`` a plain list needs — this
+    runs on every cache lookup, the hottest path in the simulator.
+    """
+
+    __slots__ = ("assoc", "_order")
 
     def __init__(self, assoc: int) -> None:
         if assoc < 1:
             raise ConfigError("associativity must be >= 1")
         self.assoc = assoc
-        self._order: List[int] = list(range(assoc))  # LRU ... MRU
+        # Keys in LRU ... MRU order; values unused.
+        self._order: "OrderedDict[int, None]" = OrderedDict(
+            (way, None) for way in range(assoc))
 
     def touch(self, way: int) -> None:
-        self._order.remove(way)
-        self._order.append(way)
+        self._order.move_to_end(way)
 
     def victim(self) -> int:
-        return self._order[0]
+        return next(iter(self._order))
 
     def victim_ranking(self) -> List[int]:
         """Ways ordered from most- to least-evictable."""
@@ -39,6 +49,8 @@ class PseudoLruPolicy:
 
     Requires power-of-two associativity (as hardware PLRU does).
     """
+
+    __slots__ = ("assoc", "_bits")
 
     def __init__(self, assoc: int) -> None:
         if assoc < 1 or assoc & (assoc - 1):

@@ -104,6 +104,9 @@ class Core:
         self.instructions = 0
         self.finished = False
         self.finish_cycle: Optional[int] = None
+        # Bound once: these fire for every trace event.
+        self._c_instructions = stats.counter("instructions")
+        self._c_mem_refs = stats.counter("mem_refs")
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -118,14 +121,14 @@ class Core:
         self._pc += 1
         if ev.gap > 0:
             self.instructions += ev.gap
-            self.stats.counter("instructions").inc(ev.gap)
+            self._c_instructions.inc(ev.gap)
             self.sim.schedule(ev.gap, lambda: self._execute(ev))
         else:
             self._execute(ev)
 
     def _execute(self, ev: TraceEvent) -> None:
         self.instructions += 1
-        self.stats.counter("instructions").inc()
+        self._c_instructions.inc()
         if self.warmup is not None:
             self.warmup.note_ref()
         if ev.op is Op.BARRIER:
@@ -135,7 +138,7 @@ class Core:
         elif ev.op is Op.UNLOCK and self.full_system:
             self._do_unlock(ev)
         elif ev.is_memory:
-            self.stats.counter("mem_refs").inc()
+            self._c_mem_refs.inc()
             self.l1.access(ev.line_addr, ev.is_write, self._step)
         else:
             raise TraceError(f"core {self.tile}: cannot execute {ev}")
@@ -156,7 +159,7 @@ class Core:
             self.sync.arrive_barrier(barrier_id)
             self._spin_barrier(barrier_id, barrier_line)
 
-        self.stats.counter("mem_refs").inc()
+        self._c_mem_refs.inc()
         self.l1.access(barrier_line, True, after_store)
 
     def _wait_barrier_free(self, barrier_id: int) -> None:
@@ -177,7 +180,7 @@ class Core:
                 _SPIN_BACKOFF,
                 lambda: self._spin_barrier(barrier_id, barrier_line))
 
-        self.stats.counter("mem_refs").inc()
+        self._c_mem_refs.inc()
         self.l1.access(barrier_line, False, after_probe)
 
     def _barrier_line(self, barrier_id: int) -> int:
@@ -198,7 +201,7 @@ class Core:
                     self.stats.counter("lock_spins").inc()
                     self.sim.schedule(_SPIN_BACKOFF, probe)
 
-            self.stats.counter("mem_refs").inc()
+            self._c_mem_refs.inc()
             self.l1.access(ev.line_addr, False, after_read)
 
         def attempt() -> None:
@@ -209,7 +212,7 @@ class Core:
                     self.stats.counter("lock_spins").inc()
                     self.sim.schedule(_SPIN_BACKOFF, probe)
 
-            self.stats.counter("mem_refs").inc()
+            self._c_mem_refs.inc()
             self.l1.access(ev.line_addr, True, after_rmw)
 
         attempt()
@@ -219,7 +222,7 @@ class Core:
             self.sync.unlock(ev.line_addr, self.tile)
             self._step()
 
-        self.stats.counter("mem_refs").inc()
+        self._c_mem_refs.inc()
         self.l1.access(ev.line_addr, True, after_store)
 
     # ------------------------------------------------------------------

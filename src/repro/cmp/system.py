@@ -129,7 +129,11 @@ class CmpSystem:
         """Run to completion of all cores (or ``max_cycles``)."""
         for core in self.cores:
             core.start()
-        done = lambda: all(c.finished for c in self.cores)  # noqa: E731
+        # O(1) stop predicate: the kernel evaluates it every loop
+        # iteration, and an all()-scan over cores dominates large runs.
+        fin = self.stats.counter("cores_finished")
+        n_cores = len(self.cores)
+        done = lambda: fin.value >= n_cores  # noqa: E731
         self.sim.run(until=max_cycles, stop_when=done)
         finished = done()
         if not finished:

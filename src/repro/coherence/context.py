@@ -69,8 +69,10 @@ class SystemContext:
         self.timestamp = CoarseTimestamp(sim, config.ivr.timestamp_quantum)
         self.mc_tiles = edge_mc_tiles(self.mesh, config.memory.num_controllers)
         self.data_flits = config.data_flits()
-        #: dispatch table: (tile, unit) -> handler(msg)
-        self._handlers: Dict[tuple, Callable[[Msg], None]] = {}
+        #: dispatch table indexed [tile][unit.value] — a flat list
+        #: lookup per delivered packet, not a tuple-keyed dict probe
+        self._handlers: List[List[Optional[Callable[[Msg], None]]]] = [
+            [None] * (len(Unit) + 1) for _ in range(self.mesh.num_tiles)]
         for tile in range(self.mesh.num_tiles):
             network.attach(tile, self._make_receiver(tile))
 
@@ -109,15 +111,17 @@ class SystemContext:
     # ------------------------------------------------------------------
     def register(self, tile: int, unit: Unit,
                  handler: Callable[[Msg], None]) -> None:
-        key = (tile, unit)
-        if key in self._handlers:
+        row = self._handlers[tile]
+        if row[unit.value] is not None:
             raise ConfigError(f"unit {unit} at tile {tile} already registered")
-        self._handlers[key] = handler
+        row[unit.value] = handler
 
     def _make_receiver(self, tile: int) -> Callable[[Packet], None]:
+        row = self._handlers[tile]
+
         def receive(packet: Packet) -> None:
             msg: Msg = packet.payload
-            handler = self._handlers.get((tile, msg.unit))
+            handler = row[msg.unit.value]
             if handler is None:
                 raise ConfigError(
                     f"no {msg.unit} handler at tile {tile} for {msg}")

@@ -43,6 +43,13 @@ class L1Controller:
         self.mshrs = MshrFile(capacity=8)
         self.latency = ctx.config.l1.access_latency
         ctx.register(tile, Unit.L1, self.handle)
+        # Bound once: these fire on every memory reference / fill.
+        st = ctx.stats
+        self._c_l1_hits = st.counter("l1_hits")
+        self._c_l1_misses = st.counter("l1_misses")
+        self._s_l2_hit_latency = st.sampler("l2_hit_latency")
+        self._s_onchip_latency = st.sampler("l2_access_latency_onchip")
+        self._s_miss_latency = st.sampler("miss_latency")
 
     # ------------------------------------------------------------------
     # core-facing API
@@ -60,12 +67,11 @@ class L1Controller:
             mshr.deferred.append((line_addr, is_write, done))
             return
         line = self.array.lookup(line_addr)
-        stats = self.ctx.stats
         if line is not None and self._hit(line, is_write):
-            stats.counter("l1_hits").inc()
+            self._c_l1_hits.inc()
             done()
             return
-        stats.counter("l1_misses").inc()
+        self._c_l1_misses.inc()
         kind = "GETX" if is_write else "GETS"
         mshr = self.mshrs.allocate(line_addr, kind, requestor=self.tile,
                                    issued_cycle=self.ctx.sim.cycle)
@@ -109,10 +115,10 @@ class L1Controller:
         # latency accounting (Fig 7): issue-to-grant for on-chip fills
         elapsed = self.ctx.sim.cycle - mshr.issued_cycle
         if msg.home_hit:
-            self.ctx.stats.sampler("l2_hit_latency").add(elapsed)
+            self._s_l2_hit_latency.add(elapsed)
         if not msg.offchip:
-            self.ctx.stats.sampler("l2_access_latency_onchip").add(elapsed)
-        self.ctx.stats.sampler("miss_latency").add(elapsed)
+            self._s_onchip_latency.add(elapsed)
+        self._s_miss_latency.add(elapsed)
         cbs: List[DoneCb] = mshr.scratch["done_cbs"]
         deferred = self.mshrs.retire(line_addr)
         for cb in cbs:

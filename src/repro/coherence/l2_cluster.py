@@ -246,9 +246,37 @@ class TokenL2Controller(HomeL2Base):
         else:
             raise ProtocolError(f"token L2 at {self.tile} got {msg}")
 
+    # -- grant-window protection ----------------------------------------
+    def _defer_if_granting(self, msg: Msg) -> bool:
+        """Park a peer token request while a local SERVE transaction is
+        in its fill/grant window, replaying it at retire.
+
+        Once token collection completes (``collecting`` False) the
+        transaction is handing the line to a local L1 and only waits on
+        intra-cluster INV/RECALL acks — surrendering tokens *now* would
+        invalidate the line out from under the grant continuation, which
+        then completes on the dead line and leaves a stale L1 M copy
+        (write-serialization violation). Deferral here cannot deadlock:
+        the grant depends only on local L1s, which always ack promptly.
+        Requests racing an MSHR still *collecting* must NOT be deferred
+        — two collecting homes would park each other's requests forever;
+        they are resolved by the surrender-priority rule below instead.
+        """
+        mshr = self.mshrs.get(msg.line_addr)
+        if (mshr is not None and mshr.kind == "SERVE"
+                and not mshr.scratch.get("collecting", False)
+                and ("collecting" in mshr.scratch
+                     or mshr.scratch.get("granting"))):
+            self.mshrs.defer(msg.line_addr, msg)
+            self.ctx.stats.counter("tok_grant_window_defers").inc()
+            return True
+        return False
+
     # -- peer read: only the owner responds -----------------------------
     def _peer_gets(self, msg: Msg) -> None:
         if msg.requestor == self.tile:
+            return
+        if self._defer_if_granting(msg):
             return
         line = self.array.lookup(msg.line_addr, touch=False)
         mshr = self.mshrs.get(msg.line_addr)
@@ -303,6 +331,8 @@ class TokenL2Controller(HomeL2Base):
     # -- peer write: every holder surrenders everything ------------------
     def _peer_getx(self, msg: Msg) -> None:
         if msg.requestor == self.tile:
+            return
+        if self._defer_if_granting(msg):
             return
         line = self.array.lookup(msg.line_addr, touch=False)
         if line is not None and line.tokens > 0:

@@ -43,6 +43,15 @@ class HomeL2Base:
         self._fwd_ops: Dict[int, Dict] = {}
         self._overflow: List[Msg] = []  # requests parked on a full MSHR file
         ctx.register(tile, Unit.L2, self.handle)
+        # Bound once: these fire for every L2 access/fill.
+        st = ctx.stats
+        self._c_l2_accesses = st.counter("l2_accesses")
+        self._c_l2_hits = st.counter("l2_hits")
+        self._c_l2_misses = st.counter("l2_misses")
+        self._c_l2_upgrades = st.counter("l2_upgrades")
+        self._c_fills_onchip = st.counter("fills_onchip")
+        self._c_fills_offchip = st.counter("fills_offchip")
+        self._s_search_delay = st.sampler("search_delay")
 
     # ------------------------------------------------------------------
     # dispatch
@@ -77,7 +86,7 @@ class HomeL2Base:
                                    requestor=msg.requestor,
                                    issued_cycle=self.ctx.sim.cycle)
         mshr.scratch["msg"] = msg
-        self.ctx.stats.counter("l2_accesses").inc()
+        self._c_l2_accesses.inc()
         self.ctx.sim.schedule(self.latency, lambda: self._serve_body(mshr))
 
     def _serve_body(self, mshr: Mshr) -> None:
@@ -85,25 +94,25 @@ class HomeL2Base:
         line = self.array.lookup(msg.line_addr)
         if msg.kind is MsgKind.GETS:
             if line is not None and line.l2_state.readable:
-                self.ctx.stats.counter("l2_hits").inc()
+                self._c_l2_hits.inc()
                 mshr.scratch["home_hit"] = True
                 self._grant_read(mshr, line)
             else:
                 self._start_miss(mshr, exclusive=False)
         else:  # GETX
             if line is not None and self._can_write(line):
-                self.ctx.stats.counter("l2_hits").inc()
+                self._c_l2_hits.inc()
                 mshr.scratch["home_hit"] = True
                 self._grant_write(mshr, line)
             elif line is not None and line.l2_state.readable:
-                self.ctx.stats.counter("l2_upgrades").inc()
+                self._c_l2_upgrades.inc()
                 mshr.scratch["miss_cycle"] = self.ctx.sim.cycle
                 self._upgrade(mshr, line)
             else:
                 self._start_miss(mshr, exclusive=True)
 
     def _start_miss(self, mshr: Mshr, exclusive: bool) -> None:
-        self.ctx.stats.counter("l2_misses").inc()
+        self._c_l2_misses.inc()
         mshr.scratch["miss_cycle"] = self.ctx.sim.cycle
         self._fetch(mshr, exclusive)
 
@@ -178,10 +187,10 @@ class HomeL2Base:
         mshr.scratch["offchip"] = offchip
         if not offchip:
             delay = self.ctx.sim.cycle - mshr.scratch["miss_cycle"]
-            self.ctx.stats.sampler("search_delay").add(delay)
-            self.ctx.stats.counter("fills_onchip").inc()
+            self._s_search_delay.add(delay)
+            self._c_fills_onchip.inc()
         else:
-            self.ctx.stats.counter("fills_offchip").inc()
+            self._c_fills_offchip.inc()
 
         def install() -> None:
             existing = self.array.lookup(mshr.line_addr, touch=True)

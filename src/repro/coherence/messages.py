@@ -112,7 +112,7 @@ DATA_KINDS = frozenset({
 _msg_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Msg:
     """One coherence message (the payload of one network packet)."""
 

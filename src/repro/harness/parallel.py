@@ -1,0 +1,172 @@
+"""Parallel experiment execution: a process-pool sweep driver.
+
+Every figure of the paper is a sweep of *independent* full-system
+simulations (organizations x benchmarks x cluster sizes), so the
+experiment layer parallelizes trivially: each (config, max_cycles)
+work unit is pickled to a worker process, simulated there, and reduced
+to a result row. Determinism is preserved — each run's RNG streams are
+seeded from its own :class:`ExperimentConfig` (``seed`` field), never
+from worker identity or scheduling order, so ``parallel_sweep`` returns
+**bit-identical rows in the same order** as the serial
+:func:`repro.harness.sweep.sweep`.
+
+Extras over the serial path:
+
+* :func:`aggregate_stats` — fold many runs' :class:`Stats` into one via
+  ``Stats.merge`` (cross-benchmark roll-ups, fleet dashboards).
+* JSON result caching keyed on a hash of the full work-unit config
+  (``cache_dir=``): re-running a sweep after an interrupt, or growing
+  one axis, only simulates the missing cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.harness.experiment import ExperimentConfig, run_benchmark
+# Shared with the serial path so sweep(jobs=1) and sweep(jobs=N) can
+# never diverge on validation or metric resolution (sweep.py imports
+# this module lazily, so there is no cycle).
+from repro.harness.sweep import _VALID_FIELDS, _metric_of
+from repro.sim.stats import Stats
+
+__all__ = ["parallel_sweep", "run_units", "aggregate_stats", "config_key"]
+
+
+def config_key(exp: ExperimentConfig, max_cycles: int,
+               metric: Optional[str]) -> str:
+    """Stable cache key for one work unit.
+
+    ``ExperimentConfig`` is a frozen dataclass of scalars and enums, so
+    its repr is deterministic across processes and sessions (no ids,
+    no dict ordering hazards).
+    """
+    blob = f"{exp!r}|max_cycles={max_cycles}|metric={metric}"
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def _run_unit(unit: Tuple[ExperimentConfig, int, Optional[str]]):
+    """Worker entry point: simulate one config, reduce to the metric
+    (or return the full RunResult when no metric was requested)."""
+    exp, max_cycles, metric = unit
+    result = run_benchmark(exp, max_cycles=max_cycles)
+    if metric is None:
+        return result
+    return _metric_of(result, metric)
+
+
+def run_units(units: Sequence[Tuple[ExperimentConfig, int, Optional[str]]],
+              jobs: Optional[int] = None,
+              cache_dir: Optional[str] = None) -> List[Any]:
+    """Execute work units, preserving input order.
+
+    ``jobs`` <= 1 (or a single unit) runs in-process — same code path,
+    no pool overhead. ``cache_dir`` enables the JSON metric cache;
+    full-``RunResult`` units (metric None) are never cached (they are
+    not JSON-serializable by design).
+    """
+    out: List[Any] = [None] * len(units)
+    todo: List[Tuple[int, Tuple[ExperimentConfig, int, Optional[str]]]] = []
+    for i, unit in enumerate(units):
+        cached = _cache_load(cache_dir, unit)
+        if cached is not None:
+            out[i] = cached[0]
+        else:
+            todo.append((i, unit))
+    if todo:
+        # Results are cached as they arrive (pool.map yields in input
+        # order), so an interrupt or a failing later unit keeps every
+        # completed cell — the resumability the cache exists for.
+        if jobs is not None and jobs > 1 and len(todo) > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for (i, unit), value in zip(
+                        todo, pool.map(_run_unit, [u for _, u in todo])):
+                    out[i] = value
+                    _cache_store(cache_dir, unit, value)
+        else:
+            for i, unit in todo:
+                value = _run_unit(unit)
+                out[i] = value
+                _cache_store(cache_dir, unit, value)
+    return out
+
+
+def _cache_load(cache_dir, unit):
+    exp, max_cycles, metric = unit
+    if cache_dir is None or metric is None:
+        return None
+    path = os.path.join(cache_dir, config_key(exp, max_cycles, metric) + ".json")
+    try:
+        with open(path) as f:
+            return (json.load(f)["value"],)
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def _cache_store(cache_dir, unit, value) -> None:
+    exp, max_cycles, metric = unit
+    if cache_dir is None or metric is None:
+        return
+    if not isinstance(value, (int, float)):
+        return  # only scalar metrics are cacheable
+    os.makedirs(cache_dir, exist_ok=True)
+    path = os.path.join(cache_dir, config_key(exp, max_cycles, metric) + ".json")
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump({"config": repr(exp), "max_cycles": max_cycles,
+                   "metric": metric, "value": value}, f)
+    os.replace(tmp, path)  # atomic: concurrent sweeps may share the dir
+
+
+def parallel_sweep(benchmark: str, metric: Optional[str] = None,
+                   max_cycles: int = 50_000_000,
+                   jobs: Optional[int] = None,
+                   cache_dir: Optional[str] = None,
+                   **axes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Run ``benchmark`` for the cross product of ``axes`` on a process
+    pool. Drop-in parallel replacement for
+    :func:`repro.harness.sweep.sweep`: same axis validation, same row
+    order, bit-identical rows (deterministic per-config seeding).
+
+    ``jobs`` defaults to ``os.cpu_count()``; pass 1 to force serial
+    execution through the same code path.
+    """
+    for name in axes:
+        if name not in _VALID_FIELDS:
+            raise ConfigError(
+                f"unknown sweep axis {name!r}; "
+                f"valid: {sorted(_VALID_FIELDS)}")
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    names = list(axes)
+    combos = list(itertools.product(*(axes[n] for n in names)))
+    units = []
+    for combo in combos:
+        kwargs = dict(zip(names, combo))
+        units.append((ExperimentConfig(benchmark=benchmark, **kwargs),
+                      max_cycles, metric))
+    values = run_units(units, jobs=jobs, cache_dir=cache_dir)
+    rows: List[Dict[str, Any]] = []
+    for combo, value in zip(combos, values):
+        row: Dict[str, Any] = dict(zip(names, combo))
+        if metric is not None:
+            row[metric] = value
+        else:
+            row["result"] = value
+        rows.append(row)
+    return rows
+
+
+def aggregate_stats(results: Sequence[Any]) -> Stats:
+    """Merge the ``stats`` of many :class:`RunResult`-like objects (or
+    raw :class:`Stats`) into one, via ``Stats.merge``."""
+    total = Stats()
+    for r in results:
+        total.merge(r if isinstance(r, Stats) else r.stats)
+    return total

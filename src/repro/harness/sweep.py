@@ -24,14 +24,23 @@ _VALID_FIELDS = {f.name for f in fields(ExperimentConfig)}
 
 
 def sweep(benchmark: str, metric: Optional[str] = None,
-          max_cycles: int = 50_000_000,
+          max_cycles: int = 50_000_000, jobs: Optional[int] = None,
           **axes: Sequence[Any]) -> List[Dict[str, Any]]:
     """Run ``benchmark`` for the cross product of ``axes``.
 
     Each axis keyword must be an :class:`ExperimentConfig` field name
     mapped to a list of values. Returns one dict per run containing the
     axis values plus either the named ``metric`` or the full result.
+
+    ``jobs`` > 1 delegates to
+    :func:`repro.harness.parallel.parallel_sweep`, which spreads the
+    runs over a process pool and returns bit-identical rows in the
+    same order (per-config deterministic seeding).
     """
+    if jobs is not None and jobs > 1:
+        from repro.harness.parallel import parallel_sweep
+        return parallel_sweep(benchmark, metric=metric,
+                              max_cycles=max_cycles, jobs=jobs, **axes)
     for name in axes:
         if name not in _VALID_FIELDS:
             raise ConfigError(

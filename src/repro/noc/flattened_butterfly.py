@@ -42,12 +42,13 @@ class FlattenedButterflyNetwork(BaseNetwork):
         # is exactly why the paper finds high-radix LOCO slow locally.
         self.injection_delay = config.high_radix_pipeline
 
-    def _plan_links(self, flit: _Flit) -> Tuple[List[Link], List[int]]:
+    def _compute_plan(self, at: int, leg_dst: int
+                      ) -> Tuple[List[Link], List[int]]:
         """One express channel covering up to hpc_max hops along the
         current XY dimension. The channel is a single dedicated link
         keyed by its endpoints."""
-        nxt, moved = self.mesh.xy_next_stop(flit.at, flit.leg_dst,
+        nxt, moved = self.mesh.xy_next_stop(at, leg_dst,
                                             self.max_hops_per_move)
         if moved == 0:
             return [], []
-        return [(flit.at, nxt)], [nxt]
+        return [(at, nxt)], [nxt]

@@ -32,7 +32,7 @@ class VirtualNetwork(IntEnum):
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network packet (head-flit granularity).
 

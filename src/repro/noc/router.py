@@ -100,8 +100,23 @@ class BaseNetwork:
         self._receivers: List[Optional[Callable[[Packet], None]]] = [None] * n
         self._link_busy: Dict[Link, int] = {}
         self._active: Set[int] = set()
+        self._nic_active: Set[int] = set()  # tiles with a NIC backlog
         self._in_flight = 0
         self._tid = sim.add_ticker(self)
+        # Route plans depend only on (at, leg_dst) on a static mesh, so
+        # they are computed once and reused every cycle the flit re-arbs.
+        self._plan_cache: Dict[Link, Tuple[List[Link], List[int]]] = {}
+        # Hot-path stat objects, bound once: Stats lookups and the
+        # f-string name construction are measurable per-flit costs.
+        st = self.stats
+        self._c_injected = st.counter(f"{name}.injected")
+        self._c_mcast_injected = st.counter(f"{name}.mcast_injected")
+        self._c_delivered = st.counter(f"{name}.delivered")
+        self._c_flit_hops = st.counter(f"{name}.flit_hops")
+        self._c_premature = st.counter(f"{name}.premature_stops")
+        self._c_arb_losses = st.counter(f"{name}.arb_losses")
+        self._c_backoff = st.counter(f"{name}.buffer_backoff")
+        self._s_latency = st.sampler(f"{name}.latency")
 
     # ------------------------------------------------------------------
     # public API
@@ -115,7 +130,7 @@ class BaseNetwork:
         if packet.dst is None:
             raise NetworkError("use multicast() for multicast packets")
         packet.injected_at = self.sim.cycle
-        self.stats.counter(f"{self.name}.injected").inc()
+        self._c_injected.inc()
         if packet.dst == packet.src:
             # Loopback through the NIC: one cycle.
             self._in_flight += 1
@@ -130,7 +145,7 @@ class BaseNetwork:
         support) fall back to serial unicasts from the source — the
         paper's "15 copies sent from the source" case."""
         packet.injected_at = self.sim.cycle
-        self.stats.counter(f"{self.name}.mcast_injected").inc()
+        self._c_mcast_injected.inc()
         for member in vms.members:
             if member == packet.src:
                 continue
@@ -155,8 +170,8 @@ class BaseNetwork:
     def _deliver_local(self, packet: Packet) -> None:
         packet.delivered_at = self.sim.cycle
         self._in_flight -= 1
-        self.stats.counter(f"{self.name}.delivered").inc()
-        self.stats.sampler(f"{self.name}.latency").add(packet.latency)
+        self._c_delivered.inc()
+        self._s_latency.add(packet.latency)
         receiver = self._receivers[packet.src]
         if receiver is None:
             raise NetworkError(f"no receiver attached at tile {packet.src}")
@@ -166,6 +181,7 @@ class BaseNetwork:
         self._in_flight += 1
         self._nic_queues[flit.at].append(flit)
         self._active.add(flit.at)
+        self._nic_active.add(flit.at)
         self.sim.wake(self._tid)
 
     def _buffer_flit(self, flit: _Flit, tile: int, cycle: int) -> None:
@@ -186,12 +202,12 @@ class BaseNetwork:
         packet = flit.packet
         tile = flit.at
         delay = 1
-        self.stats.counter(f"{self.name}.delivered").inc()
+        self._c_delivered.inc()
 
         def fire(p=packet, t=tile) -> None:
             p.delivered_at = self.sim.cycle
             self._in_flight -= 1
-            self.stats.sampler(f"{self.name}.latency").add(p.latency)
+            self._s_latency.add(p.latency)
             receiver = self._receivers[t]
             if receiver is None:
                 raise NetworkError(f"no receiver attached at tile {t}")
@@ -202,14 +218,25 @@ class BaseNetwork:
     # -- route planning (subclass hooks) --------------------------------
     def _plan_links(self, flit: _Flit) -> Tuple[List[Link], List[int]]:
         """Links (in order) and the routers after each link for one
-        traversal toward ``flit.leg_dst``. Default: unit-link XY walk of
-        up to ``max_hops_per_move`` hops along one dimension."""
+        traversal toward ``flit.leg_dst``, memoized per (at, leg_dst):
+        plans on a static mesh never change, and a blocked flit re-plans
+        the identical traversal every arbitration round."""
+        key = (flit.at, flit.leg_dst)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._compute_plan(flit.at, flit.leg_dst)
+            self._plan_cache[key] = plan
+        return plan
+
+    def _compute_plan(self, at: int, leg_dst: int
+                      ) -> Tuple[List[Link], List[int]]:
+        """Default planner: unit-link XY walk of up to
+        ``max_hops_per_move`` hops along one dimension."""
         links: List[Link] = []
         routers: List[int] = []
-        at = flit.at
         remaining = self.max_hops_per_move
-        while remaining > 0 and at != flit.leg_dst:
-            nxt, moved = self.mesh.xy_next_stop(at, flit.leg_dst, 1)
+        while remaining > 0 and at != leg_dst:
+            nxt, moved = self.mesh.xy_next_stop(at, leg_dst, 1)
             if moved == 0:
                 break
             # Stay within one dimension per traversal (SMART 1D: stop at
@@ -235,71 +262,99 @@ class BaseNetwork:
         movers = self._gather_movers(cycle)
         if movers:
             self._arbitrate_and_move(movers, cycle)
+        occupancy = self._occupancy
+        nic_queues = self._nic_queues
         self._active = {t for t in self._active
-                        if self._occupancy[t] or self._nic_queues[t]}
+                        if occupancy[t] or nic_queues[t]}
         return bool(self._active)
 
     def _drain_nics(self, cycle: int) -> None:
-        for tile in list(self._active):
+        if not self._nic_active:
+            return
+        occupancy = self._occupancy
+        capacity = self._capacity
+        injection_delay = self.injection_delay
+        for tile in list(self._nic_active):
             q = self._nic_queues[tile]
-            while q and self._occupancy[tile] < self._capacity:
+            while q and occupancy[tile] < capacity:
                 flit = q.popleft()
                 self._buffer_flit(flit, tile, cycle)
-                flit.ready = cycle + self.injection_delay
+                flit.ready = cycle + injection_delay
+            if not q:
+                self._nic_active.discard(tile)
 
     def _gather_movers(self, cycle: int) -> List[_Flit]:
         movers: List[_Flit] = []
+        append = movers.append
+        occupancy = self._occupancy
+        buffers = self._buffers
         for tile in self._active:
-            for vn_q in self._buffers[tile]:
+            if not occupancy[tile]:
+                continue  # NIC backlog only; nothing buffered to move
+            for vn_q in buffers[tile]:
                 for flit in vn_q:
                     if flit.ready <= cycle:
-                        movers.append(flit)
-        movers.sort(key=lambda f: (f.packet.injected_at, f.seq))
+                        append(flit)
+        if len(movers) > 1:
+            movers.sort(key=lambda f: (f.packet.injected_at, f.seq))
         return movers
 
     def _arbitrate_and_move(self, movers: List[_Flit], cycle: int) -> None:
-        plans: List[Tuple[_Flit, List[Link], List[int]]] = []
+        # Plan entries are [flit, links, routers, got] — `got` mutated
+        # in place during arbitration.
+        plans: List[List] = []
+        plans_append = plans.append
         for flit in movers:
             links, routers = self._plan_links(flit)
             if links:
-                plans.append((flit, links, routers))
+                plans_append([flit, links, routers, 0])
             else:
                 # Shouldn't happen: flit buffered at its leg destination
                 # is ejected on arrival, never re-buffered.
                 raise NetworkError(
                     f"flit at {flit.at} has no route to {flit.leg_dst}")
         claimed: Set[Link] = set()
-        progress: Dict[int, int] = {}  # flit.seq -> links acquired
-        max_len = max((len(links) for _, links, _ in plans), default=0)
-        # Distance-priority arbitration: position 0 (local) claims first.
-        for pos in range(max_len):
-            for flit, links, _routers in plans:
-                if progress.get(flit.seq, 0) != pos or pos >= len(links):
-                    continue
+        link_busy = self._link_busy
+        # Distance-priority arbitration: position 0 (local) claims
+        # first. A flit that fails to claim its next link stops for the
+        # cycle, so only still-advancing flits are rescanned per
+        # position (the plans list is priority-ordered already).
+        live = plans
+        pos = 0
+        while live:
+            advancing: List[List] = []
+            for entry in live:
+                links = entry[1]
                 link = links[pos]
-                if link in claimed or self._link_busy.get(link, -1) >= cycle:
+                if link in claimed or link_busy.get(link, -1) >= cycle:
                     continue  # flit stops before this link
                 claimed.add(link)
-                progress[flit.seq] = pos + 1
-        for flit, links, routers in plans:
-            got = progress.get(flit.seq, 0)
-            if not self.allow_partial and got < len(links):
+                entry[3] = pos + 1
+                if pos + 1 < len(links):
+                    advancing.append(entry)
+            live = advancing
+            pos += 1
+        allow_partial = self.allow_partial
+        occupancy = self._occupancy
+        capacity = self._capacity
+        for flit, links, routers, got in plans:
+            if not allow_partial and got < len(links):
                 got = 0  # all-or-nothing fabrics release their claims
             # Back off from full routers (cannot stop where there is no
             # buffer space; the leg destination ejects, needing none).
             while got > 0:
                 stop = routers[got - 1]
-                if stop == flit.leg_dst or \
-                        self._occupancy[stop] < self._capacity:
+                if stop == flit.leg_dst or occupancy[stop] < capacity:
                     break
                 got -= 1
-                self.stats.counter(f"{self.name}.buffer_backoff").inc()
+                self._c_backoff.inc()
             if got == 0:
                 flit.ready = cycle + 1  # fresh SSR / re-arbitrate next cycle
-                self.stats.counter(f"{self.name}.arb_losses").inc()
+                self._c_arb_losses.inc()
                 continue
+            tail = cycle + flit.packet.size_flits - 1
             for link in links[:got]:
-                self._link_busy[link] = cycle + flit.packet.size_flits - 1
+                link_busy[link] = tail
             self._move_flit(flit, routers[got - 1], got, cycle,
                             premature=(got < len(links)))
 
@@ -307,10 +362,9 @@ class BaseNetwork:
                    premature: bool) -> None:
         self._buffers[flit.at][flit.packet.vn].remove(flit)
         self._occupancy[flit.at] -= 1
-        self.stats.counter(f"{self.name}.flit_hops").inc(
-            hops * flit.packet.size_flits)
+        self._c_flit_hops.inc(hops * flit.packet.size_flits)
         if premature:
-            self.stats.counter(f"{self.name}.premature_stops").inc()
+            self._c_premature.inc()
         flit.at = to
         if to == flit.leg_dst:
             self._on_leg_complete(flit, cycle)

@@ -37,6 +37,7 @@ class SmartNetwork(BaseNetwork):
                  stats: Optional[Stats] = None, name: str = "smart") -> None:
         super().__init__(sim, mesh, config, stats, name)
         self.max_hops_per_move = config.hpc_max
+        self._c_mcast_forks = self.stats.counter(f"{name}.mcast_forks")
 
     # ------------------------------------------------------------------
     def multicast(self, packet: Packet, vms) -> None:
@@ -50,7 +51,7 @@ class SmartNetwork(BaseNetwork):
         """
         packet.injected_at = self.sim.cycle
         packet.mcast_group = vms.members
-        self.stats.counter(f"{self.name}.mcast_injected").inc()
+        self._c_mcast_injected.inc()
         root = packet.src
         children = vms.tree_children(root, root)
         if not children:
@@ -78,4 +79,4 @@ class SmartNetwork(BaseNetwork):
             self._buffers[flit.at][flit.packet.vn].append(branch)
             self._occupancy[flit.at] += 1
             self._active.add(flit.at)
-            self.stats.counter(f"{self.name}.mcast_forks").inc()
+            self._c_mcast_forks.inc()

@@ -13,7 +13,7 @@ from typing import Iterator, List, Tuple
 from repro.errors import NetworkError
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Coord:
     """A tile coordinate on the mesh."""
 

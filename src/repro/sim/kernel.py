@@ -12,32 +12,44 @@ Python cycle-level NoC + coherence model tractable:
   so an idle network costs nothing and the kernel can fast-forward
   between events.
 
-The event queue is a binary heap keyed on ``(cycle, seq)``; ``seq`` is a
-monotonically increasing tie-breaker so same-cycle events run in the
-order they were scheduled (deterministic replay).
+The event queue is a binary heap of ``(cycle, seq, event)`` tuples;
+``seq`` is a monotonically increasing tie-breaker so same-cycle events
+run in the order they were scheduled (deterministic replay). Plain
+tuples keep heap sifting in C — an :class:`Event` comparison method in
+the hot path would dominate large runs.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback. Ordered by (cycle, seq) for determinism."""
+    """A scheduled callback, cancellable while queued."""
 
-    cycle: int
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("cycle", "seq", "fn", "cancelled", "_sim")
+
+    def __init__(self, cycle: int, seq: int, fn: Callable[[], None],
+                 sim: "Optional[Simulator]" = None) -> None:
+        self.cycle = cycle
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (it stays in the heap lazily)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._live_events -= 1
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "live"
+        return f"Event(cycle={self.cycle}, seq={self.seq}, {state})"
 
 
 class Ticker:
@@ -58,17 +70,20 @@ class Simulator:
     Parameters
     ----------
     deadlock_window:
-        If no event fires and no ticker makes progress for this many
-        *events processed* cycles, :class:`DeadlockError` is raised.
-        The watchdog compares wall-simulation progress, not host time.
+        If the simulated clock advances this many cycles beyond the
+        last cycle in which anything ran (an event fired or an awake
+        ticker ticked), :class:`DeadlockError` is raised. The watchdog
+        compares simulated-time progress, not host time.
     """
 
     def __init__(self, deadlock_window: int = 2_000_000) -> None:
         self.cycle: int = 0
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[int, int, Event]] = []
         self._seq: int = 0
         self._tickers: List[Any] = []
         self._awake: List[bool] = []
+        self._awake_count: int = 0
+        self._live_events: int = 0
         self._running = False
         self._deadlock_window = deadlock_window
         self._stop_requested = False
@@ -82,9 +97,12 @@ class Simulator:
         """Schedule ``fn`` to run ``delay`` cycles from now (delay >= 0)."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        ev = Event(self.cycle + delay, self._seq, fn)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        cycle = self.cycle + delay
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(cycle, seq, fn, self)
+        self._live_events += 1
+        heapq.heappush(self._heap, (cycle, seq, ev))
         return ev
 
     def at(self, cycle: int, fn: Callable[[], None]) -> Event:
@@ -105,10 +123,12 @@ class Simulator:
 
     def wake(self, tid: int) -> None:
         """Mark a ticker as having work, starting next cycle boundary."""
-        self._awake[tid] = True
+        if not self._awake[tid]:
+            self._awake[tid] = True
+            self._awake_count += 1
 
     def _any_awake(self) -> bool:
-        return any(self._awake)
+        return self._awake_count > 0
 
     # ------------------------------------------------------------------
     # main loop
@@ -124,11 +144,12 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         last_progress_cycle = self.cycle
+        deadlock_window = self._deadlock_window
         while not self._stop_requested:
             if stop_when is not None and stop_when():
                 break
             next_event_cycle = self._peek_cycle()
-            if self._any_awake():
+            if self._awake_count:
                 target = self.cycle
             elif next_event_cycle is not None:
                 target = next_event_cycle  # fast-forward over idle gap
@@ -141,13 +162,13 @@ class Simulator:
             progressed = self._run_cycle()
             if progressed:
                 last_progress_cycle = self.cycle
-            elif self.cycle - last_progress_cycle > self._deadlock_window:
+            elif self.cycle - last_progress_cycle > deadlock_window:
                 raise DeadlockError(
                     f"no progress since cycle {last_progress_cycle} "
                     f"(now {self.cycle})")
-            if not self._any_awake() and self._peek_cycle() is None:
+            if not self._awake_count and self._peek_cycle() is None:
                 break
-            if self._any_awake():
+            if self._awake_count:
                 self.cycle += 1
             if until is not None and self.cycle > until:
                 self.cycle = until
@@ -156,9 +177,10 @@ class Simulator:
         return self.cycle
 
     def _peek_cycle(self) -> Optional[int]:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].cycle if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def _run_cycle(self) -> bool:
         """Fire all events due this cycle, then tick awake tickers.
@@ -166,24 +188,36 @@ class Simulator:
         Returns True if anything ran.
         """
         progressed = False
-        while self._heap and self._heap[0].cycle <= self.cycle:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        heappop = heapq.heappop
+        cycle = self.cycle
+        while heap and heap[0][0] <= cycle:
+            ev = heappop(heap)[2]
             if ev.cancelled:
                 continue
-            if ev.cycle < self.cycle:
+            if ev.cycle < cycle:
                 raise SimulationError(
-                    f"event for cycle {ev.cycle} fired late at {self.cycle}")
+                    f"event for cycle {ev.cycle} fired late at {cycle}")
+            self._live_events -= 1
+            # Mark consumed so a late cancel() (e.g. a token-protocol
+            # timeout cancelled after it already fired) is a no-op and
+            # cannot decrement the live-event counter a second time.
+            ev.cancelled = True
             progressed = True
             ev.fn()
-        for tid, ticker in enumerate(self._tickers):
-            if self._awake[tid]:
-                progressed = True
-                still_busy = ticker.tick(self.cycle)
-                if not still_busy:
-                    self._awake[tid] = False
+        if self._awake_count:
+            awake = self._awake
+            for tid, ticker in enumerate(self._tickers):
+                if awake[tid]:
+                    progressed = True
+                    still_busy = ticker.tick(cycle)
+                    if not still_busy:
+                        awake[tid] = False
+                        self._awake_count -= 1
         return progressed
 
     # ------------------------------------------------------------------
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued. O(1):
+        maintained as a counter at schedule/cancel/fire time."""
+        return self._live_events

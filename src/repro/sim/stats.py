@@ -51,7 +51,12 @@ class Histogram:
 
     def add(self, value: float) -> None:
         idx = int(value // self.bin_width)
-        if idx >= len(self.bins) - 1 or idx < 0:
+        if idx < 0:
+            # Negative samples are clamped to the first bin, NOT folded
+            # into the overflow bin: "below range" must not masquerade
+            # as "too large".
+            idx = 0
+        elif idx >= len(self.bins) - 1:
             idx = len(self.bins) - 1
         self.bins[idx] += 1
         self.count += 1
@@ -168,8 +173,15 @@ class Stats:
         return v - self._mark_counters.get(name, 0)
 
     def delta_mean(self, name: str) -> float:
-        """Mean of samples added since :meth:`mark` (overall mean if
-        unmarked or nothing new arrived)."""
+        """Mean of samples added since :meth:`mark`.
+
+        Unmarked (or for a sampler created after the mark, whose samples
+        are all post-mark) this is the overall mean. When a mark is set
+        but NO samples arrived after it, the measured region is empty
+        and the result is 0.0 — falling back to the overall mean here
+        would silently report warmup-contaminated data as a
+        measured-region metric.
+        """
         s = self._samplers.get(name)
         if s is None:
             return 0.0
@@ -178,7 +190,7 @@ class Stats:
         count0, total0 = self._mark_samplers[name]
         n = s.count - count0
         if n <= 0:
-            return s.mean
+            return 0.0
         return (s.total - total0) / n
 
     # convenience accessors -------------------------------------------------
@@ -230,7 +242,10 @@ class Stats:
         for name, s in sorted(self._samplers.items()):
             out[f"{name}.mean"] = s.mean
             out[f"{name}.count"] = s.count
+        # Histograms render under a `.hist.` namespace so a histogram
+        # and a sampler sharing a name cannot clobber each other's
+        # `{name}.mean` / `{name}.count` entries.
         for name, h in sorted(self._histograms.items()):
-            out[f"{name}.mean"] = h.mean
-            out[f"{name}.count"] = h.count
+            out[f"{name}.hist.mean"] = h.mean
+            out[f"{name}.hist.count"] = h.count
         return out

@@ -28,7 +28,7 @@ class Op(Enum):
     BARRIER = auto()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One trace record: optional compute gap, then one operation."""
 

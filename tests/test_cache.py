@@ -218,3 +218,117 @@ class TestCoarseTimestamp:
     def test_bad_quantum(self):
         with pytest.raises(ConfigError):
             CoarseTimestamp(Simulator(), 0)
+
+
+class _ReferenceListLru:
+    """The seed's O(assoc) list-based LRU, kept as a behavioral oracle
+    for the OrderedDict implementation."""
+
+    def __init__(self, assoc):
+        self._order = list(range(assoc))
+
+    def touch(self, way):
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self):
+        return self._order[0]
+
+    def victim_ranking(self):
+        return list(self._order)
+
+
+class TestLruEquivalence:
+    def test_matches_reference_list_lru_on_random_ops(self):
+        import random
+        rng = random.Random(20140301)
+        for assoc in (1, 2, 4, 8, 16):
+            fast, ref = LruPolicy(assoc), _ReferenceListLru(assoc)
+            for _ in range(500):
+                way = rng.randrange(assoc)
+                fast.touch(way)
+                ref.touch(way)
+                assert fast.victim() == ref.victim()
+                assert fast.victim_ranking() == ref.victim_ranking()
+
+    def test_initial_order_is_way_order(self):
+        p = LruPolicy(4)
+        assert p.victim_ranking() == [0, 1, 2, 3]
+        assert p.victim() == 0
+
+
+class TestWayBookkeepingInvariants:
+    def _check_way_invariants(self, a):
+        """addr->way and way->addr maps must stay mutually inverse and
+        disjoint from the free list, per set."""
+        for idx in range(a.num_sets):
+            ways = a._ways[idx]
+            addr_of_way = a._addr_of_way[idx]
+            free = a._free_ways[idx]
+            assert len(set(ways.values())) == len(ways)  # no way reuse
+            for addr, way in ways.items():
+                assert addr_of_way[way] == addr
+                assert way not in free
+            for way, addr in enumerate(addr_of_way):
+                if addr is not None:
+                    assert ways[addr] == way
+            assert len(ways) + len(free) == a.assoc
+
+    def test_free_way_reused_after_invalidate(self):
+        a = small_array(sets=1, assoc=2)
+        a.allocate(0)
+        a.allocate(1)
+        freed_way = a._ways[0][0]
+        a.invalidate(0)
+        self._check_way_invariants(a)
+        a.allocate(2)
+        assert a._ways[0][2] == freed_way
+        self._check_way_invariants(a)
+
+    def test_invariants_through_mixed_churn(self):
+        import random
+        rng = random.Random(7)
+        a = small_array(sets=4, assoc=4)
+        resident = set()
+        for step in range(800):
+            addr = rng.randrange(64)
+            if addr in resident and rng.random() < 0.4:
+                a.invalidate(addr)
+                resident.discard(addr)
+            elif addr not in resident:
+                _, victim = a.allocate(addr)
+                resident.add(addr)
+                if victim is not None:
+                    resident.discard(victim.line_addr)
+            else:
+                a.lookup(addr)
+            self._check_way_invariants(a)
+        assert a.resident_count == len(resident)
+
+    def test_victim_candidate_is_pure(self):
+        a = small_array(sets=1, assoc=2)
+        a.allocate(0)
+        a.allocate(1)
+        a.lookup(0)  # make 1 the LRU
+        before_rank = [ln.line_addr for ln in a.victim_ranking(2)]
+        cand1 = a.victim_candidate(2)
+        cand2 = a.victim_candidate(2)
+        assert cand1 is cand2
+        assert cand1.line_addr == 1
+        assert [ln.line_addr for ln in a.victim_ranking(2)] == before_rank
+        assert a.resident_count == 2
+
+    def test_index_stride_spreads_congruent_addresses(self):
+        # An address-interleaved slice only sees addresses congruent
+        # mod stride; the stride must be stripped before set indexing.
+        stride = 4
+        cfg = CacheConfig(size_bytes=8 * 2 * 32, assoc=2, line_bytes=32,
+                          access_latency=1)
+        a = CacheArray(cfg, index_stride=stride)
+        seen = {a.set_index(base * stride) for base in range(a.num_sets)}
+        assert seen == set(range(a.num_sets))
+
+    def test_inverse_way_unmapped_rejected(self):
+        a = small_array(sets=1, assoc=2)
+        with pytest.raises(ConfigError):
+            a._inverse_way(0, 0)

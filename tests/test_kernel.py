@@ -103,6 +103,26 @@ class TestScheduling:
         e1.cancel()
         assert sim.pending_events() == 1
 
+    def test_cancel_after_fire_does_not_corrupt_pending_count(self):
+        """Regression: cancelling an already-fired event (the token
+        protocol does this with stale timeout events) must not
+        decrement the live-event counter a second time."""
+        sim = Simulator()
+        ev = sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.pending_events() == 0
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending_events() == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        ev = sim.schedule(5, lambda: None)
+        sim.schedule(6, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending_events() == 1
+
 
 class TestTickers:
     class CountdownTicker:

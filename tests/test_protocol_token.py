@@ -168,3 +168,47 @@ class TestPersistentEscalation:
         cached, owners, mem, mem_owner = token_census(system, 0x800)
         assert cached + mem == cm.num_clusters
         assert owners + (1 if mem_owner else 0) == 1
+
+
+class TestGrantWindowRace:
+    def test_simultaneous_writers_converge_to_one_m_copy(self):
+        """Regression: a peer TOK_GETX arriving while a home is granting
+        M to a local L1 (waiting on intra-cluster INV acks) used to
+        surrender the tokens and invalidate the line mid-grant; the
+        grant continuation then completed on the dead line and left a
+        second, unbacked L1 M copy. The home must park peer requests for
+        the duration of the grant window (hypothesis-found writer set)."""
+        from repro.cmp.system import CmpSystem
+        from repro.traces.events import Op, TraceEvent
+        from tests.conftest import tiny_config
+
+        writers = [0, 1, 2, 3, 7, 9, 12]
+        traces = [[] for _ in range(16)]
+        for w in writers:
+            traces[w].append(TraceEvent(Op.STORE, 0x200))
+        system = CmpSystem(tiny_config(Organization.LOCO_CC_VMS_IVR),
+                           traces)
+        assert system.run(max_cycles=10_000_000).finished
+        m = [t for t in range(16)
+             if system.l1s[t].resident_state(0x200) is L1State.M]
+        assert m == [t for t in m if t in writers] and len(m) == 1
+        # The surviving M copy must be backed by its home L2 (inclusion).
+        home = system.ctx.home_tile(m[0], 0x200)
+        assert system.l2s[home].array.lookup(0x200, touch=False) is not None
+        system.check_token_conservation()
+
+    def test_two_cluster_write_race_during_local_grant(self):
+        """Two same-cluster writers force a deferred local grant; a
+        third writer in another cluster fires into the grant window."""
+        system = build_system(Organization.LOCO_CC_VMS_IVR)
+        drv = AccessDriver(system)
+        cm = system.ctx.cluster_map
+        local = [t for t in range(16) if cm.cluster_of(t) == 0][:2]
+        remote = next(t for t in range(16) if cm.cluster_of(t) == 3)
+        drv.parallel([(local[0], 0x340, True), (local[1], 0x340, True),
+                      (remote, 0x340, True)], max_cycles=2_000_000)
+        drv.settle(10_000)
+        m = [t for t in range(16)
+             if system.l1s[t].resident_state(0x340) is L1State.M]
+        assert len(m) == 1
+        system.check_token_conservation()

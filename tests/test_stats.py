@@ -33,6 +33,21 @@ class TestHistogram:
         h.add(100)
         assert h.bins[-1] == 1
 
+    def test_negative_values_clamp_to_first_bin_not_overflow(self):
+        h = Histogram("h", bin_width=10, num_bins=4)
+        h.add(-1)
+        h.add(-1000)
+        assert h.bins[0] == 2
+        assert h.bins[-1] == 0
+
+    def test_negative_and_overflow_edges_stay_distinct(self):
+        h = Histogram("h", bin_width=1, num_bins=2)
+        h.add(-5)     # below range -> first bin
+        h.add(1000)   # above range -> overflow bin
+        assert h.bins[0] == 1
+        assert h.bins[-1] == 1
+        assert h.count == 2
+
     def test_mean(self):
         h = Histogram("h")
         h.add(2)
@@ -107,6 +122,17 @@ class TestStats:
         assert d["s.mean"] == 4.0
         assert d["s.count"] == 1
 
+    def test_to_dict_histogram_does_not_clobber_sampler(self):
+        st = Stats()
+        st.sampler("lat").add(4.0)
+        st.histogram("lat").add(10)
+        st.histogram("lat").add(20)
+        d = st.to_dict()
+        assert d["lat.mean"] == 4.0       # sampler untouched
+        assert d["lat.count"] == 1
+        assert d["lat.hist.mean"] == 15.0  # histogram namespaced
+        assert d["lat.hist.count"] == 2
+
     def test_mark_and_delta(self):
         st = Stats()
         st.counter("c").inc(10)
@@ -125,11 +151,26 @@ class TestStats:
         st.counter("c").inc(4)
         assert st.delta("c") == 4
 
-    def test_delta_mean_no_new_samples_falls_back(self):
+    def test_delta_mean_no_new_samples_is_zero(self):
+        """Regression: a mark with no post-warmup samples used to fall
+        back to the overall (warmup-contaminated) mean."""
         st = Stats()
         st.sampler("s").add(7.0)
         st.mark()
-        assert st.delta_mean("s") == 7.0
+        assert st.delta_mean("s") == 0.0
+
+    def test_delta_mean_sampler_created_after_mark_uses_all_samples(self):
+        st = Stats()
+        st.mark()
+        st.sampler("late").add(3.0)
+        st.sampler("late").add(5.0)
+        assert st.delta_mean("late") == 4.0
+
+    def test_delta_mean_unmarked_is_overall_mean(self):
+        st = Stats()
+        st.sampler("s").add(2.0)
+        st.sampler("s").add(4.0)
+        assert st.delta_mean("s") == 3.0
 
     def test_counter_created_after_mark(self):
         st = Stats()

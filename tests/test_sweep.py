@@ -45,3 +45,48 @@ class TestSweep:
     def test_best_empty_rejected(self):
         with pytest.raises(ConfigError):
             best([], "m")
+
+
+class TestParallelSweep:
+    AXES = dict(organization=[Organization.SHARED, Organization.PRIVATE],
+                scale=[0.04], seed=[1, 2])
+
+    def test_rows_bit_identical_to_serial(self):
+        from repro.harness.parallel import parallel_sweep
+        serial = sweep("water_spatial", metric="runtime", **self.AXES)
+        par = parallel_sweep("water_spatial", metric="runtime", jobs=2,
+                             **self.AXES)
+        assert par == serial  # same order, same values, same types
+
+    def test_sweep_jobs_kwarg_delegates(self):
+        rows = sweep("water_spatial", metric="runtime", jobs=2,
+                     organization=[Organization.SHARED], scale=[0.04])
+        assert len(rows) == 1 and rows[0]["runtime"] > 0
+
+    def test_unknown_axis_rejected(self):
+        from repro.errors import ConfigError
+        from repro.harness.parallel import parallel_sweep
+        with pytest.raises(ConfigError):
+            parallel_sweep("lu", metric="runtime", jobs=2,
+                           flux_capacitor=[1])
+
+    def test_json_cache_roundtrip(self, tmp_path):
+        from repro.harness.parallel import parallel_sweep
+        first = parallel_sweep("water_spatial", metric="runtime", jobs=2,
+                               cache_dir=str(tmp_path), **self.AXES)
+        assert len(list(tmp_path.glob("*.json"))) == len(first)
+        again = parallel_sweep("water_spatial", metric="runtime", jobs=2,
+                               cache_dir=str(tmp_path), **self.AXES)
+        assert again == first
+
+    def test_full_results_and_aggregate(self):
+        from repro.harness.parallel import aggregate_stats, parallel_sweep
+        rows = parallel_sweep("water_spatial", jobs=2,
+                              organization=[Organization.SHARED,
+                                            Organization.PRIVATE],
+                              scale=[0.04])
+        results = [r["result"] for r in rows]
+        assert all(r.finished for r in results)
+        merged = aggregate_stats(results)
+        assert merged.value("instructions") == sum(
+            r.stats.value("instructions") for r in results)
