@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Differential protocol fuzzing CLI.
+
+Fans seeds out over a process pool (``repro.harness.parallel.pmap``),
+replays every seed's adversarial trace set through the selected L2
+organizations under the value-level oracle + mid-run invariant hooks,
+and — on failure — auto-shrinks the first failing trace set to a
+minimal reproducer written to a JSON repro file.
+
+Examples::
+
+    # 20-seed smoke over all three protocol families, all cores
+    python scripts/fuzz_protocols.py --seeds 20
+
+    # overnight run, one scenario family, token protocol only
+    python scripts/fuzz_protocols.py --seeds 5000 --scenario hot_lines \\
+        --orgs loco_cc_vms_ivr
+
+    # demonstrate the harness catches a real (injected) bug
+    python scripts/fuzz_protocols.py --seeds 50 --inject grant_window
+
+    # replay a saved reproducer
+    python scripts/fuzz_protocols.py --replay fuzz_repros/seed42.json
+
+Exit codes: 0 = all seeds clean, 2 = protocol failures detected (the
+mutation-smoke CI gate checks for exactly 2, so a crash in the harness
+itself — exit 1 — can never masquerade as a caught bug).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.fuzz import (DEFAULT_ORGS, FuzzConfig, fuzz_seeds,  # noqa: E402
+                                replay_repro, run_trace_set, save_repro,
+                                shrink_traces)
+from repro.params import Organization  # noqa: E402
+from repro.traces.adversarial import SCENARIOS, generate_adversarial  # noqa: E402
+
+
+def parse_args() -> argparse.Namespace:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--seeds", type=int, default=50,
+                   help="number of seeds to fuzz (default 50)")
+    p.add_argument("--start", type=int, default=0,
+                   help="first seed (default 0)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: cpu count)")
+    p.add_argument("--scenario", choices=sorted(SCENARIOS),
+                   help="force one scenario family (default: per-seed)")
+    default_orgs = ",".join(o.value for o in DEFAULT_ORGS)
+    p.add_argument("--orgs", default=None,
+                   help=f"comma-separated organizations "
+                        f"(default: {default_orgs})")
+    p.add_argument("--epoch-period", type=int, default=1000,
+                   help="cycles between mid-run invariant checks")
+    p.add_argument("--max-cycles", type=int, default=3_000_000)
+    p.add_argument("--inject", choices=["grant_window", "skip_inv"],
+                   help="test-only fault injection (harness self-test)")
+    p.add_argument("--repro-dir", default="fuzz_repros",
+                   help="where shrunken reproducers are written")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip shrinking on failure")
+    p.add_argument("--shrink-budget", type=int, default=400,
+                   help="max re-executions during shrinking")
+    p.add_argument("--replay", metavar="FILE",
+                   help="re-run a saved repro file and exit")
+    return p.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    if args.replay:
+        outcome = replay_repro(args.replay)
+        print(f"{args.replay}: {outcome.phase}")
+        for v in outcome.violations[:20]:
+            print("  ", v)
+        return 0 if outcome.ok else 2
+
+    orgs = (DEFAULT_ORGS if args.orgs is None else
+            tuple(Organization(o.strip()) for o in args.orgs.split(",")))
+    base = FuzzConfig(scenario=args.scenario, organizations=orgs,
+                      epoch_period=args.epoch_period,
+                      max_cycles=args.max_cycles, inject=args.inject)
+    seeds = range(args.start, args.start + args.seeds)
+    t0 = time.time()
+    reports = fuzz_seeds(seeds, base, jobs=args.jobs)
+    elapsed = time.time() - t0
+    bad = [r for r in reports if not r.ok]
+    print(f"{len(reports)} seeds x {len(orgs)} orgs in {elapsed:.1f}s: "
+          f"{len(reports) - len(bad)} ok, {len(bad)} failing")
+    if not bad:
+        return 0
+
+    for r in bad:
+        print(f"\nseed {r.seed} [{r.scenario}]:")
+        for org, detail in r.failures():
+            name = org.value if org is not None else "differential"
+            print(f"  {name}: {detail[:400]}")
+
+    first = bad[0]
+    failing_org = next((o.organization for o in first.outcomes
+                        if not o.ok), None)
+    if failing_org is None or args.no_shrink:
+        return 2
+    from dataclasses import replace
+    cfg = replace(base, seed=first.seed)
+    scenario, traces = generate_adversarial(cfg.seed, cfg.num_cores,
+                                            cfg.scenario)
+    print(f"\nshrinking seed {first.seed} on {failing_org.value} "
+          f"(budget {args.shrink_budget}) ...")
+    small = shrink_traces(cfg, failing_org, traces,
+                          budget=args.shrink_budget)
+    n_events = sum(len(t) for t in small)
+    outcome = run_trace_set(cfg, failing_org, small)
+    path = os.path.join(args.repro_dir,
+                        f"seed{first.seed}_{failing_org.value}.json")
+    save_repro(path, cfg, failing_org, scenario, small,
+               detail=outcome.detail())
+    print(f"minimal reproducer: {n_events} events "
+          f"(from {sum(len(t) for t in traces)}), "
+          f"fails with {outcome.phase} -> {path}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

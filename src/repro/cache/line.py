@@ -94,6 +94,14 @@ class CacheLine:
     #: tile id of the L1 holding this line in M state (None if clean in
     #: all L1s) — the home uses it to recall the latest data.
     dirty_l1: "int | None" = None
+    #: shadow value: the version token of the store whose data this copy
+    #: holds (0 = the initial memory image). Written by the value-level
+    #: oracle at store commit, carried by every data-bearing message, so
+    #: the fuzz harness can check that loads observe the architecturally
+    #: latest store. Versions of one address are totally ordered (bigger
+    #: = newer), so merge points take ``max`` to stay order-safe when
+    #: two in-flight writebacks of the same line cross.
+    shadow: int = 0
 
     def touch(self, now_ts: int) -> None:
         """Record an access at coarse timestamp ``now_ts``."""

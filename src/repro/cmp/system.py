@@ -151,22 +151,36 @@ class CmpSystem:
                                           for c in self.cores])
 
     # ------------------------------------------------------------------
+    # quiescence
+    # ------------------------------------------------------------------
+    def quiesce(self, max_rounds: int = 200, step: int = 10_000,
+                tolerate_events: int = 0) -> bool:
+        """Drain in-flight background traffic (evictions, migrations,
+        late responses) by running up to ``max_rounds`` windows of
+        ``step`` cycles. Returns True once the network is empty and at
+        most ``tolerate_events`` events remain queued (a caller with a
+        live epoch hook passes 1 — the hook always keeps one event)."""
+        for _ in range(max_rounds):
+            if self.network.in_flight == 0 \
+                    and self.sim.pending_events() <= tolerate_events:
+                return True
+            self.sim.run(until=self.sim.cycle + step)
+        return (self.network.in_flight == 0
+                and self.sim.pending_events() <= tolerate_events)
+
+    # ------------------------------------------------------------------
     # invariant checks (used by tests)
     # ------------------------------------------------------------------
     def check_token_conservation(self) -> None:
         """At quiescence, each line's tokens across all L2s + memory must
         equal the cluster count (token-protocol organizations only).
 
-        Drains in-flight background traffic (evictions, migrations,
-        late responses) before counting — tokens in flight are not
-        leaked tokens.
+        Drains in-flight background traffic before counting — tokens in
+        flight are not leaked tokens.
         """
         if not self.config.organization.uses_vms:
             return
-        for _ in range(200):
-            if self.network.in_flight == 0 and self.sim.pending_events() == 0:
-                break
-            self.sim.run(until=self.sim.cycle + 10_000)
+        self.quiesce()
         if self.network.in_flight:
             raise SimulationError(
                 f"network never quiesced: {self.network.in_flight} packets "

@@ -69,6 +69,10 @@ class SystemContext:
         self.timestamp = CoarseTimestamp(sim, config.ivr.timestamp_quantum)
         self.mc_tiles = edge_mc_tiles(self.mesh, config.memory.num_controllers)
         self.data_flits = config.data_flits()
+        #: optional value-level oracle (repro.coherence.shadow): attached
+        #: by the stress harness, None in normal runs (zero cost beyond
+        #: one attribute test per L1 access).
+        self.shadow = None
         #: dispatch table indexed [tile][unit.value] — a flat list
         #: lookup per delivered packet, not a tuple-keyed dict probe
         self._handlers: List[List[Optional[Callable[[Msg], None]]]] = [

@@ -42,6 +42,8 @@ class L1Controller:
         self.array = CacheArray(ctx.config.l1)
         self.mshrs = MshrFile(capacity=8)
         self.latency = ctx.config.l1.access_latency
+        #: consecutive poisoned fills per line, for reissue backoff
+        self._poison_streak: dict = {}
         ctx.register(tile, Unit.L1, self.handle)
         # Bound once: these fire on every memory reference / fill.
         st = ctx.stats
@@ -56,6 +58,8 @@ class L1Controller:
     # ------------------------------------------------------------------
     def access(self, line_addr: int, is_write: bool, done: DoneCb) -> None:
         """Issue one memory reference; ``done`` fires when it completes."""
+        if self.ctx.shadow is not None:
+            done = self.ctx.shadow.bind(self, line_addr, is_write, done)
         self.ctx.sim.schedule(self.latency,
                               lambda: self._access_body(line_addr, is_write,
                                                         done))
@@ -108,10 +112,40 @@ class L1Controller:
         if mshr is None:
             raise ProtocolError(f"unsolicited DATA_L1 for {line_addr:#x} "
                                 f"at tile {self.tile}")
+        if mshr.scratch.pop("poisoned", False):
+            # An INV/RECALL was processed while this fill was in
+            # flight: the copy it installs was invalidated before it
+            # arrived (the invalidator's transaction has already
+            # completed on that assumption). Installing it would leave
+            # a stale, unbacked copy — discard the fill and reissue the
+            # waiting accesses so they observe post-invalidation data.
+            # Reissue under randomized exponential backoff: symmetric
+            # hot-line writers would otherwise poison each other's
+            # fills in a deterministic limit cycle (livelock).
+            self.ctx.stats.counter("l1_poisoned_fills").inc()
+            was_write = mshr.kind == "GETX"
+            cbs: List[DoneCb] = mshr.scratch["done_cbs"]
+            deferred = self.mshrs.retire(line_addr)
+            streak = min(self._poison_streak.get(line_addr, 0) + 1, 8)
+            self._poison_streak[line_addr] = streak
+            delay = self.ctx.rng.randint("l1_poison_backoff",
+                                         1, 16 * (1 << streak))
+
+            def reissue() -> None:
+                for cb in cbs:
+                    self._access_body(line_addr, was_write, cb)
+                for args in deferred:
+                    self._access_body(*args)
+
+            self.ctx.sim.schedule(delay, reissue)
+            return
+        self._poison_streak.pop(line_addr, None)
         line = self.array.lookup(line_addr, touch=True)
         if line is None:
             line = self._install(line_addr)
         line.l1_state = L1State.M if msg.writable else L1State.S
+        if msg.value is not None:
+            line.shadow = msg.value  # the home's data, as delivered
         # latency accounting (Fig 7): issue-to-grant for on-chip fills
         elapsed = self.ctx.sim.cycle - mshr.issued_cycle
         if msg.home_hit:
@@ -134,7 +168,8 @@ class L1Controller:
             if victim.l1_state is L1State.M:
                 home = self.ctx.home_tile(self.tile, victim.line_addr)
                 wb = Msg(MsgKind.WB_L1, victim.line_addr, self.tile, Unit.L2,
-                         requestor=self.tile, dirty=True)
+                         requestor=self.tile, dirty=True,
+                         value=victim.shadow)
                 self.ctx.send(wb, self.tile, home)
             # S victims evict silently: the home's sharer list goes
             # stale, which is safe because every INV_L1 is acked even
@@ -152,23 +187,44 @@ class L1Controller:
             f"L1 tile {self.tile}: all ways of set for {line_addr:#x} "
             f"have in-flight transactions")
 
+    def _no_data_coming(self, line_addr: int) -> bool:
+        """True when a writable grant the home may still believe in was
+        (or will be) discarded: a fill is pending (it gets poisoned) or
+        the last fill attempt was already discarded (live poison
+        streak, reissue still backing off). Either way no modified data
+        will ever arrive from this L1 for the line."""
+        mshr = self.mshrs.get(line_addr)
+        if mshr is not None:
+            mshr.scratch["poisoned"] = True
+            return True
+        return line_addr in self._poison_streak
+
     def _on_inv(self, msg: Msg) -> None:
         line = self.array.invalidate(msg.line_addr)
         dirty = line is not None and line.l1_state is L1State.M
+        nack = not dirty and self._no_data_coming(msg.line_addr)
         ack = Msg(MsgKind.ACK_INV_L1, msg.line_addr, self.tile, Unit.L2,
-                  requestor=msg.requestor, dirty=dirty, fwd=msg.fwd)
+                  requestor=msg.requestor, dirty=dirty, fwd=msg.fwd,
+                  nack=nack, value=line.shadow if dirty else None)
         self.ctx.send(ack, self.tile, msg.src_tile)
 
     def _on_recall(self, msg: Msg) -> None:
         line = self.array.lookup(msg.line_addr, touch=False)
         dirty = False
+        nack = False
         if line is not None and line.l1_state is L1State.M:
             dirty = True
             line.l1_state = L1State.S  # downgrade, keep a readable copy
-        # If the line is absent or clean, a WB_L1 already carried (or no
-        # one ever had) the dirty data; respond so the home can proceed.
+        else:
+            # The recalled M grant is still in flight (it gets poisoned
+            # and reissued) or was already discarded: tell the home the
+            # modified data it expects never existed. Otherwise the
+            # line is absent/clean and a WB_L1 already carried (or no
+            # one ever had) the dirty data.
+            nack = self._no_data_coming(msg.line_addr)
         resp = Msg(MsgKind.RECALL_RESP, msg.line_addr, self.tile, Unit.L2,
-                   requestor=msg.requestor, dirty=dirty, fwd=msg.fwd)
+                   requestor=msg.requestor, dirty=dirty, fwd=msg.fwd,
+                   nack=nack, value=line.shadow if dirty else None)
         self.ctx.send(resp, self.tile, msg.src_tile)
 
     # ------------------------------------------------------------------

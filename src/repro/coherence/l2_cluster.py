@@ -36,7 +36,14 @@ from repro.cache.mshr import Mshr
 from repro.coherence.context import SystemContext
 from repro.coherence.l2_home import HomeL2Base
 from repro.coherence.messages import Msg, MsgKind, Unit
+from repro.coherence.shadow import merge_shadow, merge_shadow_opt
 from repro.errors import ProtocolError
+
+#: Test-only fault injection (the fuzz harness's mutation smoke): when
+#: True, grant-window protection is disabled, re-introducing the PR 1
+#: race — a peer TOK_GETS/GETX served mid-grant surrenders the tokens
+#: and leaves a second stale L1 M copy. The fuzzer must catch this.
+INJECT_GRANT_WINDOW_BUG = False
 
 #: cycles before the first re-broadcast of an unsatisfied token request
 #: (just above a memory round trip, so normal fills never retry)
@@ -76,7 +83,7 @@ class TokenL2Controller(HomeL2Base):
         s = mshr.scratch
         s.update(tokens_acc=0, owner_acc=False, data_seen=False,
                  dirty_acc=False, offchip_acc=False, collecting=True,
-                 want_x=exclusive, retries=0,
+                 value_acc=None, want_x=exclusive, retries=0,
                  persist_requested=False, persist_granted=False)
         if held_line is not None:
             # Upgrade: our tokens move into the MSHR so concurrent
@@ -86,6 +93,7 @@ class TokenL2Controller(HomeL2Base):
             s["owner_acc"] = held_line.owner_token
             s["data_seen"] = True
             s["dirty_acc"] = held_line.l2_state.dirty
+            s["value_acc"] = held_line.shadow
             held_line.tokens = 0
             held_line.owner_token = False
         # Migrants that arrived between MSHR allocation and now are
@@ -95,6 +103,8 @@ class TokenL2Controller(HomeL2Base):
             s["owner_acc"] = s["owner_acc"] or migrant.owner_token
             s["dirty_acc"] = s["dirty_acc"] or migrant.dirty
             s["data_seen"] = True
+            s["value_acc"] = merge_shadow_opt(s["value_acc"],
+                                              migrant.value)
         self._maybe_complete(mshr)
         if s["collecting"]:
             self._broadcast(mshr)
@@ -159,6 +169,8 @@ class TokenL2Controller(HomeL2Base):
         if line is not None and line.l2_state.readable:
             line.tokens += msg.tokens
             line.owner_token = line.owner_token or msg.owner_token
+            if msg.dirty:
+                line.shadow = merge_shadow(line.shadow, msg.value)
             if msg.owner_token:
                 line.l2_state = self._owned_state(line.tokens,
                                                   msg.dirty or
@@ -166,7 +178,8 @@ class TokenL2Controller(HomeL2Base):
             return
         wb = Msg(MsgKind.TOK_WB, msg.line_addr, self.tile, Unit.MC,
                  requestor=self.tile, tokens=msg.tokens,
-                 owner_token=msg.owner_token, dirty=msg.dirty)
+                 owner_token=msg.owner_token, dirty=msg.dirty,
+                 value=msg.value)
         self.ctx.send(wb, self.tile, self.ctx.mc_tile(msg.line_addr))
 
     def _on_token_response(self, msg: Msg) -> None:
@@ -179,6 +192,7 @@ class TokenL2Controller(HomeL2Base):
         s["owner_acc"] = s["owner_acc"] or msg.owner_token
         s["dirty_acc"] = s["dirty_acc"] or msg.dirty
         s["offchip_acc"] = s["offchip_acc"] or msg.offchip
+        s["value_acc"] = merge_shadow_opt(s["value_acc"], msg.value)
         if msg.kind is MsgKind.TOK_DATA:
             s["data_seen"] = True
         self._maybe_complete(mshr)
@@ -205,10 +219,13 @@ class TokenL2Controller(HomeL2Base):
         owner = s["owner_acc"]
         dirty = s["dirty_acc"]
         want_x = s["want_x"]
+        value = s["value_acc"]
 
         def apply(line: CacheLine) -> None:
             line.tokens = tokens
             line.owner_token = owner
+            if value is not None:
+                line.shadow = merge_shadow(line.shadow, value)
             if want_x:
                 line.l2_state = L2State.M
             elif owner:
@@ -262,6 +279,8 @@ class TokenL2Controller(HomeL2Base):
         — two collecting homes would park each other's requests forever;
         they are resolved by the surrender-priority rule below instead.
         """
+        if INJECT_GRANT_WINDOW_BUG:
+            return False
         mshr = self.mshrs.get(msg.line_addr)
         if (mshr is not None and mshr.kind == "SERVE"
                 and not mshr.scratch.get("collecting", False)
@@ -291,9 +310,13 @@ class TokenL2Controller(HomeL2Base):
             # A collector with valid data (an upgrade, or a fetch whose
             # data already arrived) can spare a plain token for a
             # starving persistent reader.
-            mshr.scratch["tokens_acc"] -= 1
+            s = mshr.scratch
+            v = s["value_acc"]
+            if v is None and line is not None and line.l2_state.readable:
+                v = line.shadow
+            s["tokens_acc"] -= 1
             resp = Msg(MsgKind.TOK_DATA, msg.line_addr, self.tile, Unit.L2,
-                       requestor=msg.requestor, tokens=1)
+                       requestor=msg.requestor, tokens=1, value=v)
             self.ctx.send(resp, self.tile, msg.requestor)
         # otherwise: not the owner — stay silent.
 
@@ -303,11 +326,13 @@ class TokenL2Controller(HomeL2Base):
             if line.l2_state in (L2State.M, L2State.E):
                 line.l2_state = L2State.O  # now shared, we keep ownership
             # Recall the latest data from a dirty local L1 first.
-            def after_recall(recall_dirty: bool, line=line) -> None:
+            def after_recall(recall_dirty: bool, value, line=line) -> None:
+                line.shadow = merge_shadow(line.shadow, value)
                 if recall_dirty:
                     line.l2_state = L2State.O
                 resp = Msg(MsgKind.TOK_DATA, msg.line_addr, self.tile,
-                           Unit.L2, requestor=msg.requestor, tokens=1)
+                           Unit.L2, requestor=msg.requestor, tokens=1,
+                           value=line.shadow)
                 self.ctx.send(resp, self.tile, msg.requestor)
 
             self._local_recall(msg.line_addr, after_recall)
@@ -316,17 +341,21 @@ class TokenL2Controller(HomeL2Base):
             # Invalidate synchronously so nothing merges into a doomed
             # line while the L1 purge is in flight.
             targets = sorted(line.sharers)
+            dirty_holder = line.dirty_l1
             state_dirty = line.l2_state.dirty
+            state_value = line.shadow
             self.array.invalidate(line.line_addr)
 
-            def after_purge(purge_dirty: bool) -> None:
+            def after_purge(purge_dirty: bool, value) -> None:
                 resp = Msg(MsgKind.TOK_DATA, msg.line_addr, self.tile,
                            Unit.L2, requestor=msg.requestor, tokens=1,
                            owner_token=True,
-                           dirty=state_dirty or purge_dirty)
+                           dirty=state_dirty or purge_dirty,
+                           value=merge_shadow(state_value, value))
                 self.ctx.send(resp, self.tile, msg.requestor)
 
-            self._local_purge(msg.line_addr, after_purge, targets=targets)
+            self._local_purge(msg.line_addr, after_purge, targets=targets,
+                              dirty_holder=dirty_holder)
 
     # -- peer write: every holder surrenders everything ------------------
     def _peer_getx(self, msg: Msg) -> None:
@@ -339,20 +368,24 @@ class TokenL2Controller(HomeL2Base):
             tokens = line.tokens
             owner = line.owner_token
             state_dirty = line.l2_state.dirty
+            state_value = line.shadow
             targets = sorted(line.sharers)
+            dirty_holder = line.dirty_l1
             # Invalidate synchronously: a doomed-but-resident line would
             # silently swallow tokens merged into it during the purge.
             self.array.invalidate(msg.line_addr)
 
-            def after_purge(purge_dirty: bool) -> None:
+            def after_purge(purge_dirty: bool, value) -> None:
                 dirty = state_dirty or purge_dirty
                 kind = MsgKind.TOK_DATA if owner else MsgKind.TOK_ACK
                 resp = Msg(kind, msg.line_addr, self.tile, Unit.L2,
                            requestor=msg.requestor, tokens=tokens,
-                           owner_token=owner, dirty=dirty)
+                           owner_token=owner, dirty=dirty,
+                           value=merge_shadow(state_value, value))
                 self.ctx.send(resp, self.tile, msg.requestor)
 
-            self._local_purge(msg.line_addr, after_purge, targets=targets)
+            self._local_purge(msg.line_addr, after_purge, targets=targets,
+                              dirty_holder=dirty_holder)
             return
         mshr = self.mshrs.get(msg.line_addr)
         if (mshr is not None and mshr.scratch.get("collecting")
@@ -367,15 +400,43 @@ class TokenL2Controller(HomeL2Base):
             s = mshr.scratch
             tokens, owner = s["tokens_acc"], s["owner_acc"]
             dirty = s["dirty_acc"]
+            value = s["value_acc"]
             s["tokens_acc"] = 0
             s["owner_acc"] = False
             if owner:
                 s["data_seen"] = False
-            kind = MsgKind.TOK_DATA if owner else MsgKind.TOK_ACK
-            resp = Msg(kind, msg.line_addr, self.tile, Unit.L2,
-                       requestor=msg.requestor, tokens=tokens,
-                       owner_token=owner, dirty=dirty)
-            self.ctx.send(resp, self.tile, msg.requestor)
+
+            def send_resp(extra_dirty: bool, pvalue) -> None:
+                kind = MsgKind.TOK_DATA if owner else MsgKind.TOK_ACK
+                resp = Msg(kind, msg.line_addr, self.tile, Unit.L2,
+                           requestor=msg.requestor, tokens=tokens,
+                           owner_token=owner, dirty=dirty or extra_dirty,
+                           value=merge_shadow(value or 0, pvalue)
+                           if owner else None)
+                self.ctx.send(resp, self.tile, msg.requestor)
+
+            # An *upgrading* collector's tokens came with a resident
+            # readable copy (moved into the MSHR by _fetch). Handing
+            # them to a remote writer hands the copy away too: the line
+            # and its L1 sharers must die now, or stale S copies
+            # survive the remote write and serve stale reads
+            # (fuzzer-found write-serialization violation).
+            if line is not None:
+                l1_targets = sorted(line.sharers)
+                dirty_holder = line.dirty_l1
+                state_dirty = line.l2_state.dirty
+                state_value = line.shadow
+                self.array.invalidate(msg.line_addr)
+
+                def after_purge(purge_dirty: bool, pvalue,
+                                sd=state_dirty, sv=state_value) -> None:
+                    send_resp(sd or purge_dirty, merge_shadow(sv, pvalue))
+
+                self._local_purge(msg.line_addr, after_purge,
+                                  targets=l1_targets,
+                                  dirty_holder=dirty_holder)
+            else:
+                send_resp(False, None)
 
     # ------------------------------------------------------------------
     # victims: IVR or token writeback
@@ -388,7 +449,11 @@ class TokenL2Controller(HomeL2Base):
         else:
             self._token_writeback(victim.line_addr, victim.tokens,
                                   victim.owner_token,
-                                  victim.l2_state.dirty)
+                                  victim.l2_state.dirty, victim.shadow)
+
+    def _orphan_wb(self, msg: Msg) -> None:
+        # Tokens already left with the line; only the data goes back.
+        self._token_writeback(msg.line_addr, 0, False, True, msg.value)
 
     def _should_migrate(self, victim: CacheLine) -> bool:
         if not self.ivr_enabled:
@@ -409,7 +474,8 @@ class TokenL2Controller(HomeL2Base):
         msg = Msg(MsgKind.IVR_MIGRATE, line.line_addr, self.tile, Unit.L2,
                   requestor=self.tile, tokens=line.tokens,
                   owner_token=line.owner_token, dirty=line.l2_state.dirty,
-                  timestamp=line.timestamp, migrations=migrations)
+                  timestamp=line.timestamp, migrations=migrations,
+                  value=line.shadow)
         self.ctx.stats.counter("ivr_migrations").inc()
         self.ctx.send(msg, self.tile, target)
 
@@ -426,10 +492,10 @@ class TokenL2Controller(HomeL2Base):
         return cm.home_tile(target, hnid)
 
     def _token_writeback(self, line_addr: int, tokens: int, owner: bool,
-                         dirty: bool) -> None:
+                         dirty: bool, value: Optional[int] = None) -> None:
         wb = Msg(MsgKind.TOK_WB, line_addr, self.tile, Unit.MC,
                  requestor=self.tile, tokens=tokens, owner_token=owner,
-                 dirty=dirty)
+                 dirty=dirty, value=value)
         self.ctx.send(wb, self.tile, self.ctx.mc_tile(line_addr))
 
     # -- receiving a migrant ---------------------------------------------
@@ -444,6 +510,7 @@ class TokenL2Controller(HomeL2Base):
             s["owner_acc"] = s["owner_acc"] or msg.owner_token
             s["dirty_acc"] = s["dirty_acc"] or msg.dirty
             s["data_seen"] = True  # a migrant carries the full line
+            s["value_acc"] = merge_shadow_opt(s["value_acc"], msg.value)
             self.ctx.stats.counter("ivr_fetch_merges").inc()
             self._maybe_complete(mshr)
             return
@@ -452,6 +519,8 @@ class TokenL2Controller(HomeL2Base):
             # We already hold a copy: merge tokens (conservation!).
             line.tokens += msg.tokens
             line.owner_token = line.owner_token or msg.owner_token
+            if msg.dirty:
+                line.shadow = merge_shadow(line.shadow, msg.value)
             if msg.owner_token:
                 line.l2_state = self._owned_state(
                     line.tokens, msg.dirty or line.l2_state.dirty)
@@ -483,7 +552,8 @@ class TokenL2Controller(HomeL2Base):
         if cand.migrations + 1 >= self.ctx.config.ivr.replacement_threshold \
                 or self.ctx.cluster_map.num_clusters < 2:
             self._token_writeback(cand.line_addr, cand.tokens,
-                                  cand.owner_token, cand.l2_state.dirty)
+                                  cand.owner_token, cand.l2_state.dirty,
+                                  cand.shadow)
             self.ctx.stats.counter("ivr_threshold_writebacks").inc()
         else:
             self._send_migrate(cand, cand.migrations + 1)
@@ -507,7 +577,7 @@ class TokenL2Controller(HomeL2Base):
         if migrations >= self.ctx.config.ivr.replacement_threshold or \
                 self.ctx.network.nic_backlog(self.tile) > _IVR_BACKLOG_LIMIT:
             self._token_writeback(msg.line_addr, msg.tokens,
-                                  msg.owner_token, msg.dirty)
+                                  msg.owner_token, msg.dirty, msg.value)
             self.ctx.stats.counter("ivr_threshold_writebacks").inc()
             return
         cm = self.ctx.cluster_map
@@ -517,7 +587,8 @@ class TokenL2Controller(HomeL2Base):
         onward = Msg(MsgKind.IVR_MIGRATE, msg.line_addr, self.tile, Unit.L2,
                      requestor=msg.requestor, tokens=msg.tokens,
                      owner_token=msg.owner_token, dirty=msg.dirty,
-                     timestamp=msg.timestamp, migrations=migrations)
+                     timestamp=msg.timestamp, migrations=migrations,
+                     value=msg.value)
         self.ctx.stats.counter("ivr_forwards").inc()
         self.ctx.send(onward, self.tile, target)
 
@@ -529,6 +600,8 @@ class TokenL2Controller(HomeL2Base):
         line.owner_token = msg.owner_token
         line.timestamp = msg.timestamp
         line.migrations = msg.migrations
+        if msg.value is not None:
+            line.shadow = msg.value
         if msg.owner_token:
             line.l2_state = self._owned_state(line.tokens, msg.dirty)
         else:

@@ -27,7 +27,14 @@ from repro.cache.line import CacheLine, L2State
 from repro.cache.mshr import Mshr, MshrFile
 from repro.coherence.context import SystemContext
 from repro.coherence.messages import Msg, MsgKind, Unit
+from repro.coherence.shadow import merge_shadow, merge_shadow_opt
 from repro.errors import ProtocolError
+
+#: Test-only fault injection (the fuzz harness's mutation smoke): when
+#: True, a write grant "forgets" to invalidate one sharer, leaving a
+#: stale readable L1 copy — the classic missed-invalidation bug the
+#: value oracle and the epoch SWMR check must both catch.
+INJECT_SKIP_SHARER_INV = False
 
 
 class HomeL2Base:
@@ -120,6 +127,27 @@ class HomeL2Base:
     def _grant_read(self, mshr: Mshr, line: CacheLine) -> None:
         mshr.scratch["granting"] = True
         req = mshr.requestor
+        op = self._fwd_ops.get(line.line_addr)
+        if op is not None and op.get("need_dirty"):
+            # A forward recall/purge of the dirty L1 data is in flight
+            # (it already cleared ``dirty_l1``): our copy is stale until
+            # that data lands, so granting now would serve a stale line.
+            # Park the grant as an op waiter and retry at completion.
+            def wake() -> None:
+                fresh = self.array.lookup(mshr.line_addr, touch=False)
+                if fresh is not None and fresh.l2_state.readable:
+                    self._grant_read(mshr, fresh)
+                else:
+                    # Back to the miss path: drop the granting flag or
+                    # forwards would be deferred behind our fetch (the
+                    # cross-deferral deadlock).
+                    mshr.scratch.pop("granting", None)
+                    mshr.scratch.setdefault("miss_cycle",
+                                            self.ctx.sim.cycle)
+                    self._fetch(mshr, exclusive=False)
+
+            op.setdefault("waiters", []).append(wake)
+            return
         if line.dirty_l1 is not None and line.dirty_l1 != req:
             holder = line.dirty_l1
             mshr.scratch["cont"] = lambda: self._finish_read(mshr, line)
@@ -134,14 +162,40 @@ class HomeL2Base:
         req = mshr.requestor
         line.sharers.add(req)
         line.touch(self.ctx.timestamp.now())
-        self._send_grant(mshr, writable=False)
+        self._send_grant(mshr, writable=False, value=line.shadow)
         self._retire(mshr)
 
     # -- write grant -----------------------------------------------------
     def _grant_write(self, mshr: Mshr, line: CacheLine) -> None:
         mshr.scratch["granting"] = True
         req = mshr.requestor
+        op = self._fwd_ops.get(line.line_addr)
+        if op is not None and op.get("need_dirty"):
+            # A forward recall of the dirty L1 data is in flight. Our
+            # invalidations would race it and strip the holder first,
+            # leaving the recall waiting forever for data that came
+            # back on our ack instead. Park until the op completes,
+            # then re-check permissions (the op may have demoted us).
+            def wake() -> None:
+                fresh = self.array.lookup(mshr.line_addr, touch=False)
+                if fresh is not None and self._can_write(fresh):
+                    self._grant_write(mshr, fresh)
+                    return
+                # Back to the miss path: drop the granting flag or
+                # forwards would be deferred behind our fetch (the
+                # cross-deferral deadlock).
+                mshr.scratch.pop("granting", None)
+                mshr.scratch.setdefault("miss_cycle", self.ctx.sim.cycle)
+                if fresh is not None and fresh.l2_state.readable:
+                    self._upgrade(mshr, fresh)
+                else:
+                    self._fetch(mshr, exclusive=True)
+
+            op.setdefault("waiters", []).append(wake)
+            return
         targets = sorted(line.sharers - {req})
+        if INJECT_SKIP_SHARER_INV and targets:
+            targets = targets[1:]
         if targets:
             mshr.pending_acks = len(targets)
             mshr.scratch["cont"] = lambda: self._finish_write(mshr, line)
@@ -160,15 +214,17 @@ class HomeL2Base:
         line.sharers = {req}
         line.dirty_l1 = req
         line.touch(self.ctx.timestamp.now())
-        self._send_grant(mshr, writable=True)
+        self._send_grant(mshr, writable=True, value=line.shadow)
         self._retire(mshr)
 
-    def _send_grant(self, mshr: Mshr, writable: bool) -> None:
+    def _send_grant(self, mshr: Mshr, writable: bool,
+                    value: Optional[int] = None) -> None:
         msg: Msg = mshr.scratch["msg"]
         grant = Msg(MsgKind.DATA_L1, msg.line_addr, self.tile, Unit.L1,
                     requestor=mshr.requestor, writable=writable,
                     home_hit=mshr.scratch.get("home_hit", False),
-                    offchip=mshr.scratch.get("offchip", False))
+                    offchip=mshr.scratch.get("offchip", False),
+                    value=value)
         self.ctx.send(grant, self.tile, mshr.requestor)
 
     def _retire(self, mshr: Mshr) -> None:
@@ -199,6 +255,11 @@ class HomeL2Base:
                 if evicted is not None:
                     raise ProtocolError("allocate evicted despite make-room")
             apply_state(existing)
+            # A WB_L1 that landed while the fill was in flight carries
+            # newer data than the fill source; fold it in.
+            wbv = mshr.scratch.get("wb_value")
+            if wbv is not None:
+                existing.shadow = merge_shadow(existing.shadow, wbv)
             existing.touch(self.ctx.timestamp.now())
             msg: Msg = mshr.scratch["msg"]
             if msg.kind is MsgKind.GETS:
@@ -237,11 +298,19 @@ class HomeL2Base:
             cont()
 
         targets = sorted(victim.sharers)
+        dirty_holder = victim.dirty_l1
         victim.sharers = set()
         victim.dirty_l1 = None
         if targets:
             ev.pending_acks = len(targets)
             ev.scratch["cont"] = done
+            # A dirty L1 copy must hand its data back before the victim
+            # is disposed — via a dirty invalidation ack, or (if the L1
+            # evicted concurrently) via the crossing WB_L1. Disposing
+            # early would write back stale data and strand the newest
+            # value in flight.
+            ev.scratch["need_dirty"] = dirty_holder is not None
+            ev.scratch["dirty_holder"] = dirty_holder
             for t in targets:
                 inv = Msg(MsgKind.INV_L1, victim.line_addr, self.tile,
                           Unit.L1, requestor=self.tile)
@@ -268,17 +337,61 @@ class HomeL2Base:
     # L1 responses
     # ------------------------------------------------------------------
     def _on_wb_l1(self, msg: Msg) -> None:
+        # Feed any forward op first: a purge/recall whose dirty L1
+        # evicted concurrently receives its data through this writeback.
+        op = self._fwd_ops.get(msg.line_addr)
+        if op is not None:
+            op["dirty"] = True
+            op["value"] = merge_shadow_opt(op["value"], msg.value)
         line = self.array.lookup(msg.line_addr, touch=False)
-        if line is None:
-            return  # raced with our own eviction; data logically merged
-        if line.dirty_l1 == msg.src_tile:
-            line.dirty_l1 = None
-        line.sharers.discard(msg.src_tile)
-        # The L1's modified data lands here; the line keeps (or gains)
-        # dirty ownership at L2.
-        if line.l2_state in (L2State.E, L2State.S):
-            line.l2_state = (L2State.M if line.l2_state is L2State.E
-                             else L2State.O)
+        if line is not None:
+            if line.dirty_l1 == msg.src_tile:
+                line.dirty_l1 = None
+            line.sharers.discard(msg.src_tile)
+            line.shadow = merge_shadow(line.shadow, msg.value)
+            # The L1's modified data lands here; the line keeps (or
+            # gains) dirty ownership at L2.
+            if line.l2_state in (L2State.E, L2State.S):
+                line.l2_state = (L2State.M if line.l2_state is L2State.E
+                                 else L2State.O)
+            mshr = self.mshrs.get(msg.line_addr)
+            if mshr is not None and mshr.kind == "SERVE":
+                if mshr.scratch.pop("awaiting_wb", False):
+                    # A clean RECALL_RESP raced us; the grant was held
+                    # for this data — continue it now.
+                    mshr.scratch.pop("cont")()
+                else:
+                    mshr.scratch["wb_merged"] = True
+        else:
+            mshr = self.mshrs.get(msg.line_addr)
+            victim = mshr.scratch.get("victim") if mshr is not None else None
+            if victim is not None:
+                # Raced our own eviction: merge into the victim so the
+                # disposal writes the newest data back.
+                victim.shadow = merge_shadow(victim.shadow, msg.value)
+                if victim.l2_state in (L2State.E, L2State.S):
+                    victim.l2_state = (L2State.M
+                                       if victim.l2_state is L2State.E
+                                       else L2State.O)
+                if mshr.scratch.pop("awaiting_wb", False):
+                    mshr.scratch.pop("cont")()
+                else:
+                    mshr.scratch["wb_merged"] = True
+            elif mshr is not None and mshr.kind == "SERVE":
+                # A refetch of a line we gave away: the fill in flight
+                # is staler than this data; merge at install time, and
+                # push the value off-chip so other homes converge too.
+                mshr.scratch["wb_value"] = merge_shadow_opt(
+                    mshr.scratch.get("wb_value"), msg.value)
+                self._orphan_wb(msg)
+            elif op is None:
+                # True orphan: the home no longer tracks the line at
+                # all. Forward the dirty data to the second level so
+                # the committed value is never lost.
+                self._orphan_wb(msg)
+        if op is not None and op.pop("awaiting_wb", False) \
+                and op["pending"] == 0:
+            self._complete_fwd_op(msg.line_addr, op)
 
     def _on_ack_inv(self, msg: Msg) -> None:
         if msg.fwd:
@@ -291,11 +404,27 @@ class HomeL2Base:
         if msg.dirty:
             mshr.scratch["dirty_ack"] = True
             victim = mshr.scratch.get("victim")
+            target = (victim if victim is not None
+                      else self.array.lookup(msg.line_addr, touch=False))
+            if target is not None:
+                target.shadow = merge_shadow(target.shadow, msg.value)
             if victim is not None and victim.l2_state in (L2State.E,
                                                           L2State.S):
                 victim.l2_state = (L2State.M if victim.l2_state is L2State.E
                                    else L2State.O)
+        elif msg.nack and msg.src_tile == mshr.scratch.get("dirty_holder"):
+            # The believed-dirty holder poisoned its in-flight grant:
+            # the modified copy never existed, nothing to wait for.
+            mshr.scratch["need_dirty"] = False
         if mshr.pending_acks == 0:
+            if mshr.scratch.get("need_dirty") \
+                    and not mshr.scratch.get("dirty_ack") \
+                    and not mshr.scratch.get("wb_merged"):
+                # The dirty L1 evicted concurrently: its data is in a
+                # WB_L1 still in flight (an M eviction always writes
+                # back). Hold the transaction until it lands.
+                mshr.scratch["awaiting_wb"] = True
+                return
             cont = mshr.scratch.pop("cont")
             cont()
 
@@ -307,10 +436,19 @@ class HomeL2Base:
         if mshr is None:
             raise ProtocolError(f"stray RECALL_RESP at {self.tile}: {msg}")
         line = self.array.lookup(msg.line_addr, touch=False)
-        if msg.dirty and line is not None and \
-                line.l2_state in (L2State.E, L2State.S):
-            line.l2_state = (L2State.M if line.l2_state is L2State.E
-                             else L2State.O)
+        if msg.dirty:
+            if line is not None:
+                line.shadow = merge_shadow(line.shadow, msg.value)
+                if line.l2_state in (L2State.E, L2State.S):
+                    line.l2_state = (L2State.M if line.l2_state is L2State.E
+                                     else L2State.O)
+        elif not msg.nack and not mshr.scratch.pop("wb_merged", False):
+            # Clean response to a recall of a believed-dirty copy: the
+            # holder evicted concurrently and its data rides a WB_L1
+            # still in flight. Granting now would serve stale data;
+            # _on_wb_l1 continues the transaction when it lands.
+            mshr.scratch["awaiting_wb"] = True
+            return
         cont = mshr.scratch.pop("cont")
         cont()
 
@@ -318,29 +456,42 @@ class HomeL2Base:
     # forward ops: remote-initiated local purge / recall
     # ------------------------------------------------------------------
     def _local_purge(self, line_addr: int,
-                     cont: Callable[[bool], None],
-                     targets: Optional[List[int]] = None) -> None:
+                     cont: Callable[[bool, Optional[int]], None],
+                     targets: Optional[List[int]] = None,
+                     dirty_holder: Optional[int] = None) -> None:
         """Invalidate all local L1 copies of ``line_addr``, then
-        ``cont(dirty_seen)``. Never blocks on the line MSHR.
+        ``cont(dirty_seen, dirty_value)``. Never blocks on the line MSHR.
 
         ``targets`` lets the caller pass a sharer list captured before
         it removed the line from the array (surrender paths invalidate
-        synchronously so concurrent merges cannot target a doomed line).
+        synchronously so concurrent merges cannot target a doomed line);
+        such callers must pass ``dirty_holder`` captured alongside.
         """
         op = self._fwd_ops.get(line_addr)
         if op is not None:
-            op["queue"].append(cont)
+            # Queue behind the active op, KEEPING the captured targets:
+            # the caller may already have removed the line from the
+            # array, so a later re-derivation would find no sharers and
+            # leave the captured L1 copies alive — stale readable
+            # copies surviving a remote write (fuzzer-found). The
+            # dirty holder is not kept: by completion the active op has
+            # collected its data (every op covers the then-dirty L1).
+            op["queue"].append((cont, targets))
             return
         if targets is None:
             line = self.array.lookup(line_addr, touch=False)
             targets = sorted(line.sharers) if line is not None else []
             if line is not None:
+                dirty_holder = line.dirty_l1
                 line.sharers = set()
                 line.dirty_l1 = None
         if not targets:
-            cont(False)
+            cont(False, None)
             return
         self._fwd_ops[line_addr] = {"pending": len(targets), "dirty": False,
+                                    "value": None,
+                                    "need_dirty": dirty_holder is not None,
+                                    "dirty_holder": dirty_holder,
                                     "cont": cont, "queue": []}
         for t in targets:
             inv = Msg(MsgKind.INV_L1, line_addr, self.tile, Unit.L1,
@@ -348,20 +499,22 @@ class HomeL2Base:
             self.ctx.send(inv, self.tile, t)
 
     def _local_recall(self, line_addr: int,
-                      cont: Callable[[bool], None]) -> None:
+                      cont: Callable[[bool, Optional[int]], None]) -> None:
         """Pull the latest data from a dirty local L1 (downgrade to S),
-        then ``cont(dirty_seen)``."""
+        then ``cont(dirty_seen, dirty_value)``."""
         op = self._fwd_ops.get(line_addr)
         if op is not None:
-            op["queue"].append(cont)
+            op["queue"].append((cont, None))
             return
         line = self.array.lookup(line_addr, touch=False)
         if line is None or line.dirty_l1 is None:
-            cont(False)
+            cont(False, None)
             return
         holder = line.dirty_l1
         line.dirty_l1 = None
         self._fwd_ops[line_addr] = {"pending": 1, "dirty": False,
+                                    "value": None, "need_dirty": True,
+                                    "dirty_holder": holder,
                                     "cont": cont, "queue": []}
         recall = Msg(MsgKind.RECALL_L1, line_addr, self.tile, Unit.L1,
                      requestor=self.tile, fwd=True)
@@ -372,13 +525,37 @@ class HomeL2Base:
         if op is None:
             raise ProtocolError(f"stray fwd ack at {self.tile}: {msg}")
         op["pending"] -= 1
-        op["dirty"] = op["dirty"] or msg.dirty
+        if msg.dirty:
+            op["dirty"] = True
+            op["value"] = merge_shadow_opt(op["value"], msg.value)
+        elif msg.nack and msg.src_tile == op.get("dirty_holder"):
+            op["need_dirty"] = False  # the holder's grant was poisoned
         if op["pending"] == 0:
-            del self._fwd_ops[msg.line_addr]
-            op["cont"](op["dirty"])
-            for queued in op["queue"]:
-                # Re-run: sharer sets may have changed while we waited.
-                self._local_purge(msg.line_addr, queued)
+            if op["need_dirty"] and op["value"] is None:
+                # The dirty L1 evicted concurrently; its data rides a
+                # WB_L1 still in flight. Hold the op open — _on_wb_l1
+                # completes it when the writeback lands.
+                op["awaiting_wb"] = True
+                return
+            self._complete_fwd_op(msg.line_addr, op)
+
+    def _complete_fwd_op(self, line_addr: int, op: Dict) -> None:
+        del self._fwd_ops[line_addr]
+        op["cont"](op["dirty"], op["value"])
+        for queued_cont, queued_targets in op["queue"]:
+            # Re-run with the targets captured at queue time (if any);
+            # with none, re-derive — sharer sets may have changed.
+            self._local_purge(line_addr, queued_cont,
+                              targets=queued_targets)
+        for waiter in op.get("waiters", []):
+            waiter()
+
+    def _orphan_wb(self, msg: Msg) -> None:
+        """An L1 writeback arrived for a line this home no longer tracks
+        (it was surrendered/evicted while the WB_L1 was in flight).
+        Subclasses forward the dirty data to their second level so the
+        committed value reaches memory."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # subclass hooks

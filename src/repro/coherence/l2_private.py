@@ -32,6 +32,7 @@ from repro.cache.line import CacheLine, L2State
 from repro.cache.mshr import Mshr
 from repro.coherence.l2_home import HomeL2Base
 from repro.coherence.messages import Msg, MsgKind, Unit
+from repro.coherence.shadow import merge_shadow, merge_shadow_opt
 from repro.errors import ProtocolError
 
 _RETRY_DELAY = 20  # cycles before re-asking the directory after a NACK
@@ -55,7 +56,7 @@ class DirectoryL2Controller(HomeL2Base):
     def _fetch(self, mshr: Mshr, exclusive: bool) -> None:
         mshr.scratch.update(data_seen=False, header_need=None, acks_got=0,
                             fill_dirty=False, fill_exclusive=False,
-                            fill_offchip=False,
+                            fill_offchip=False, fill_value=None,
                             want_x=exclusive)
         kind = MsgKind.DIR_GETX if exclusive else MsgKind.DIR_GETS
         req = Msg(kind, mshr.line_addr, self.tile, Unit.MC,
@@ -85,7 +86,11 @@ class DirectoryL2Controller(HomeL2Base):
                    exclusive=exclusive)
         self.ctx.send(done, self.tile, self.ctx.mc_tile(mshr.line_addr))
 
+        fill_value = s["fill_value"]
+
         def apply(line: CacheLine) -> None:
+            if fill_value is not None:
+                line.shadow = merge_shadow(line.shadow, fill_value)
             if want_x:
                 line.l2_state = L2State.M
             elif exclusive:
@@ -133,6 +138,7 @@ class DirectoryL2Controller(HomeL2Base):
         s["fill_dirty"] = s["fill_dirty"] or msg.dirty
         s["fill_exclusive"] = s["fill_exclusive"] or msg.exclusive
         s["fill_offchip"] = s["fill_offchip"] or msg.offchip
+        s["fill_value"] = merge_shadow_opt(s["fill_value"], msg.value)
         self._maybe_complete(mshr)
 
     def _refetch(self, mshr: Mshr) -> None:
@@ -186,26 +192,31 @@ class DirectoryL2Controller(HomeL2Base):
             self.ctx.send(nack, self.tile, msg.requestor)
             return
         if msg.kind is MsgKind.DIR_FWD_GETS:
-            def after_recall(_dirty: bool, line=line) -> None:
+            def after_recall(_dirty: bool, value, line=line) -> None:
+                line.shadow = merge_shadow(line.shadow, value)
                 resp = Msg(MsgKind.DATA_L2, msg.line_addr, self.tile,
                            Unit.L2, requestor=msg.requestor,
-                           dirty=line.l2_state.dirty)
+                           dirty=line.l2_state.dirty, value=line.shadow)
                 self.ctx.send(resp, self.tile, msg.requestor)
                 line.l2_state = L2State.O  # shared, we keep ownership
 
             self._local_recall(msg.line_addr, after_recall)
         else:  # DIR_FWD_GETX: hand everything over
             targets = sorted(line.sharers)
+            dirty_holder = line.dirty_l1
             state_dirty = line.l2_state.dirty
+            state_value = line.shadow
             self.array.invalidate(line.line_addr)
 
-            def after_purge(dirty_l1: bool) -> None:
+            def after_purge(dirty_l1: bool, value) -> None:
                 resp = Msg(MsgKind.DATA_L2, msg.line_addr, self.tile,
                            Unit.L2, requestor=msg.requestor,
-                           dirty=state_dirty or dirty_l1)
+                           dirty=state_dirty or dirty_l1,
+                           value=merge_shadow(state_value, value))
                 self.ctx.send(resp, self.tile, msg.requestor)
 
-            self._local_purge(msg.line_addr, after_purge, targets=targets)
+            self._local_purge(msg.line_addr, after_purge, targets=targets,
+                              dirty_holder=dirty_holder)
 
     def _on_dir_inv(self, msg: Msg) -> None:
         """Invalidate our (shared) copy. Must not block on the MSHR: a
@@ -213,16 +224,18 @@ class DirectoryL2Controller(HomeL2Base):
         the winner is waiting for this ack."""
         line = self.array.lookup(msg.line_addr, touch=False)
         targets = sorted(line.sharers) if line is not None else []
+        dirty_holder = line.dirty_l1 if line is not None else None
         self.array.invalidate(msg.line_addr)
 
-        def after_purge(_dirty: bool) -> None:
+        def after_purge(_dirty: bool, _value) -> None:
             # fwd=True marks this as a sharer ack, distinguishing it
             # from the directory's DIR_ACK header at the requestor.
             ack = Msg(MsgKind.DIR_ACK, msg.line_addr, self.tile, Unit.L2,
                       requestor=msg.requestor, fwd=True)
             self.ctx.send(ack, self.tile, msg.requestor)
 
-        self._local_purge(msg.line_addr, after_purge, targets=targets)
+        self._local_purge(msg.line_addr, after_purge, targets=targets,
+                          dirty_holder=dirty_holder)
 
     # ------------------------------------------------------------------
     # victims
@@ -230,7 +243,13 @@ class DirectoryL2Controller(HomeL2Base):
     def _dispose_victim(self, victim: CacheLine) -> None:
         if victim.l2_state.is_owner:
             wb = Msg(MsgKind.DIR_WB, victim.line_addr, self.tile, Unit.MC,
-                     requestor=self.tile, dirty=victim.l2_state.dirty)
+                     requestor=self.tile, dirty=victim.l2_state.dirty,
+                     value=victim.shadow)
             self.ctx.send(wb, self.tile, self.ctx.mc_tile(victim.line_addr))
         # Plain S victims evict silently; the directory's stale sharer
         # bit costs one spurious DIR_INV/DIR_ACK later, never correctness.
+
+    def _orphan_wb(self, msg: Msg) -> None:
+        wb = Msg(MsgKind.DIR_WB, msg.line_addr, self.tile, Unit.MC,
+                 requestor=self.tile, dirty=True, value=msg.value)
+        self.ctx.send(wb, self.tile, self.ctx.mc_tile(msg.line_addr))

@@ -16,6 +16,7 @@ from repro.cache.mshr import Mshr
 from repro.coherence.context import SystemContext
 from repro.coherence.l2_home import HomeL2Base
 from repro.coherence.messages import Msg, MsgKind, Unit
+from repro.coherence.shadow import merge_shadow
 from repro.errors import ProtocolError
 
 
@@ -39,8 +40,13 @@ class SharedL2Controller(HomeL2Base):
     def _dispose_victim(self, victim: CacheLine) -> None:
         if victim.l2_state.dirty:
             wb = Msg(MsgKind.MEM_WB, victim.line_addr, self.tile, Unit.MC,
-                     requestor=self.tile, dirty=True)
+                     requestor=self.tile, dirty=True, value=victim.shadow)
             self.ctx.send(wb, self.tile, self.ctx.mc_tile(victim.line_addr))
+
+    def _orphan_wb(self, msg: Msg) -> None:
+        wb = Msg(MsgKind.MEM_WB, msg.line_addr, self.tile, Unit.MC,
+                 requestor=self.tile, dirty=True, value=msg.value)
+        self.ctx.send(wb, self.tile, self.ctx.mc_tile(msg.line_addr))
 
     def _handle_level2(self, msg: Msg) -> None:
         if msg.kind is not MsgKind.MEM_DATA:
@@ -48,8 +54,11 @@ class SharedL2Controller(HomeL2Base):
         mshr = self.mshrs.get(msg.line_addr)
         if mshr is None:
             raise ProtocolError(f"unsolicited MEM_DATA at {self.tile}")
+        value = msg.value
 
         def apply(line: CacheLine) -> None:
+            if value is not None:
+                line.shadow = merge_shadow(line.shadow, value)
             line.l2_state = L2State.E
 
         self._fill(mshr, apply, offchip=True)

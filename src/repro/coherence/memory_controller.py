@@ -37,6 +37,11 @@ class MemoryController:
         self.mem_latency = ctx.config.memory.access_latency
         self.dir_latency = ctx.config.memory.directory_latency
         self.directory = Directory(f"mc{tile}")
+        # shadow-value image of off-chip memory: line -> version of the
+        # last store written back (absent = initial image, version 0).
+        # Merges take the per-address max so two crossing writebacks of
+        # one line cannot regress the stored value.
+        self._values: Dict[int, int] = {}
         # token bookkeeping: line -> (tokens held by memory, mem is owner)
         self._tokens: Dict[int, int] = {}
         self._owner: Dict[int, bool] = {}
@@ -80,6 +85,17 @@ class MemoryController:
     def _count_writeback(self, msg: Msg) -> None:
         if msg.dirty:
             self.ctx.stats.counter("offchip_writebacks").inc()
+            self._merge_value(msg)
+
+    def _merge_value(self, msg: Msg) -> None:
+        if msg.value is not None:
+            cur = self._values.get(msg.line_addr, 0)
+            if msg.value > cur:
+                self._values[msg.line_addr] = msg.value
+
+    def mem_value(self, line_addr: int) -> int:
+        """Shadow value of the off-chip copy of a line."""
+        return self._values.get(line_addr, 0)
 
     # ------------------------------------------------------------------
     # plain memory (shared baseline)
@@ -89,7 +105,8 @@ class MemoryController:
 
         def respond() -> None:
             resp = Msg(MsgKind.MEM_DATA, msg.line_addr, self.tile, Unit.L2,
-                       requestor=msg.requestor, offchip=True)
+                       requestor=msg.requestor, offchip=True,
+                       value=self.mem_value(msg.line_addr))
             self.ctx.send(resp, self.tile, msg.requestor)
 
         self.ctx.sim.schedule(self.mem_latency, respond)
@@ -191,7 +208,8 @@ class MemoryController:
         def respond() -> None:
             resp = Msg(MsgKind.DATA_L2, msg.line_addr, self.tile, Unit.L2,
                        requestor=msg.requestor, offchip=True,
-                       exclusive=exclusive_grant)
+                       exclusive=exclusive_grant,
+                       value=self.mem_value(msg.line_addr))
             self.ctx.send(resp, self.tile, msg.requestor)
 
         self.ctx.sim.schedule(self.mem_latency, respond)
@@ -230,7 +248,8 @@ class MemoryController:
             def respond(t=tokens) -> None:
                 resp = Msg(MsgKind.TOK_DATA, msg.line_addr, self.tile,
                            Unit.L2, requestor=msg.requestor, tokens=t,
-                           owner_token=True, offchip=True)
+                           owner_token=True, offchip=True,
+                           value=self.mem_value(msg.line_addr))
                 self.ctx.send(resp, self.tile, msg.requestor)
 
             self.ctx.sim.schedule(self.mem_latency, respond)
@@ -245,7 +264,8 @@ class MemoryController:
             def respond_x(t=tokens) -> None:
                 resp = Msg(MsgKind.TOK_DATA, msg.line_addr, self.tile,
                            Unit.L2, requestor=msg.requestor, tokens=t,
-                           owner_token=True, offchip=True)
+                           owner_token=True, offchip=True,
+                           value=self.mem_value(msg.line_addr))
                 self.ctx.send(resp, self.tile, msg.requestor)
 
             self.ctx.sim.schedule(self.mem_latency, respond_x)

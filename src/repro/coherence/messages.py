@@ -135,6 +135,8 @@ class Msg:
     home_hit: bool = False           # fill was a home-L2 hit (Fig 7 stat)
     fwd: bool = False                # INV/ACK belongs to a forwarded op,
     #                                  not the home's own transaction
+    value: Optional[int] = None      # shadow value of the carried line
+    #                                  (None = message carries no data)
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
 
     @property

@@ -4,7 +4,9 @@ from repro.harness.experiment import ExperimentConfig, run_benchmark, run_worklo
 from repro.harness.parallel import aggregate_stats, parallel_sweep
 from repro.harness.report import format_table, normalize
 from repro.harness.sweep import best, sweep
-from repro.harness.checks import (check_all, check_inclusion,
+from repro.harness.checks import (check_all, check_directory,
+                                  check_epoch, check_home_metadata,
+                                  check_inclusion, check_shadow_values,
                                   check_sharer_lists, check_single_writer)
 from repro.harness import figures
 
@@ -19,7 +21,11 @@ __all__ = [
     "parallel_sweep",
     "aggregate_stats",
     "check_all",
+    "check_directory",
+    "check_epoch",
+    "check_home_metadata",
     "check_inclusion",
+    "check_shadow_values",
     "check_sharer_lists",
     "check_single_writer",
     "figures",

@@ -36,7 +36,24 @@ from repro.harness.experiment import ExperimentConfig, run_benchmark
 from repro.harness.sweep import _VALID_FIELDS, _metric_of
 from repro.sim.stats import Stats
 
-__all__ = ["parallel_sweep", "run_units", "aggregate_stats", "config_key"]
+__all__ = ["parallel_sweep", "run_units", "aggregate_stats", "config_key",
+           "pmap"]
+
+
+def pmap(fn, items: Sequence[Any], jobs: Optional[int] = None) -> List[Any]:
+    """Order-preserving parallel map over a process pool.
+
+    The generic fan-out primitive for non-sweep work units (the fuzz
+    harness spreads seeds through this). ``fn`` and every item must be
+    picklable; ``jobs`` <= 1 (or a single item) runs in-process through
+    the same code path. Defaults to ``os.cpu_count()`` workers."""
+    items = list(items)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, items))
 
 
 def config_key(exp: ExperimentConfig, max_cycles: int,

@@ -64,6 +64,45 @@ class Ticker:
         raise NotImplementedError
 
 
+class EpochHook:
+    """A callback fired every ``period`` simulated cycles.
+
+    Used by the stress harness to run invariant checks at epoch
+    boundaries *during* a run instead of only at quiescence. The hook
+    keeps an event scheduled at all times, so a run with a live hook
+    never drains its event queue: callers that wait for quiescence
+    (``pending_events() == 0``) must :meth:`cancel` their hooks first.
+    """
+
+    __slots__ = ("period", "fn", "cancelled", "_sim", "_event", "fires")
+
+    def __init__(self, sim: "Simulator", period: int,
+                 fn: Callable[[int], None]) -> None:
+        if period < 1:
+            raise SimulationError(f"epoch period must be >= 1, got {period}")
+        self.period = period
+        self.fn = fn
+        self.cancelled = False
+        self.fires = 0
+        self._sim = sim
+        self._event = sim.schedule(period, self._fire)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fires += 1
+        # Reschedule before invoking so a hook that raises (an invariant
+        # check aborting the run) leaves the hook in a consistent state.
+        self._event = self._sim.schedule(self.period, self._fire)
+        self.fn(self._sim.cycle)
+
+    def cancel(self) -> None:
+        """Stop firing and release the queued event (lazily)."""
+        if not self.cancelled:
+            self.cancelled = True
+            self._event.cancel()
+
+
 class Simulator:
     """The simulation kernel.
 
@@ -129,6 +168,17 @@ class Simulator:
 
     def _any_awake(self) -> bool:
         return self._awake_count > 0
+
+    # ------------------------------------------------------------------
+    # epoch hooks
+    # ------------------------------------------------------------------
+    def add_epoch_hook(self, period: int,
+                       fn: Callable[[int], None]) -> EpochHook:
+        """Fire ``fn(cycle)`` every ``period`` simulated cycles until the
+        returned :class:`EpochHook` is cancelled. While a hook is live
+        the event queue never drains (it always holds the next firing),
+        so cancel hooks before waiting for quiescence."""
+        return EpochHook(self, period, fn)
 
     # ------------------------------------------------------------------
     # main loop

@@ -1,0 +1,218 @@
+"""Seeded adversarial multi-core trace generators for the fuzz harness.
+
+Where :mod:`repro.traces.synthetic` models *realistic* workloads (the
+paper's benchmark substitutes), these generators are deliberately
+hostile: they concentrate traffic on the narrow protocol windows where
+races live — simultaneous writers on one line, ownership ping-pong
+through lock lines, eviction pressure that keeps lines migrating while
+they are being shared, and phase barriers that re-align the cores so
+contention bursts repeat instead of spreading out.
+
+Every generator is a pure function of ``(seed, num_cores)``: the same
+seed always produces the same traces, which is what makes fuzz failures
+replayable and shrinkable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.events import Op, TraceEvent
+
+#: address-space carving (line addresses, far below synthetic's regions)
+_HOT_BASE = 0x200        # chip-wide contended lines
+_PRIV_BASE = 0x10000     # per-core private strips
+_PRIV_STRIDE = 0x1000
+_LOCK_BASE = 0x40000     # lock lines
+_PHASE_BASE = 0x80000    # per-phase shared regions
+_PHASE_STRIDE = 0x100
+
+
+def _ev(op: Op, addr: int, gap: int = 0) -> TraceEvent:
+    return TraceEvent(op, int(addr), int(gap))
+
+
+def _rw(rng: np.random.Generator, addr: int, write_p: float,
+        max_gap: int = 3) -> TraceEvent:
+    op = Op.STORE if rng.random() < write_p else Op.LOAD
+    return _ev(op, addr, rng.integers(0, max_gap + 1))
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+def hot_lines(rng: np.random.Generator,
+              num_cores: int) -> List[List[TraceEvent]]:
+    """All cores hammer a handful of lines with a high store fraction:
+    maximum pressure on write serialization, invalidation fan-out and
+    (for the token protocol) token collection races."""
+    n_hot = int(rng.integers(1, 5))
+    refs = int(rng.integers(40, 121))
+    write_p = float(rng.uniform(0.3, 0.9))
+    hot_p = float(rng.uniform(0.6, 0.95))
+    traces = []
+    for core in range(num_cores):
+        events = []
+        for _ in range(refs):
+            if rng.random() < hot_p:
+                addr = _HOT_BASE + int(rng.integers(0, n_hot))
+            else:
+                addr = _PRIV_BASE + core * _PRIV_STRIDE \
+                    + int(rng.integers(0, 16))
+            events.append(_rw(rng, addr, write_p))
+        traces.append(events)
+    return traces
+
+
+def lock_pingpong(rng: np.random.Generator,
+                  num_cores: int) -> List[List[TraceEvent]]:
+    """Critical sections bounce ownership of lock lines and the data
+    they protect between cores. In trace mode LOCK/UNLOCK execute as
+    stores, which is exactly the exclusive-ownership ping-pong that
+    stresses upgrade and recall paths."""
+    n_locks = int(rng.integers(1, 4))
+    sections = int(rng.integers(8, 25))
+    protected = int(rng.integers(1, 5))
+    traces = []
+    for core in range(num_cores):
+        events = []
+        for _ in range(sections):
+            lock = _LOCK_BASE + int(rng.integers(0, n_locks))
+            events.append(_ev(Op.LOCK, lock, rng.integers(0, 4)))
+            for _ in range(int(rng.integers(1, 4))):
+                addr = _HOT_BASE + int(rng.integers(0, protected))
+                events.append(_rw(rng, addr, 0.6, max_gap=1))
+            events.append(_ev(Op.UNLOCK, lock))
+        traces.append(events)
+    return traces
+
+
+def eviction_storm(rng: np.random.Generator,
+                   num_cores: int) -> List[List[TraceEvent]]:
+    """Working sets far beyond the (tiny fuzz-config) cache capacity,
+    interleaved with shared-line traffic: lines keep getting evicted,
+    written back and migrated (IVR) *while* they are being shared, so
+    eviction/recall/writeback races fire constantly."""
+    region = int(rng.integers(192, 513))       # lines per core, >> L2 set
+    refs = int(rng.integers(80, 161))
+    shared_p = float(rng.uniform(0.1, 0.35))
+    write_p = float(rng.uniform(0.2, 0.6))
+    traces = []
+    for core in range(num_cores):
+        events = []
+        base = _PRIV_BASE + core * _PRIV_STRIDE
+        for i in range(refs):
+            if rng.random() < shared_p:
+                addr = _HOT_BASE + int(rng.integers(0, 6))
+            else:
+                # stride walk with random jumps: misses nearly always
+                addr = base + (i * 7 + int(rng.integers(0, 8))) % region
+            events.append(_rw(rng, addr, write_p, max_gap=1))
+        traces.append(events)
+    return traces
+
+
+def false_sharing(rng: np.random.Generator,
+                  num_cores: int) -> List[List[TraceEvent]]:
+    """Pairs of cores each 'own' a line they keep storing to while
+    their neighbours read it — the line-granularity shape of false
+    sharing: permanent invalidate/refetch churn with interleaved
+    readers who must never observe a stale value."""
+    n_pairs = max(1, num_cores // 2)
+    refs = int(rng.integers(40, 101))
+    traces = []
+    for core in range(num_cores):
+        events = []
+        own = _HOT_BASE + (core % n_pairs)
+        neigh = _HOT_BASE + ((core + 1) % n_pairs)
+        for _ in range(refs):
+            r = rng.random()
+            if r < 0.45:
+                events.append(_ev(Op.STORE, own, rng.integers(0, 3)))
+            elif r < 0.85:
+                events.append(_ev(Op.LOAD, neigh, rng.integers(0, 3)))
+            else:
+                events.append(_ev(Op.LOAD, own, rng.integers(0, 3)))
+        traces.append(events)
+    return traces
+
+
+def barrier_phases(rng: np.random.Generator,
+                   num_cores: int) -> List[List[TraceEvent]]:
+    """Barrier-separated phases over rotating shared regions: barriers
+    re-align all cores so every phase opens with a burst of conflicting
+    accesses to freshly chosen lines (every trace carries the same
+    barrier count, so trace-mode synchronization always terminates)."""
+    phases = int(rng.integers(2, 6))
+    refs = int(rng.integers(10, 31))
+    write_p = float(rng.uniform(0.3, 0.7))
+    traces: List[List[TraceEvent]] = [[] for _ in range(num_cores)]
+    for phase in range(phases):
+        region = _PHASE_BASE + phase * _PHASE_STRIDE
+        width = int(rng.integers(2, 9))
+        for core in range(num_cores):
+            for _ in range(refs):
+                addr = region + int(rng.integers(0, width))
+                traces[core].append(_rw(rng, addr, write_p))
+            traces[core].append(_ev(Op.BARRIER, phase))
+    return traces
+
+
+def mixed(rng: np.random.Generator,
+          num_cores: int) -> List[List[TraceEvent]]:
+    """A random blend of all access shapes — the catch-all that finds
+    interactions no single-minded scenario provokes."""
+    refs = int(rng.integers(60, 141))
+    write_p = float(rng.uniform(0.2, 0.8))
+    n_hot = int(rng.integers(2, 9))
+    region = int(rng.integers(32, 257))
+    traces = []
+    for core in range(num_cores):
+        events = []
+        for _ in range(refs):
+            r = rng.random()
+            if r < 0.4:
+                addr = _HOT_BASE + int(rng.integers(0, n_hot))
+            elif r < 0.5:
+                addr = _LOCK_BASE + int(rng.integers(0, 2))
+            else:
+                addr = _PRIV_BASE + core * _PRIV_STRIDE \
+                    + int(rng.integers(0, region))
+            events.append(_rw(rng, addr, write_p))
+        traces.append(events)
+    return traces
+
+
+SCENARIOS: Dict[str, Callable[[np.random.Generator, int],
+                              List[List[TraceEvent]]]] = {
+    "hot_lines": hot_lines,
+    "lock_pingpong": lock_pingpong,
+    "eviction_storm": eviction_storm,
+    "false_sharing": false_sharing,
+    "barrier_phases": barrier_phases,
+    "mixed": mixed,
+}
+
+_SCENARIO_ORDER = list(SCENARIOS)
+
+
+def generate_adversarial(seed: int, num_cores: int,
+                         scenario: Optional[str] = None
+                         ) -> Tuple[str, List[List[TraceEvent]]]:
+    """Deterministic adversarial traces for one fuzz seed.
+
+    Without an explicit ``scenario`` the seed picks one round-robin, so
+    a seed range sweeps every scenario family evenly. Returns
+    ``(scenario_name, per_core_traces)``."""
+    if scenario is None:
+        name = _SCENARIO_ORDER[seed % len(_SCENARIO_ORDER)]
+    else:
+        if scenario not in SCENARIOS:
+            raise TraceError(f"unknown fuzz scenario {scenario!r}; "
+                             f"known: {sorted(SCENARIOS)}")
+        name = scenario
+    rng = np.random.default_rng((0xF022, seed))
+    return name, SCENARIOS[name](rng, num_cores)

@@ -1,0 +1,114 @@
+"""Golden-stats regression: pinned headline metrics per organization.
+
+The simulator is fully deterministic given (traces, config, seed), so
+one small-config run per L2 organization is pinned bit-exactly. Any
+semantic drift in the protocols, the NoC, the replacement policies or
+the stats plumbing — even one that leaves every invariant intact —
+moves at least one of these numbers and fails tier-1 loudly instead of
+silently skewing the paper's figures.
+
+When an INTENTIONAL semantic change shifts these values, re-generate
+the table (the command is in the module docstring of the values) and
+say so in the commit message. Do not loosen the comparisons.
+
+Shadow-value plumbing (PR 2) is exercised too: the oracle rides along
+and the run must stay violation-free.
+"""
+
+import pytest
+
+from repro.cmp.system import CmpSystem
+from repro.coherence.shadow import ShadowOracle
+from repro.harness.checks import check_all
+from repro.params import Organization
+from repro.traces.synthetic import WorkloadSpec, generate_traces
+from tests.conftest import tiny_config
+
+#: regenerate with the one-liner in scripts/ docs: run this spec on
+#: tiny_config per organization and print the fields below.
+GOLDEN_SPEC = WorkloadSpec(name="golden", refs_per_core=220,
+                           private_lines=96, shared_lines=48,
+                           shared_fraction=0.3, write_fraction=0.25,
+                           sharing="neighbor", group_size=4,
+                           zipf_alpha=0.7, gap_mean=2.0)
+GOLDEN_SEED = 11
+GOLDEN_CORES = 16
+
+GOLDEN = {
+    Organization.PRIVATE: dict(
+        runtime=19838,
+        l2_misses=1648,
+        offchip=1204,
+        l2_hit_latency=6.0,
+        mpki=117.74008050603796,
+    ),
+    Organization.SHARED: dict(
+        runtime=18975,
+        l2_misses=1203,
+        offchip=1213,
+        l2_hit_latency=12.01906941266209,
+        mpki=73.24429125376993,
+    ),
+    Organization.LOCO_CC: dict(
+        runtime=19997,
+        l2_misses=1437,
+        offchip=1204,
+        l2_hit_latency=8.909368635437882,
+        mpki=96.16213885295386,
+    ),
+    Organization.LOCO_CC_VMS: dict(
+        runtime=18970,
+        l2_misses=1437,
+        offchip=1204,
+        l2_hit_latency=8.9560327198364,
+        mpki=96.55172413793103,
+    ),
+    Organization.LOCO_CC_VMS_IVR: dict(
+        runtime=18970,
+        l2_misses=1437,
+        offchip=1201,
+        l2_hit_latency=8.9560327198364,
+        mpki=96.55172413793103,
+    ),
+}
+
+_traces_cache = None
+
+
+def golden_traces():
+    global _traces_cache
+    if _traces_cache is None:
+        _traces_cache = generate_traces(GOLDEN_SPEC, GOLDEN_CORES,
+                                        seed=GOLDEN_SEED)
+    return _traces_cache
+
+
+@pytest.mark.parametrize("org", list(Organization),
+                         ids=lambda o: o.value)
+def test_golden_metrics_pinned(org):
+    system = CmpSystem(tiny_config(org), golden_traces(),
+                       warmup_fraction=0.35)
+    oracle = ShadowOracle()
+    system.ctx.shadow = oracle
+    result = system.run(max_cycles=20_000_000)
+    want = GOLDEN[org]
+    got = dict(
+        runtime=result.runtime,
+        l2_misses=result.stats.value("l2_misses"),
+        offchip=(result.stats.value("offchip_fetches")
+                 + result.stats.value("offchip_writebacks")),
+        l2_hit_latency=result.stats.sampler("l2_hit_latency").mean,
+        mpki=result.mpki,
+    )
+    assert got["runtime"] == want["runtime"]
+    assert got["l2_misses"] == want["l2_misses"]
+    assert got["offchip"] == want["offchip"]
+    assert got["l2_hit_latency"] == pytest.approx(want["l2_hit_latency"],
+                                                  rel=1e-12)
+    assert got["mpki"] == pytest.approx(want["mpki"], rel=1e-12)
+    # and the value oracle rode along cleanly
+    assert oracle.clean, oracle.violations[:3]
+    assert oracle.loads_checked > 0 and oracle.stores_committed > 0
+    # quiesce in-flight background traffic, then the full checker battery
+    assert system.quiesce()
+    assert check_all(system, raise_on_violation=False) == []

@@ -191,3 +191,47 @@ class TestDeadlockWatchdog:
         sim.wake(tid)
         sim.run(until=500)
         assert sim.cycle == 500
+
+
+class TestEpochHooks:
+    def test_fires_every_period(self):
+        from repro.sim.kernel import Simulator
+        sim = Simulator()
+        cycles = []
+        hook = sim.add_epoch_hook(10, lambda c: cycles.append(c))
+        sim.schedule(45, lambda: None)  # keep something else queued
+        sim.run(until=45)
+        assert cycles == [10, 20, 30, 40]
+        assert hook.fires == 4
+
+    def test_cancel_releases_the_queue(self):
+        from repro.sim.kernel import Simulator
+        sim = Simulator()
+        hook = sim.add_epoch_hook(5, lambda c: None)
+        assert sim.pending_events() == 1
+        hook.cancel()
+        assert sim.pending_events() == 0
+        sim.run()  # drains immediately, no live events
+        hook.cancel()  # idempotent
+
+    def test_hook_exception_propagates_and_state_stays_consistent(self):
+        from repro.sim.kernel import Simulator
+
+        class Boom(RuntimeError):
+            pass
+
+        sim = Simulator()
+        hook = sim.add_epoch_hook(5, lambda c: (_ for _ in ()).throw(Boom()))
+        import pytest as _pytest
+        with _pytest.raises(Boom):
+            sim.run(until=20)
+        # rescheduled before the raise: cancel still works cleanly
+        hook.cancel()
+        assert sim.pending_events() == 0
+
+    def test_invalid_period_rejected(self):
+        from repro.errors import SimulationError
+        from repro.sim.kernel import Simulator
+        import pytest as _pytest
+        with _pytest.raises(SimulationError):
+            Simulator().add_epoch_hook(0, lambda c: None)
