@@ -62,6 +62,11 @@ def parse_args() -> argparse.Namespace:
     p.add_argument("--max-cycles", type=int, default=3_000_000)
     p.add_argument("--inject", choices=["grant_window", "skip_inv"],
                    help="test-only fault injection (harness self-test)")
+    p.add_argument("--snapshot-every", type=int, default=None, metavar="N",
+                   help="checkpoint every N cycles and replay each run "
+                        "from its last snapshot; any divergence between "
+                        "the straight and replayed histories fails the "
+                        "seed (checkpoint/restore stress)")
     p.add_argument("--repro-dir", default="fuzz_repros",
                    help="where shrunken reproducers are written")
     p.add_argument("--no-shrink", action="store_true",
@@ -86,7 +91,8 @@ def main() -> int:
             tuple(Organization(o.strip()) for o in args.orgs.split(",")))
     base = FuzzConfig(scenario=args.scenario, organizations=orgs,
                       epoch_period=args.epoch_period,
-                      max_cycles=args.max_cycles, inject=args.inject)
+                      max_cycles=args.max_cycles, inject=args.inject,
+                      snapshot_every=args.snapshot_every)
     seeds = range(args.start, args.start + args.seeds)
     t0 = time.time()
     reports = fuzz_seeds(seeds, base, jobs=args.jobs)

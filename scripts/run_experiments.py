@@ -21,7 +21,8 @@ import json
 import time
 from concurrent.futures import ProcessPoolExecutor
 
-from repro.harness.experiment import ExperimentConfig, run_benchmark, run_workload
+from repro.harness.experiment import (ExperimentConfig, WarmupImageCache,
+                                      run_benchmark, run_workload)
 from repro.harness.report import format_table
 from repro.params import NocKind, Organization
 
@@ -32,10 +33,30 @@ _cli.add_argument("out", nargs="?", default="EXPERIMENTS.md",
                   help="output markdown path")
 _cli.add_argument("--jobs", type=int, default=1, metavar="N",
                   help="worker processes for the run matrix (default 1)")
+_cli.add_argument("--warmup-cache", default=None, metavar="DIR",
+                  help="directory of deterministic warmup checkpoint "
+                       "images; benchmark cells fork their measured "
+                       "region from the image of their config prefix "
+                       "instead of re-simulating warmup (results are "
+                       "bit-identical; images persist across runs and "
+                       "workers)")
 _args = _cli.parse_args()
 SCALE = _args.scale
 OUT = _args.out
 JOBS = _args.jobs
+WARMUP_CACHE_DIR = _args.warmup_cache
+
+
+_warmup_handle = None
+
+
+def _warmup_images():
+    """This process's handle on the shared image directory (pool
+    workers each lazily open their own)."""
+    global _warmup_handle
+    if WARMUP_CACHE_DIR is not None and _warmup_handle is None:
+        _warmup_handle = WarmupImageCache(WARMUP_CACHE_DIR)
+    return _warmup_handle
 
 BENCHES = ["barnes", "blackscholes", "swaptions", "water_spatial"]
 BENCHES_256 = ["blackscholes"]
@@ -89,7 +110,7 @@ def run(bench, org, cores=64, noc=NocKind.SMART, cluster=(4, 4),
         r = run_benchmark(ExperimentConfig(
             benchmark=bench, organization=org, cores=cores, noc=noc,
             cluster=cluster, scale=SCALE, full_system=full_system),
-            max_cycles=30_000_000)
+            max_cycles=30_000_000, warmup_images=_warmup_images())
     except Exception as exc:  # record and continue: one bad config must
         # not lose the whole matrix
         print(f"  {k}: FAILED ({exc})", flush=True)

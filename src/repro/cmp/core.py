@@ -15,7 +15,7 @@ Two execution modes:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.coherence.l1 import L1Controller
 from repro.errors import TraceError
@@ -67,17 +67,27 @@ class SyncState:
 
 class WarmupTracker:
     """Calls ``stats.mark()`` once the chip has executed ``threshold``
-    trace events — the boundary between warmup and the measured region."""
+    trace events — the boundary between warmup and the measured region.
+
+    ``on_mark`` (when set) fires right after the mark is placed; the
+    checkpoint layer points it at ``sim.stop`` to pause the machine at
+    the warmup boundary so the warmed state can be imaged. It is always
+    cleared again before a checkpoint is taken (transient wiring, never
+    part of a snapshot).
+    """
 
     def __init__(self, stats: Stats, threshold: int) -> None:
         self.stats = stats
         self.remaining = threshold
+        self.on_mark: Optional[Callable[[], None]] = None
 
     def note_ref(self) -> None:
         if self.remaining > 0:
             self.remaining -= 1
             if self.remaining == 0:
                 self.stats.mark()
+                if self.on_mark is not None:
+                    self.on_mark()
 
 
 class Core:

@@ -27,6 +27,15 @@ from repro.sim.stats import Stats
 from repro.traces.events import TraceEvent
 
 
+def _trace_digest(trace: Sequence[TraceEvent]) -> str:
+    """Stable digest of one core's trace (restore-time verification)."""
+    import hashlib
+    h = hashlib.sha256()
+    for ev in trace:
+        h.update(f"{ev.op.name}:{ev.line_addr}:{ev.gap};".encode())
+    return h.hexdigest()[:16]
+
+
 @dataclass
 class RunResult:
     """Everything the harness needs from one simulation run."""
@@ -117,6 +126,12 @@ class CmpSystem:
             threshold = int(warmup_fraction * total_events)
             if threshold > 0:
                 warmup = WarmupTracker(self.stats, threshold)
+        self.warmup_tracker = warmup
+        self._started = False
+        # Traces are immutable for the life of the system; their
+        # digests are computed on the first checkpoint and reused
+        # (periodic snapshotting must not re-hash every trace).
+        self._trace_digests: Optional[List[str]] = None
         self.cores = [
             Core(self.sim, t, self.l1s[t], traces[t], self.sync, self.stats,
                  full_system=full_system, barrier_population=pops[t],
@@ -125,15 +140,37 @@ class CmpSystem:
         ]
 
     # ------------------------------------------------------------------
-    def run(self, max_cycles: int = 50_000_000) -> RunResult:
-        """Run to completion of all cores (or ``max_cycles``)."""
-        for core in self.cores:
-            core.start()
+    def start(self) -> None:
+        """Schedule every core's first event (idempotent; a restored
+        system comes back already started)."""
+        if not self._started:
+            self._started = True
+            for core in self.cores:
+                core.start()
+
+    def _done_predicate(self):
         # O(1) stop predicate: the kernel evaluates it every loop
         # iteration, and an all()-scan over cores dominates large runs.
         fin = self.stats.counter("cores_finished")
         n_cores = len(self.cores)
-        done = lambda: fin.value >= n_cores  # noqa: E731
+        return lambda: fin.value >= n_cores
+
+    def run(self, max_cycles: int = 50_000_000) -> RunResult:
+        """Run to completion of all cores (or ``max_cycles``)."""
+        self.start()
+        return self.resume(max_cycles=max_cycles)
+
+    def resume(self, max_cycles: int = 50_000_000) -> RunResult:
+        """Drive an already-started (or restored) system to completion.
+
+        ``run_until_warmup()`` + ``resume()`` and a restored image +
+        ``resume()`` both produce results bit-identical to a single
+        uninterrupted :meth:`run` — pauses land on cycle boundaries and
+        the kernel re-enters them exactly.
+        """
+        if not self._started:
+            raise SimulationError("resume() before start()/run()")
+        done = self._done_predicate()
         self.sim.run(until=max_cycles, stop_when=done)
         finished = done()
         if not finished:
@@ -149,6 +186,95 @@ class CmpSystem:
                          finished=finished,
                          per_core_finish=[c.finish_cycle
                                           for c in self.cores])
+
+    def run_until_warmup(self, max_cycles: int = 50_000_000) -> bool:
+        """Run until the warmup mark lands, pausing the machine there.
+
+        Returns True when the mark was placed and the simulation is
+        paused mid-run (the state worth imaging); False when there is no
+        warmup tracker, the mark was already placed, or the run finished
+        before/at the mark. Either way, :meth:`resume` completes the run
+        bit-identically to a straight :meth:`run`.
+        """
+        self.start()
+        tracker = self.warmup_tracker
+        if tracker is None or self.stats.marked:
+            return False
+        done = self._done_predicate()
+        tracker.on_mark = self.sim.stop
+        try:
+            self.sim.run(until=max_cycles, stop_when=done)
+        finally:
+            # Transient wiring only — never part of a checkpoint image.
+            tracker.on_mark = None
+        return self.stats.marked and not done()
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> bytes:
+        """Serialize the whole machine — kernel (event heap, tickers,
+        epoch hooks), caches, MSHRs, coherence controllers, NoC, RNG
+        streams, Stats (incl. warmup marks), cores — into a versioned
+        image.
+
+        Per-core trace lists are externalized (they are large and
+        re-derivable from the experiment seed); :meth:`restore` splices
+        the caller's re-derived traces back in and verifies them against
+        per-core digests recorded here.
+        """
+        from repro.sim import snapshot
+        external = {id(core.trace): ("trace", core.tile)
+                    for core in self.cores}
+        if self._trace_digests is None:
+            self._trace_digests = [_trace_digest(core.trace)
+                                   for core in self.cores]
+        meta = {
+            "kind": "cmp-system",
+            "cycle": self.sim.cycle,
+            "config": repr(self.config),
+            "trace_digests": self._trace_digests,
+        }
+        return snapshot.dumps(self, external=external, meta=meta)
+
+    @staticmethod
+    def restore(blob: bytes,
+                traces: Sequence[Sequence[TraceEvent]]) -> "CmpSystem":
+        """Rebuild a machine from a :meth:`checkpoint` image.
+
+        ``traces`` must be the (re-derived) per-core traces of the run
+        that was imaged — verified against the image's digests, since a
+        restored core replays its remaining trace from them.
+        """
+        from repro.errors import SnapshotError
+        from repro.sim import snapshot
+        meta = snapshot.read_meta(blob)
+        if meta.get("kind") != "cmp-system":
+            raise SnapshotError(
+                f"image is not a CmpSystem checkpoint (kind="
+                f"{meta.get('kind')!r})")
+        digests = meta.get("trace_digests", [])
+        if len(digests) != len(traces):
+            raise SnapshotError(
+                f"image has {len(digests)} core traces, caller provided "
+                f"{len(traces)}")
+        external = {}
+        for tile, (trace, digest) in enumerate(zip(traces, digests)):
+            trace = list(trace)
+            got = _trace_digest(trace)
+            if got != digest:
+                raise SnapshotError(
+                    f"trace digest mismatch for core {tile}: image "
+                    f"expects {digest}, re-derived trace hashes to "
+                    f"{got} — traces were not re-derived from the same "
+                    f"(benchmark, seed)")
+            external[("trace", tile)] = trace
+        system = snapshot.loads(blob, external=external)
+        if not isinstance(system, CmpSystem):
+            raise SnapshotError(
+                f"image does not contain a CmpSystem (got "
+                f"{type(system).__name__})")
+        return system
 
     # ------------------------------------------------------------------
     # quiescence

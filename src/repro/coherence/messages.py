@@ -8,12 +8,12 @@ carry protocol state (token counts, ack expectations, IVR metadata).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from enum import Enum, auto
 from typing import Optional
 
 from repro.noc.packet import VirtualNetwork
+from repro.sim.ids import id_source
 
 
 class Unit(Enum):
@@ -109,7 +109,7 @@ DATA_KINDS = frozenset({
     MsgKind.IVR_MIGRATE, MsgKind.RECALL_RESP,
 })
 
-_msg_ids = itertools.count()
+_msg_ids = id_source("msg")
 
 
 @dataclass(slots=True)

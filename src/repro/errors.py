@@ -36,3 +36,13 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """No progress was made for longer than the configured watchdog window."""
+
+
+class SnapshotError(ReproError):
+    """A checkpoint image could not be produced or restored.
+
+    Raised for corrupt/truncated images, snapshot-format or source
+    fingerprint mismatches (an image must only be restored by the exact
+    code that wrote it), and state that cannot be serialized
+    deterministically.
+    """

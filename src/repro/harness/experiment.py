@@ -4,14 +4,28 @@ Wraps trace generation + system construction + execution into one
 call, with an in-process trace cache so the *same* traces are replayed
 across the organizations being compared (paired comparison, as the
 paper does).
+
+Warmup-image reuse: every figure cell re-simulates the same warmup
+region, so :class:`WarmupImageCache` stores one deterministic
+checkpoint per *config prefix* (everything in :class:`ExperimentConfig`
+— the fields that shape the warmed machine — excluding the post-warmup
+knobs ``max_cycles``/metric). ``run_benchmark(exp,
+warmup_images=cache)`` forks the measured region from the image instead
+of re-simulating warmup; results are bit-identical to the cold path.
+The image never embeds traces (they are re-derived from the config
+seed at restore, so a fresh worker process never depends on this
+module's process-global trace cache).
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cmp.system import CmpSystem, RunResult
+from repro.errors import SnapshotError
 from repro.params import NocKind, Organization, SystemConfig, paper_config
 from repro.traces.benchmarks import get_benchmark
 from repro.traces.events import TraceEvent
@@ -66,15 +80,110 @@ def _traces_for(exp: ExperimentConfig
     return _trace_cache[key]
 
 
+def warmup_key(exp: ExperimentConfig) -> str:
+    """The config-prefix hash a warmup image is keyed on.
+
+    Covers every :class:`ExperimentConfig` field (all of them shape the
+    warmup region) and nothing else: cells that differ only in
+    post-warmup parameters (``max_cycles``, which metric is reduced)
+    share one image. ``ExperimentConfig`` is a frozen dataclass of
+    scalars and enums, so its repr is deterministic across processes.
+    """
+    return hashlib.sha256(f"warmup|{exp!r}".encode()).hexdigest()[:24]
+
+
+class WarmupImageCache:
+    """In-memory (+ optionally on-disk) store of warmup checkpoints.
+
+    A directory-backed cache is shared across processes and sessions —
+    the disk layer is what lets sweep workers fork from an image a
+    leader built, and what lets a second figure table skip every warmup
+    the first one already simulated. Corrupt, truncated or
+    version-mismatched images are treated as misses and rebuilt (same
+    robustness contract as the sweep JSON cache).
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir
+        self._mem: Dict[str, bytes] = {}
+        # Outcome counters, maintained by run_benchmark (not by get():
+        # a blob that turns out corrupt/stale forces a full warmup
+        # re-simulation and must count as a miss, not a hit).
+        self.hits = 0        # restored: warmup re-simulation skipped
+        self.misses = 0      # no usable image: warmup simulated (+saved)
+
+    def _path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"{key}.warmup.snap")
+
+    def get(self, key: str) -> Optional[bytes]:
+        blob = self._mem.get(key)
+        if blob is None and self.cache_dir is not None:
+            try:
+                with open(self._path(key), "rb") as f:
+                    blob = f.read()
+            except OSError:
+                blob = None
+        return blob
+
+    def put(self, key: str, blob: bytes) -> None:
+        # Directory-backed caches keep images on disk only: whole-
+        # machine blobs are read once per forked run, and pinning one
+        # per config prefix in RAM for the process lifetime adds up
+        # over a figure matrix. Memory is the store only when there is
+        # no directory.
+        if self.cache_dir is not None:
+            from repro.sim.snapshot import save_file
+            os.makedirs(self.cache_dir, exist_ok=True)
+            save_file(self._path(key), blob)
+        else:
+            self._mem[key] = blob
+
+    def discard(self, key: str) -> None:
+        """Drop a bad image (it will be rebuilt on the next miss)."""
+        self._mem.pop(key, None)
+        if self.cache_dir is not None:
+            try:
+                os.remove(self._path(key))
+            except OSError:
+                pass
+
+
 def run_benchmark(exp: ExperimentConfig,
-                  max_cycles: int = 50_000_000) -> RunResult:
-    """Run one benchmark under one machine configuration."""
+                  max_cycles: int = 50_000_000,
+                  warmup_images: Optional[WarmupImageCache] = None
+                  ) -> RunResult:
+    """Run one benchmark under one machine configuration.
+
+    With ``warmup_images``, the run forks from the config prefix's
+    warmup checkpoint when one exists (bit-identical to the cold path,
+    minus the warmup re-simulation) and creates it otherwise.
+    """
     traces, populations = _traces_for(exp)
-    system = CmpSystem(exp.system_config(), traces,
-                       full_system=exp.full_system,
-                       barrier_populations=populations,
-                       warmup_fraction=exp.warmup_fraction)
-    result = system.run(max_cycles=max_cycles)
+    system: Optional[CmpSystem] = None
+    snapshots = warmup_images is not None and exp.warmup_fraction > 0.0
+    if snapshots:
+        key = warmup_key(exp)
+        blob = warmup_images.get(key)
+        if blob is not None:
+            try:
+                system = CmpSystem.restore(blob, traces)
+                warmup_images.hits += 1
+            except SnapshotError:
+                # stale/corrupt image: rebuild below, repair the cache
+                warmup_images.discard(key)
+    if system is None:
+        system = CmpSystem(exp.system_config(), traces,
+                           full_system=exp.full_system,
+                           barrier_populations=populations,
+                           warmup_fraction=exp.warmup_fraction)
+        if snapshots:
+            warmup_images.misses += 1
+            if system.run_until_warmup(max_cycles=max_cycles):
+                warmup_images.put(key, system.checkpoint())
+        else:
+            system.start()
+    result = system.resume(max_cycles=max_cycles)
     system.check_token_conservation()
     return result
 

@@ -30,6 +30,14 @@ Fault injection for harness self-tests rides on ``FuzzConfig.inject``
 (``"grant_window"`` re-introduces the PR 1 token grant-window race,
 ``"skip_inv"`` drops one sharer invalidation per write grant) — the
 flags are applied inside the run so they work across process pools.
+
+``FuzzConfig.snapshot_every=N`` adds a fourth detector: the run is
+checkpointed every N cycles (:class:`SnapshotRecorder`), replayed from
+its **last** snapshot after finishing, and the replayed outcome —
+phase, violations, instruction/memref/store/load histories, per-line
+store counts, runtime — must be identical, or the seed fails with
+phase ``"snapshot"``. This stresses checkpoint/restore under the full
+adversarial protocol load.
 """
 
 from __future__ import annotations
@@ -83,6 +91,12 @@ class FuzzConfig:
     epoch_period: int = 1000                # cycles between invariant hooks
     max_cycles: int = 3_000_000
     inject: Optional[str] = None            # test-only fault injection
+    #: checkpoint the machine every N cycles and, after the run,
+    #: replay from the LAST snapshot — the replay must reproduce the
+    #: identical outcome (phase, violations, differential histories) or
+    #: the run fails with phase "snapshot". Exercises checkpoint/restore
+    #: under full adversarial protocol stress.
+    snapshot_every: Optional[int] = None
 
     def system_config(self, organization: Organization) -> SystemConfig:
         return SystemConfig(
@@ -169,12 +183,41 @@ def run_trace_set(cfg: FuzzConfig, organization: Organization,
             setattr(mod, name, value)
 
 
-def _run_trace_set(cfg: FuzzConfig, organization: Organization,
-                   traces: Sequence[Sequence[TraceEvent]]) -> OrgOutcome:
+class SnapshotRecorder:
+    """Checkpoints a fuzz system every ``period`` cycles (epoch hook).
+
+    Only the newest image is kept, and it is held *outside* the
+    snapshot graph (``__getstate__`` drops it) so images never nest.
+    The recorder itself rides along in the image — a restored system
+    carries its (cancelled-at-replay) hook, keeping event sequence
+    numbering identical between the primary and the replayed run.
+    """
+
+    def __init__(self, system: CmpSystem, period: int) -> None:
+        self.system = system
+        self.period = period
+        self.snapshots_taken = 0
+        self.latest: Optional[Tuple[int, bytes]] = None  # (cycle, image)
+        self.hook = system.sim.add_epoch_hook(period, self._snap)
+
+    def _snap(self, cycle: int) -> None:
+        self.snapshots_taken += 1
+        self.latest = (cycle, self.system.checkpoint())
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["latest"] = None
+        return state
+
+
+def _build_fuzz_system(cfg: FuzzConfig, organization: Organization,
+                       traces: Sequence[Sequence[TraceEvent]]) -> CmpSystem:
+    """A fuzz machine with detectors attached. Every handle the drive
+    phase needs lives in ``system.fuzz_state`` so a *restored* system
+    carries its own (restored) oracle, violation list and hooks."""
     system = CmpSystem(cfg.system_config(organization), traces)
     oracle = ShadowOracle()
     system.ctx.shadow = oracle
-    out = OrgOutcome(organization=organization, ok=False, phase="crash")
 
     epoch_violations: List[str] = []
 
@@ -185,13 +228,35 @@ def _run_trace_set(cfg: FuzzConfig, organization: Organization,
             system.sim.stop()
 
     hook = system.sim.add_epoch_hook(cfg.epoch_period, on_epoch)
-    for core in system.cores:
-        core.start()
+    recorder = (SnapshotRecorder(system, cfg.snapshot_every)
+                if cfg.snapshot_every else None)
+    system.fuzz_state = {"oracle": oracle, "violations": epoch_violations,
+                         "check_hook": hook, "recorder": recorder}
+    return system
+
+
+def _drive_fuzz_system(cfg: FuzzConfig, organization: Organization,
+                       system: CmpSystem) -> OrgOutcome:
+    """Run a (fresh or restored) fuzz machine to its verdict."""
+    state = system.fuzz_state
+    oracle: ShadowOracle = state["oracle"]
+    epoch_violations: List[str] = state["violations"]
+    hook = state["check_hook"]
+    recorder: Optional[SnapshotRecorder] = state["recorder"]
+    out = OrgOutcome(organization=organization, ok=False, phase="crash")
+    system.start()
     fin = system.stats.counter("cores_finished")
     n_cores = len(system.cores)
     try:
         system.sim.run(until=cfg.max_cycles,
                        stop_when=lambda: fin.value >= n_cores)
+        if recorder is not None:
+            # Stop imaging at the end of the main run: the quiesce
+            # window below must be *replayed* from a mid-run snapshot,
+            # never observed by one — a snapshot taken inside the
+            # window would restore into an already-drained machine and
+            # trivially skip the rest of it.
+            recorder.hook.cancel()
         finished = fin.value >= n_cores
         if not finished and not epoch_violations:
             out.phase = "timeout"
@@ -201,7 +266,7 @@ def _run_trace_set(cfg: FuzzConfig, organization: Organization,
             return out
         if not epoch_violations:
             # Drain in-flight background traffic before final checks
-            # (tolerate the epoch hook's one standing event).
+            # (tolerate the check hook's one standing event).
             system.quiesce(tolerate_events=1)
     except ReproError as exc:
         out.phase = "crash"
@@ -209,6 +274,8 @@ def _run_trace_set(cfg: FuzzConfig, organization: Organization,
         return out
     finally:
         hook.cancel()
+        if recorder is not None:
+            recorder.hook.cancel()
         _harvest(out, system, oracle)
 
     if epoch_violations:
@@ -237,6 +304,78 @@ def _run_trace_set(cfg: FuzzConfig, organization: Organization,
         return out
     out.ok = True
     out.phase = "ok"
+    return out
+
+
+def _replay_outcome(cfg: FuzzConfig, organization: Organization,
+                    image: bytes,
+                    traces: Sequence[Sequence[TraceEvent]]) -> OrgOutcome:
+    """Restore the last snapshot and finish the run from it.
+
+    The restored recorder hook is cancelled (re-imaging the replay
+    would only burn time; cancellation is behavior-neutral because a
+    recorder fire mutates no simulation state and seq allocation order
+    is unaffected by the skipped, lazily-discarded event)."""
+    system = CmpSystem.restore(image, traces)
+    recorder: Optional[SnapshotRecorder] = system.fuzz_state["recorder"]
+    if recorder is not None:
+        recorder.hook.cancel()
+        system.fuzz_state["recorder"] = None
+    return _drive_fuzz_system(cfg, organization, system)
+
+
+def _snapshot_divergence(primary: OrgOutcome,
+                         replay: OrgOutcome) -> List[str]:
+    """Field-by-field comparison of the straight run and its replay —
+    any difference means checkpoint/restore lost or invented state."""
+    diffs: List[str] = []
+    for attr in ("ok", "phase", "instructions", "mem_refs", "stores",
+                 "loads", "runtime"):
+        a, b = getattr(primary, attr), getattr(replay, attr)
+        if a != b:
+            diffs.append(f"{attr}: straight={a!r} vs replayed={b!r}")
+    if primary.store_counts != replay.store_counts:
+        keys = sorted(set(primary.store_counts) ^ set(replay.store_counts)
+                      | {k for k, v in primary.store_counts.items()
+                         if replay.store_counts.get(k) != v})[:4]
+        diffs.append(f"per-line store counts diverge on "
+                     f"{[hex(k) for k in keys]}")
+    if primary.violations != replay.violations:
+        diffs.append(f"violation lists diverge "
+                     f"({len(primary.violations)} vs "
+                     f"{len(replay.violations)} entries)")
+    return diffs
+
+
+def _run_trace_set(cfg: FuzzConfig, organization: Organization,
+                   traces: Sequence[Sequence[TraceEvent]]) -> OrgOutcome:
+    system = _build_fuzz_system(cfg, organization, traces)
+    recorder: Optional[SnapshotRecorder] = system.fuzz_state["recorder"]
+    out = _drive_fuzz_system(cfg, organization, system)
+    if recorder is None or recorder.latest is None:
+        return out
+    if not out.ok:
+        # A failing straight run is the report that matters; replaying
+        # it would re-detect the same failure at best and (when the
+        # failure stopped the run between a snapshot and its epoch)
+        # bury the real phase under a spurious "snapshot" one.
+        return out
+    cycle, image = recorder.latest
+    try:
+        replay = _replay_outcome(cfg, organization, image, traces)
+    except ReproError as exc:
+        out.ok = False
+        out.phase = "snapshot"
+        out.violations = [f"replay from cycle-{cycle} snapshot failed: "
+                          f"{type(exc).__name__}: {exc}"]
+        return out
+    diffs = _snapshot_divergence(out, replay)
+    if diffs:
+        out.ok = False
+        out.violations = [f"replay from cycle-{cycle} snapshot diverged "
+                          f"(straight phase {out.phase!r}): {d}"
+                          for d in diffs]
+        out.phase = "snapshot"
     return out
 
 

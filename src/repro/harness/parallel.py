@@ -25,15 +25,18 @@ import hashlib
 import itertools
 import json
 import os
+import shutil
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ConfigError
-from repro.harness.experiment import ExperimentConfig, run_benchmark
+from repro.harness.experiment import (ExperimentConfig, WarmupImageCache,
+                                      run_benchmark, warmup_key)
 # Shared with the serial path so sweep(jobs=1) and sweep(jobs=N) can
 # never diverge on validation or metric resolution (sweep.py imports
 # this module lazily, so there is no cycle).
-from repro.harness.sweep import _VALID_FIELDS, _metric_of
+from repro.harness.sweep import (_assemble_rows, _metric_of,
+                                 _normalize_metrics, _validate_axes)
 from repro.sim.stats import Stats
 
 __all__ = ["parallel_sweep", "run_units", "aggregate_stats", "config_key",
@@ -68,25 +71,52 @@ def config_key(exp: ExperimentConfig, max_cycles: int,
     return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
 
-def _run_unit(unit: Tuple[ExperimentConfig, int, Optional[str]]):
+def _run_unit(unit: Tuple[ExperimentConfig, int, Optional[str]],
+              warmup_images: Optional[WarmupImageCache] = None):
     """Worker entry point: simulate one config, reduce to the metric
     (or return the full RunResult when no metric was requested)."""
     exp, max_cycles, metric = unit
-    result = run_benchmark(exp, max_cycles=max_cycles)
+    result = run_benchmark(exp, max_cycles=max_cycles,
+                           warmup_images=warmup_images)
     if metric is None:
         return result
     return _metric_of(result, metric)
 
 
+def _run_unit_warm(args: Tuple[Tuple[ExperimentConfig, int, Optional[str]],
+                               str]):
+    """Pool entry point for warmup-forked units: the image store is the
+    shared directory (each worker re-opens it)."""
+    unit, warmup_dir = args
+    return _run_unit(unit, warmup_images=WarmupImageCache(warmup_dir))
+
+
+def _as_image_cache(warmup_cache: Union[None, str, WarmupImageCache]
+                    ) -> WarmupImageCache:
+    if isinstance(warmup_cache, WarmupImageCache):
+        return warmup_cache
+    return WarmupImageCache(warmup_cache)
+
+
 def run_units(units: Sequence[Tuple[ExperimentConfig, int, Optional[str]]],
               jobs: Optional[int] = None,
-              cache_dir: Optional[str] = None) -> List[Any]:
+              cache_dir: Optional[str] = None,
+              warmup_snapshots: bool = False,
+              warmup_cache: Union[None, str, WarmupImageCache] = None
+              ) -> List[Any]:
     """Execute work units, preserving input order.
 
     ``jobs`` <= 1 (or a single unit) runs in-process — same code path,
     no pool overhead. ``cache_dir`` enables the JSON metric cache;
     full-``RunResult`` units (metric None) are never cached (they are
     not JSON-serializable by design).
+
+    ``warmup_snapshots=True`` makes units sharing a config prefix fork
+    from one warmup checkpoint: each prefix group simulates its warmup
+    exactly once (skipping |group|-1 warmup re-simulations, more when
+    ``warmup_cache`` is a directory that already holds images). On a
+    pool, the first unit of each prefix runs as a *leader* building the
+    image; the rest fork from it via the shared directory.
     """
     out: List[Any] = [None] * len(units)
     todo: List[Tuple[int, Tuple[ExperimentConfig, int, Optional[str]]]] = []
@@ -96,11 +126,14 @@ def run_units(units: Sequence[Tuple[ExperimentConfig, int, Optional[str]]],
             out[i] = cached[0]
         else:
             todo.append((i, unit))
-    if todo:
-        # Results are cached as they arrive (pool.map yields in input
-        # order), so an interrupt or a failing later unit keeps every
-        # completed cell — the resumability the cache exists for.
-        if jobs is not None and jobs > 1 and len(todo) > 1:
+    if not todo:
+        return out
+    pooled = jobs is not None and jobs > 1 and len(todo) > 1
+    # Results are cached as they arrive (pool.map yields in input
+    # order), so an interrupt or a failing later unit keeps every
+    # completed cell — the resumability the cache exists for.
+    if not warmup_snapshots:
+        if pooled:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 for (i, unit), value in zip(
                         todo, pool.map(_run_unit, [u for _, u in todo])):
@@ -111,6 +144,66 @@ def run_units(units: Sequence[Tuple[ExperimentConfig, int, Optional[str]]],
                 value = _run_unit(unit)
                 out[i] = value
                 _cache_store(cache_dir, unit, value)
+        return out
+    if not pooled:
+        images = _as_image_cache(warmup_cache)
+        for i, unit in todo:
+            value = _run_unit(unit, warmup_images=images)
+            out[i] = value
+            _cache_store(cache_dir, unit, value)
+        return out
+    # Pooled + warmup-forked: images cross process boundaries on disk.
+    mem_cache = (warmup_cache
+                 if isinstance(warmup_cache, WarmupImageCache) else None)
+    warmup_dir = mem_cache.cache_dir if mem_cache is not None \
+        else warmup_cache
+    tmpdir: Optional[str] = None
+    if warmup_dir is None:
+        # A memory-only WarmupImageCache still honors the reuse
+        # contract across a pool: its images seed the transient
+        # directory, and images built by workers are folded back into
+        # it before the directory is removed.
+        tmpdir = warmup_dir = tempfile.mkdtemp(prefix="repro-warmup-")
+        if mem_cache is not None:
+            seeded = WarmupImageCache(warmup_dir)
+            for key, blob in mem_cache._mem.items():
+                seeded.put(key, blob)
+    try:
+        # One leader per prefix group builds (or finds) the image, then
+        # the follower phase forks from the shared directory — a
+        # prefix's warmup is never simulated twice. (The two phases are
+        # global barriers: all leaders finish before any follower
+        # starts.)
+        leaders: List[Tuple[int, Any]] = []
+        followers: List[Tuple[int, Any]] = []
+        seen: Dict[str, bool] = {}
+        for i, unit in todo:
+            key = warmup_key(unit[0])
+            if key in seen:
+                followers.append((i, unit))
+            else:
+                seen[key] = True
+                leaders.append((i, unit))
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for batch in (leaders, followers):
+                if not batch:
+                    continue
+                for (i, unit), value in zip(batch, pool.map(
+                        _run_unit_warm,
+                        [(u, warmup_dir) for _, u in batch])):
+                    out[i] = value
+                    _cache_store(cache_dir, unit, value)
+    finally:
+        if tmpdir is not None:
+            if mem_cache is not None:
+                harvest = WarmupImageCache(tmpdir)
+                for name in os.listdir(tmpdir):
+                    if name.endswith(".warmup.snap"):
+                        key = name[:-len(".warmup.snap")]
+                        blob = harvest.get(key)
+                        if blob is not None and key not in mem_cache._mem:
+                            mem_cache._mem[key] = blob
+            shutil.rmtree(tmpdir, ignore_errors=True)
     return out
 
 
@@ -141,43 +234,36 @@ def _cache_store(cache_dir, unit, value) -> None:
     os.replace(tmp, path)  # atomic: concurrent sweeps may share the dir
 
 
-def parallel_sweep(benchmark: str, metric: Optional[str] = None,
+def parallel_sweep(benchmark: str, metric=None,
                    max_cycles: int = 50_000_000,
                    jobs: Optional[int] = None,
                    cache_dir: Optional[str] = None,
+                   warmup_snapshots: bool = False,
+                   warmup_cache: Union[None, str, WarmupImageCache] = None,
                    **axes: Sequence[Any]) -> List[Dict[str, Any]]:
     """Run ``benchmark`` for the cross product of ``axes`` on a process
     pool. Drop-in parallel replacement for
     :func:`repro.harness.sweep.sweep`: same axis validation, same row
-    order, bit-identical rows (deterministic per-config seeding).
+    order, bit-identical rows (deterministic per-config seeding), same
+    ``metric``-list and ``warmup_snapshots`` semantics.
 
     ``jobs`` defaults to ``os.cpu_count()``; pass 1 to force serial
     execution through the same code path.
     """
-    for name in axes:
-        if name not in _VALID_FIELDS:
-            raise ConfigError(
-                f"unknown sweep axis {name!r}; "
-                f"valid: {sorted(_VALID_FIELDS)}")
+    _validate_axes(axes)
+    metrics = _normalize_metrics(metric)
     if jobs is None:
         jobs = os.cpu_count() or 1
     names = list(axes)
     combos = list(itertools.product(*(axes[n] for n in names)))
-    units = []
-    for combo in combos:
-        kwargs = dict(zip(names, combo))
-        units.append((ExperimentConfig(benchmark=benchmark, **kwargs),
-                      max_cycles, metric))
-    values = run_units(units, jobs=jobs, cache_dir=cache_dir)
-    rows: List[Dict[str, Any]] = []
-    for combo, value in zip(combos, values):
-        row: Dict[str, Any] = dict(zip(names, combo))
-        if metric is not None:
-            row[metric] = value
-        else:
-            row["result"] = value
-        rows.append(row)
-    return rows
+    units = [(ExperimentConfig(benchmark=benchmark,
+                               **dict(zip(names, combo))),
+              max_cycles, m)
+             for combo in combos for m in metrics]
+    values = run_units(units, jobs=jobs, cache_dir=cache_dir,
+                       warmup_snapshots=warmup_snapshots,
+                       warmup_cache=warmup_cache)
+    return _assemble_rows(names, combos, metrics, values)
 
 
 def aggregate_stats(results: Sequence[Any]) -> Stats:

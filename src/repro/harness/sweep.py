@@ -8,56 +8,107 @@ Used by the ablation benches and available for exploration::
                                Organization.LOCO_CC_VMS_IVR],
                  cores=[64],
                  metric="runtime")
+
+``metric`` may also be a *list* of metrics — the sweep then has one
+cell per (config, metric) and each row carries every metric column.
+Cells sharing a config prefix differ only post-warmup, which is what
+``warmup_snapshots=True`` exploits: the first cell of each prefix
+checkpoints the machine at the warmup mark and every other cell forks
+from that image instead of re-simulating warmup. Rows are bit-identical
+to the cold path either way.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import fields, replace
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import fields
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.cmp.system import RunResult
 from repro.errors import ConfigError
-from repro.harness.experiment import ExperimentConfig, run_benchmark
+from repro.harness.experiment import (ExperimentConfig, WarmupImageCache,
+                                      run_benchmark)
 
 _VALID_FIELDS = {f.name for f in fields(ExperimentConfig)}
 
 
-def sweep(benchmark: str, metric: Optional[str] = None,
-          max_cycles: int = 50_000_000, jobs: Optional[int] = None,
-          **axes: Sequence[Any]) -> List[Dict[str, Any]]:
-    """Run ``benchmark`` for the cross product of ``axes``.
-
-    Each axis keyword must be an :class:`ExperimentConfig` field name
-    mapped to a list of values. Returns one dict per run containing the
-    axis values plus either the named ``metric`` or the full result.
-
-    ``jobs`` > 1 delegates to
-    :func:`repro.harness.parallel.parallel_sweep`, which spreads the
-    runs over a process pool and returns bit-identical rows in the
-    same order (per-config deterministic seeding).
-    """
-    if jobs is not None and jobs > 1:
-        from repro.harness.parallel import parallel_sweep
-        return parallel_sweep(benchmark, metric=metric,
-                              max_cycles=max_cycles, jobs=jobs, **axes)
+def _validate_axes(axes: Dict[str, Sequence[Any]]) -> None:
     for name in axes:
         if name not in _VALID_FIELDS:
             raise ConfigError(
                 f"unknown sweep axis {name!r}; valid: {sorted(_VALID_FIELDS)}")
-    names = list(axes)
+
+
+def _normalize_metrics(metric) -> List[Optional[str]]:
+    """None -> [None] (full results); str -> [str]; sequence -> list."""
+    if metric is None:
+        return [None]
+    if isinstance(metric, str):
+        return [metric]
+    metrics = list(metric)
+    if not metrics or not all(isinstance(m, str) for m in metrics):
+        raise ConfigError(f"metric must be a name or a list of names, "
+                          f"got {metric!r}")
+    return metrics
+
+
+def _assemble_rows(names: List[str], combos: List[tuple],
+                   metrics: List[Optional[str]],
+                   values: List[Any]) -> List[Dict[str, Any]]:
+    """Fold the flat (combo-major, metric-minor) unit values back into
+    one row per combo."""
     rows: List[Dict[str, Any]] = []
-    for combo in itertools.product(*(axes[n] for n in names)):
-        kwargs = dict(zip(names, combo))
-        exp = ExperimentConfig(benchmark=benchmark, **kwargs)
-        result = run_benchmark(exp, max_cycles=max_cycles)
-        row: Dict[str, Any] = dict(kwargs)
-        if metric is not None:
-            row[metric] = _metric_of(result, metric)
-        else:
-            row["result"] = result
+    it = iter(values)
+    for combo in combos:
+        row: Dict[str, Any] = dict(zip(names, combo))
+        for m in metrics:
+            value = next(it)
+            row["result" if m is None else m] = value
         rows.append(row)
     return rows
+
+
+def sweep(benchmark: str, metric=None,
+          max_cycles: int = 50_000_000, jobs: Optional[int] = None,
+          warmup_snapshots: bool = False,
+          warmup_cache: Union[None, str, WarmupImageCache] = None,
+          **axes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Run ``benchmark`` for the cross product of ``axes``.
+
+    Each axis keyword must be an :class:`ExperimentConfig` field name
+    mapped to a list of values. Returns one dict per config containing
+    the axis values plus the named ``metric`` column(s) (or the full
+    result).
+
+    ``jobs`` > 1 delegates to
+    :func:`repro.harness.parallel.parallel_sweep`, which spreads the
+    cells over a process pool and returns bit-identical rows in the
+    same order (per-config deterministic seeding).
+
+    ``warmup_snapshots=True`` groups cells by their config prefix
+    (:func:`repro.harness.experiment.warmup_key`) and forks every cell
+    after the first of a prefix from the prefix's warmup checkpoint.
+    ``warmup_cache`` may be a directory (images persist across calls
+    and processes) or a :class:`WarmupImageCache`; omitted, images live
+    only for this call.
+    """
+    if jobs is not None and jobs > 1:
+        from repro.harness.parallel import parallel_sweep
+        return parallel_sweep(benchmark, metric=metric,
+                              max_cycles=max_cycles, jobs=jobs,
+                              warmup_snapshots=warmup_snapshots,
+                              warmup_cache=warmup_cache, **axes)
+    _validate_axes(axes)
+    metrics = _normalize_metrics(metric)
+    names = list(axes)
+    combos = list(itertools.product(*(axes[n] for n in names)))
+    units = [(ExperimentConfig(benchmark=benchmark, **dict(zip(names, combo))),
+              max_cycles, m)
+             for combo in combos for m in metrics]
+    from repro.harness.parallel import run_units
+    values = run_units(units, jobs=1, warmup_snapshots=warmup_snapshots,
+                       warmup_cache=warmup_cache)
+    return _assemble_rows(names, combos, metrics, values)
 
 
 def _metric_of(result: RunResult, metric: str):

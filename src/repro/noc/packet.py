@@ -9,10 +9,11 @@ simulated flit-by-flit (see DESIGN.md §2).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, Optional, Tuple
+
+from repro.sim.ids import id_source
 
 
 class VirtualNetwork(IntEnum):
@@ -29,7 +30,7 @@ class VirtualNetwork(IntEnum):
     MIGRATION = 4      # IVR victim migration traffic
 
 
-_packet_ids = itertools.count()
+_packet_ids = id_source("packet")
 
 
 @dataclass(slots=True)

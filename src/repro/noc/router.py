@@ -22,7 +22,6 @@ Modelling decisions (see DESIGN.md §2):
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
@@ -30,12 +29,13 @@ from repro.errors import NetworkError
 from repro.noc.packet import Packet
 from repro.noc.topology import Mesh
 from repro.params import NocConfig
+from repro.sim.ids import id_source
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Stats
 
 Link = Tuple[int, int]  # directed (src_tile, dst_tile)
 
-_flit_seq = itertools.count()
+_flit_seq = id_source("flit")
 
 
 class _Flit:

@@ -1,0 +1,68 @@
+"""Capturable monotonic id sources (packets, messages, flits).
+
+The NoC and the coherence layer tag every packet/message/flit with a
+monotonically increasing id drawn from a process-global counter. Ids
+only ever participate in *relative* comparisons among objects alive in
+one simulation (flit-age arbitration ties), so their absolute values
+are free — **except** across a checkpoint/restore boundary: a snapshot
+restored into a fresh process whose counters restarted at zero would
+mint new ids *below* the ids of in-flight objects carried by the image,
+inverting age order.
+
+:class:`IdSource` replaces the previous ``itertools.count()`` globals
+with counters whose position can be captured into a snapshot header and
+re-applied (monotonically — ``advance_to`` never moves backwards, so
+coexisting simulations in one process are never perturbed) at restore.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class IdSource:
+    """A readable, restorable replacement for ``itertools.count()``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def __next__(self) -> int:
+        v = self.value
+        self.value = v + 1
+        return v
+
+    def __iter__(self) -> "IdSource":
+        return self
+
+    def advance_to(self, value: int) -> None:
+        """Ensure the next id drawn is >= ``value`` (never goes back)."""
+        if value > self.value:
+            self.value = value
+
+
+_sources: Dict[str, IdSource] = {}
+
+
+def id_source(name: str) -> IdSource:
+    """The process-global source for ``name`` (created on first use)."""
+    src = _sources.get(name)
+    if src is None:
+        src = _sources[name] = IdSource()
+    return src
+
+
+def capture_id_sources() -> Dict[str, int]:
+    """Current position of every live source (for snapshot headers)."""
+    return {name: src.value for name, src in _sources.items()}
+
+
+def restore_id_sources(values: Dict[str, int]) -> None:
+    """Fast-forward sources so fresh ids stay above a snapshot's ids.
+
+    Advance-only: restoring can never reissue an id already present in
+    the image, and never disturbs other simulations in the process.
+    """
+    for name, value in values.items():
+        id_source(name).advance_to(int(value))

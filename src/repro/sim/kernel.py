@@ -126,6 +126,12 @@ class Simulator:
         self._running = False
         self._deadlock_window = deadlock_window
         self._stop_requested = False
+        # Last cycle whose tick phase already ran. A run() that pauses
+        # (until/stop) right after executing cycle C leaves cycle == C;
+        # re-entering run() revisits C, and without this guard awake
+        # tickers would tick C a second time — checkpoint/resume would
+        # then diverge from a straight-through run.
+        self._ticked_cycle: int = -1
         #: arbitrary per-run scratch, used by controllers to find peers
         self.registry: Dict[str, Any] = {}
 
@@ -255,7 +261,8 @@ class Simulator:
             ev.cancelled = True
             progressed = True
             ev.fn()
-        if self._awake_count:
+        if self._awake_count and cycle != self._ticked_cycle:
+            self._ticked_cycle = cycle
             awake = self._awake
             for tid, ticker in enumerate(self._tickers):
                 if awake[tid]:
@@ -271,3 +278,45 @@ class Simulator:
         """Number of live (non-cancelled) events still queued. O(1):
         maintained as a counter at schedule/cancel/fire time."""
         return self._live_events
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> bytes:
+        """Serialize the kernel and everything reachable from it — the
+        event heap (with its continuations), tickers, epoch hooks and
+        registry — into a versioned snapshot image.
+
+        May be called while paused (between run() calls) or from inside
+        an event (an epoch hook): the host call stack is never part of
+        the image — continuation lives entirely in the heap — and
+        ``__getstate__`` normalizes the transient run-loop flags.
+        Restoring the image and calling :meth:`run` continues
+        bit-identically to the uninterrupted run: the tick-phase guard
+        (``_ticked_cycle``) keeps cycle re-entry exact.
+        """
+        from repro.sim.snapshot import dumps
+        return dumps(self)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        # A snapshot taken from inside run() (epoch-hook checkpointing)
+        # must restore as a paused kernel.
+        state["_running"] = False
+        state["_stop_requested"] = False
+        return state
+
+    @staticmethod
+    def restore(blob: bytes) -> "Simulator":
+        """Rebuild a kernel (plus its reachable object graph) from a
+        :meth:`checkpoint` image. Raises
+        :class:`repro.errors.SnapshotError` on corrupt images or
+        format/source-fingerprint mismatches."""
+        from repro.errors import SnapshotError
+        from repro.sim.snapshot import loads
+        sim = loads(blob)
+        if not isinstance(sim, Simulator):
+            raise SnapshotError(
+                f"image does not contain a Simulator (got "
+                f"{type(sim).__name__})")
+        return sim

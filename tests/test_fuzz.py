@@ -122,6 +122,81 @@ class TestFuzzEngine:
             run_trace_set(FuzzConfig(inject="bogus"), LOCO, traces)
 
 
+class TestSnapshotReplay:
+    """``snapshot_every``: each run is checkpointed mid-flight and
+    replayed from its last snapshot; the replay must reproduce the
+    identical differential histories or the seed fails with phase
+    "snapshot"."""
+
+    def test_replay_reproduces_histories_across_orgs(self):
+        report = run_seed(FuzzConfig(seed=1, snapshot_every=2000))
+        assert report.ok, report.failures()
+        # same seed without snapshots: imaging+replay is observation-only
+        plain = run_seed(FuzzConfig(seed=1))
+        for with_snap, without in zip(report.outcomes, plain.outcomes):
+            assert with_snap.instructions == without.instructions
+            assert with_snap.store_counts == without.store_counts
+            assert with_snap.runtime == without.runtime
+
+    def test_snapshots_actually_taken_and_replayed(self, monkeypatch):
+        """The self-check must not pass vacuously: snapshots fire and
+        the replay leg actually restores one. (Patch points are chosen
+        OFF the snapshotted object graph — images must stay clean.)"""
+        from repro.cmp.system import CmpSystem
+        from repro.harness import fuzz as fuzz_mod
+        taken = []
+        replays = []
+        real_checkpoint = CmpSystem.checkpoint
+        real_replay = fuzz_mod._replay_outcome
+
+        def counting_checkpoint(self):
+            taken.append(self.sim.cycle)
+            return real_checkpoint(self)
+
+        def counting_replay(cfg, organization, image, traces):
+            replays.append(organization)
+            return real_replay(cfg, organization, image, traces)
+
+        monkeypatch.setattr(CmpSystem, "checkpoint", counting_checkpoint)
+        monkeypatch.setattr(fuzz_mod, "_replay_outcome", counting_replay)
+        _, traces = generate_adversarial(1, 16)
+        out = run_trace_set(FuzzConfig(seed=1, snapshot_every=2000),
+                            LOCO, traces)
+        assert out.ok, out.detail()
+        assert taken, "run never reached a snapshot epoch"
+        assert replays == [LOCO], "last snapshot was never replayed"
+
+    def test_broken_restore_fails_with_snapshot_phase(self, monkeypatch):
+        """If restore produces garbage the seed must fail loudly."""
+        from repro.cmp.system import CmpSystem
+        from repro.errors import SnapshotError
+
+        def broken_restore(blob, traces):
+            raise SnapshotError("injected restore failure")
+
+        monkeypatch.setattr(CmpSystem, "restore",
+                            staticmethod(broken_restore))
+        _, traces = generate_adversarial(1, 16)
+        out = run_trace_set(FuzzConfig(seed=1, snapshot_every=2000),
+                            LOCO, traces)
+        assert not out.ok
+        assert out.phase == "snapshot"
+        assert any("injected restore failure" in v for v in out.violations)
+
+    def test_divergent_replay_is_flagged(self):
+        from repro.harness.fuzz import OrgOutcome, _snapshot_divergence
+        a = OrgOutcome(organization=LOCO, ok=True, phase="ok",
+                       instructions=100, mem_refs=40, stores=10, loads=30,
+                       store_counts={0x100: 10}, runtime=5000)
+        assert _snapshot_divergence(a, a) == []
+        b = OrgOutcome(organization=LOCO, ok=True, phase="ok",
+                       instructions=101, mem_refs=40, stores=10, loads=30,
+                       store_counts={0x100: 11}, runtime=5000)
+        diffs = _snapshot_divergence(a, b)
+        assert any("instructions" in d for d in diffs)
+        assert any("store counts" in d for d in diffs)
+
+
 class TestMutationSmoke:
     """Re-introduced (injected) protocol bugs must be caught quickly —
     the harness's reason to exist. Budget per the acceptance criteria:

@@ -83,14 +83,7 @@ def golden_traces():
     return _traces_cache
 
 
-@pytest.mark.parametrize("org", list(Organization),
-                         ids=lambda o: o.value)
-def test_golden_metrics_pinned(org):
-    system = CmpSystem(tiny_config(org), golden_traces(),
-                       warmup_fraction=0.35)
-    oracle = ShadowOracle()
-    system.ctx.shadow = oracle
-    result = system.run(max_cycles=20_000_000)
+def _assert_golden(org, system, result):
     want = GOLDEN[org]
     got = dict(
         runtime=result.runtime,
@@ -107,8 +100,39 @@ def test_golden_metrics_pinned(org):
                                                   rel=1e-12)
     assert got["mpki"] == pytest.approx(want["mpki"], rel=1e-12)
     # and the value oracle rode along cleanly
+    oracle = system.ctx.shadow
     assert oracle.clean, oracle.violations[:3]
     assert oracle.loads_checked > 0 and oracle.stores_committed > 0
     # quiesce in-flight background traffic, then the full checker battery
     assert system.quiesce()
     assert check_all(system, raise_on_violation=False) == []
+
+
+@pytest.mark.parametrize("org", list(Organization),
+                         ids=lambda o: o.value)
+def test_golden_metrics_pinned(org):
+    system = CmpSystem(tiny_config(org), golden_traces(),
+                       warmup_fraction=0.35)
+    system.ctx.shadow = ShadowOracle()
+    result = system.run(max_cycles=20_000_000)
+    _assert_golden(org, system, result)
+
+
+@pytest.mark.parametrize("org", list(Organization),
+                         ids=lambda o: o.value)
+def test_golden_metrics_pinned_restored_at_warmup(org):
+    """Second golden entry per organization: the run paused at the
+    warmup mark, checkpointed, RESTORED into fresh objects and resumed
+    must land on the exact same pinned values (same table — the
+    restored path is defined to be bit-identical). Silent drift in the
+    snapshot layer fails tier-1 here."""
+    warm = CmpSystem(tiny_config(org), golden_traces(),
+                     warmup_fraction=0.35)
+    warm.ctx.shadow = ShadowOracle()
+    assert warm.run_until_warmup(max_cycles=20_000_000), \
+        "golden workload must reach its warmup mark mid-run"
+    image = warm.checkpoint()
+    restored = CmpSystem.restore(image, golden_traces())
+    assert restored.stats.marked
+    result = restored.resume(max_cycles=20_000_000)
+    _assert_golden(org, restored, result)
