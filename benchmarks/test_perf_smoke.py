@@ -78,13 +78,21 @@ def _smoke_events_per_sec() -> float:
 @pytest.mark.skipif(os.environ.get("REPRO_PERF_SMOKE", "").lower() == "off",
                     reason="perf smoke disabled via REPRO_PERF_SMOKE=off")
 def test_events_per_sec_floor():
-    cal = _calibration_rate()
-    rate = _smoke_events_per_sec()
-    ratio = rate / cal
-    print(f"\nperf smoke: {rate:,.0f} events/s, calibration "
-          f"{cal:,.0f} ops/s, ratio {ratio:.4f} "
-          f"(floor {EVENTS_PER_CAL_OP_FLOOR})")
-    assert ratio >= EVENTS_PER_CAL_OP_FLOOR, (
-        f"simulator throughput regressed: {ratio:.4f} events per "
-        f"calibration op < floor {EVENTS_PER_CAL_OP_FLOOR} "
-        f"({rate:,.0f} events/s vs calibration {cal:,.0f} ops/s)")
+    # One bounded re-measure on a miss: a load spike between the
+    # calibration loop and the simulator run skews the ratio
+    # asymmetrically; a real regression fails both attempts.
+    from repro.harness.testutil import retry_once_on_miss
+
+    def measure() -> None:
+        cal = _calibration_rate()
+        rate = _smoke_events_per_sec()
+        ratio = rate / cal
+        print(f"\nperf smoke: {rate:,.0f} events/s, calibration "
+              f"{cal:,.0f} ops/s, ratio {ratio:.4f} "
+              f"(floor {EVENTS_PER_CAL_OP_FLOOR})")
+        assert ratio >= EVENTS_PER_CAL_OP_FLOOR, (
+            f"simulator throughput regressed: {ratio:.4f} events per "
+            f"calibration op < floor {EVENTS_PER_CAL_OP_FLOOR} "
+            f"({rate:,.0f} events/s vs calibration {cal:,.0f} ops/s)")
+
+    retry_once_on_miss(measure)

@@ -33,6 +33,13 @@ _cli.add_argument("out", nargs="?", default="EXPERIMENTS.md",
                   help="output markdown path")
 _cli.add_argument("--jobs", type=int, default=1, metavar="N",
                   help="worker processes for the run matrix (default 1)")
+_cli.add_argument("--service", default=None, metavar="HOST:PORT",
+                  help="address of a running sweep-service fleet "
+                       "(scripts/sweep_service.py); the benchmark "
+                       "matrix is simulated on its workers instead of "
+                       "locally (multi-program workload cells always "
+                       "run locally). Results are identical — runs are "
+                       "seeded by config, not by where they execute")
 _cli.add_argument("--warmup-cache", default=None, metavar="DIR",
                   help="directory of deterministic warmup checkpoint "
                        "images; benchmark cells fork their measured "
@@ -44,6 +51,7 @@ _args = _cli.parse_args()
 SCALE = _args.scale
 OUT = _args.out
 JOBS = _args.jobs
+SERVICE = _args.service
 WARMUP_CACHE_DIR = _args.warmup_cache
 
 
@@ -201,10 +209,68 @@ def prewarm(jobs: int) -> None:
     print(f"== prewarm done in {time.time()-t0:.0f}s ==", flush=True)
 
 
+# ---- service prewarm ----------------------------------------------------
+#: every column run() reads from a result row, as (row key, metric name)
+_SERVICE_METRICS = (("runtime", "runtime"), ("mpki", "mpki"),
+                    ("hit_lat", "l2_hit_latency"),
+                    ("search", "search_delay"),
+                    ("offchip", "offchip_accesses"),
+                    ("fetches", "offchip_fetches"))
+
+
+def prewarm_service(address: str) -> None:
+    """Simulate the benchmark matrix on a sweep-service fleet.
+
+    Each cell ships as one :class:`SweepUnit` reducing to the full
+    metric tuple the figure tables read; the coordinator shards them
+    with warmup-prefix affinity and streams rows back. Multi-program
+    workload cells are not wire-encodable (they are not
+    ``ExperimentConfig`` units) and stay local.
+    """
+    from repro.harness.units import SweepUnit
+    from repro.service.client import ServiceClient
+
+    metric = tuple(m for _, m in _SERVICE_METRICS)
+    cells = [(k, p) for k, p in matrix_units() if k == "bench"]
+    units, keys = [], []
+    for _kind, (bench, org, cores, noc, cluster, full_system) in cells:
+        exp = ExperimentConfig(benchmark=bench, organization=org,
+                               cores=cores, noc=noc, cluster=cluster,
+                               scale=SCALE, full_system=full_system)
+        units.append(SweepUnit(exp, 30_000_000, metric))
+        keys.append(bench_key(bench, org, cores, noc, cluster,
+                              full_system))
+    print(f"== prewarming {len(units)} configs on fleet @ {address} ==",
+          flush=True)
+    t0 = time.time()
+
+    # Rows are recorded as they stream, so a unit that fails the whole
+    # job (or a dying fleet) only costs the cells that never arrived —
+    # run() recomputes those locally, preserving the local path's
+    # one-bad-config-must-not-lose-the-matrix contract.
+    def on_row(idx, value):
+        results[keys[idx]] = {row_key: value[m]
+                              for row_key, m in _SERVICE_METRICS}
+        print(f"  {keys[idx]}: runtime={value.get('runtime')}",
+              flush=True)
+
+    try:
+        with ServiceClient(address) as client:
+            client.run_units(units, warmup_snapshots=True,
+                             warmup_dir=WARMUP_CACHE_DIR, on_row=on_row)
+    except Exception as exc:
+        missing = sum(1 for k in keys if k not in results)
+        print(f"== fleet prewarm aborted ({exc}); {missing} cells "
+              f"will run locally ==", flush=True)
+    print(f"== fleet prewarm done in {time.time()-t0:.0f}s ==", flush=True)
+
+
 def main() -> None:
     sections = []
 
-    if JOBS > 1:
+    if SERVICE is not None:
+        prewarm_service(SERVICE)
+    elif JOBS > 1:
         prewarm(JOBS)
 
     # ---- 64-core matrix ------------------------------------------------

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Launch and operate a distributed sweep fleet.
+
+Subcommands::
+
+    fleet        one coordinator + N worker processes on this host
+    coordinator  just the coordinator (workers join from anywhere)
+    worker       one worker, attached to a running coordinator
+    status       fleet snapshot (workers, queue depth, cache counters)
+    shutdown     stop the whole fleet
+
+Typical single-host session::
+
+    python scripts/sweep_service.py fleet --workers 4 \
+        --bind 127.0.0.1:7077 --cache-dir .service_cache &
+    python - <<'PY'
+    from repro.harness.sweep import sweep
+    from repro.params import Organization
+    rows = sweep("water_spatial", metric="runtime",
+                 service="127.0.0.1:7077",
+                 organization=list(Organization), scale=[0.2])
+    PY
+    python scripts/sweep_service.py shutdown --connect 127.0.0.1:7077
+
+Multi-host: run ``coordinator`` on one machine and ``worker
+--connect HOST:PORT`` on the others; give every worker the same
+``--warmup-cache`` directory only when it is a *shared* filesystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import List, Optional
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+if REPO_SRC not in sys.path:
+    sys.path.insert(0, REPO_SRC)
+
+from repro.service.client import ServiceClient           # noqa: E402
+from repro.service.coordinator import Coordinator        # noqa: E402
+from repro.service.worker import (Worker, parse_address,  # noqa: E402
+                                  spawn_worker_process)
+
+# the one spawn recipe (shared with tests and examples)
+spawn_worker = spawn_worker_process
+
+
+def cmd_coordinator(args) -> int:
+    host, port = parse_address(args.bind)
+    coord = Coordinator(host=host, port=port, cache_dir=args.cache_dir,
+                        heartbeat_timeout=args.heartbeat_timeout,
+                        verbose=not args.quiet)
+    address = coord.start()
+    print(f"coordinator on {address} "
+          f"(cache: {args.cache_dir or 'memory only'})", flush=True)
+    try:
+        coord.wait()
+    except KeyboardInterrupt:
+        coord.stop()
+    return 0
+
+
+def cmd_worker(args) -> int:
+    worker = Worker(args.connect, name=args.name,
+                    verbose=not args.quiet)
+    worker.run()
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    host, port = parse_address(args.bind)
+    coord = Coordinator(host=host, port=port, cache_dir=args.cache_dir,
+                        heartbeat_timeout=args.heartbeat_timeout,
+                        verbose=not args.quiet)
+    address = coord.start()
+    print(f"coordinator on {address}; starting {args.workers} workers",
+          flush=True)
+    procs: List[subprocess.Popen] = [
+        spawn_worker_process(address, name=f"w{i}",
+                             verbose=not args.quiet)
+        for i in range(args.workers)]
+    try:
+        while not coord.wait(timeout=1.0):
+            for i, p in enumerate(procs):
+                if p.poll() is not None and not coord._stopped.is_set():
+                    # fleet mode keeps its worker count: respawn (the
+                    # coordinator already requeued the lost units)
+                    print(f"worker w{i} exited rc={p.returncode}; "
+                          f"respawning", flush=True)
+                    procs[i] = spawn_worker_process(
+                        address, name=f"w{i}", verbose=not args.quiet)
+    except KeyboardInterrupt:
+        coord.stop()
+    for p in procs:
+        if p.poll() is None:
+            p.terminate()
+    deadline = time.time() + 5.0
+    for p in procs:
+        try:
+            p.wait(timeout=max(0.1, deadline - time.time()))
+        except subprocess.TimeoutExpired:
+            p.send_signal(signal.SIGKILL)
+    return 0
+
+
+def cmd_status(args) -> int:
+    with ServiceClient(args.connect, row_timeout=10.0) as client:
+        reply = client.status()
+    stats = reply["stats"]
+    print(f"fleet @ {args.connect}: {stats['workers']} workers, "
+          f"{stats['pending']} pending, {stats['in_flight']} in flight, "
+          f"{stats['jobs']} jobs")
+    print(f"  completed={stats['units_completed']} "
+          f"rows={stats['rows_streamed']} "
+          f"cache_hits={stats['served_from_cache']} "
+          f"requeues={stats['requeues']} "
+          f"duplicates={stats['duplicates']}")
+    for w in reply["workers"]:
+        busy = (f"{w['busy'][0]}#{w['busy'][1]}" if w["busy"] else "idle")
+        print(f"  {w['name']:12s} pid={w['pid']} {busy:14s} "
+              f"completed={w['completed']} prefixes={w['prefixes']}")
+    return 0
+
+
+def cmd_shutdown(args) -> int:
+    with ServiceClient(args.connect, row_timeout=10.0) as client:
+        client.shutdown()
+    print(f"fleet @ {args.connect} stopped")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    cli = argparse.ArgumentParser(
+        description="Distributed sweep fleet operations.")
+    sub = cli.add_subparsers(dest="command", required=True)
+
+    def common(p, bind=False, connect=False):
+        p.add_argument("--quiet", action="store_true")
+        if bind:
+            p.add_argument("--bind", default="127.0.0.1:0",
+                           metavar="HOST:PORT",
+                           help="listen address (port 0 = ephemeral)")
+            p.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="persistent result cache (restart-warm)")
+            p.add_argument("--heartbeat-timeout", type=float, default=8.0)
+        if connect:
+            p.add_argument("--connect", required=True,
+                           metavar="HOST:PORT")
+
+    p = sub.add_parser("coordinator", help="run a coordinator")
+    common(p, bind=True)
+    p.set_defaults(fn=cmd_coordinator)
+
+    p = sub.add_parser("worker", help="run one worker")
+    common(p, connect=True)
+    p.add_argument("--name", default=None)
+    p.set_defaults(fn=cmd_worker)
+
+    p = sub.add_parser("fleet",
+                       help="coordinator + N local workers (respawning)")
+    common(p, bind=True)
+    p.add_argument("--workers", type=int, default=os.cpu_count() or 2)
+    p.set_defaults(fn=cmd_fleet)
+
+    p = sub.add_parser("status", help="print a fleet snapshot")
+    common(p, connect=True)
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("shutdown", help="stop the fleet")
+    common(p, connect=True)
+    p.set_defaults(fn=cmd_shutdown)
+
+    args = cli.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

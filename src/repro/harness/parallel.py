@@ -1,12 +1,14 @@
-"""Parallel experiment execution: a process-pool sweep driver.
+"""Parallel experiment execution: process-pool and service backends.
 
 Every figure of the paper is a sweep of *independent* full-system
 simulations (organizations x benchmarks x cluster sizes), so the
-experiment layer parallelizes trivially: each (config, max_cycles)
-work unit is pickled to a worker process, simulated there, and reduced
-to a result row. Determinism is preserved — each run's RNG streams are
-seeded from its own :class:`ExperimentConfig` (``seed`` field), never
-from worker identity or scheduling order, so ``parallel_sweep`` returns
+experiment layer parallelizes trivially: each
+:class:`~repro.harness.units.SweepUnit` is simulated somewhere — in
+this process, in a ``ProcessPoolExecutor`` worker, or on a remote
+worker of the :mod:`repro.service` fleet — and reduced to a result row.
+Determinism is preserved everywhere — each run's RNG streams are seeded
+from its own :class:`ExperimentConfig` (``seed`` field), never from
+worker identity or scheduling order, so every backend returns
 **bit-identical rows in the same order** as the serial
 :func:`repro.harness.sweep.sweep`.
 
@@ -14,15 +16,14 @@ Extras over the serial path:
 
 * :func:`aggregate_stats` — fold many runs' :class:`Stats` into one via
   ``Stats.merge`` (cross-benchmark roll-ups, fleet dashboards).
-* JSON result caching keyed on a hash of the full work-unit config
-  (``cache_dir=``): re-running a sweep after an interrupt, or growing
-  one axis, only simulates the missing cells.
+* JSON result caching keyed on the unit hash (``cache_dir=``):
+  re-running a sweep after an interrupt, or growing one axis, only
+  simulates the missing cells. The same keys back the coordinator's
+  result memo, so a local cache and a service cache are interchangeable.
 """
 
 from __future__ import annotations
 
-import hashlib
-import itertools
 import json
 import os
 import shutil
@@ -31,12 +32,12 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.harness.experiment import (ExperimentConfig, WarmupImageCache,
-                                      run_benchmark, warmup_key)
+                                      warmup_key)
 # Shared with the serial path so sweep(jobs=1) and sweep(jobs=N) can
-# never diverge on validation or metric resolution (sweep.py imports
-# this module lazily, so there is no cycle).
-from repro.harness.sweep import (_assemble_rows, _metric_of,
-                                 _normalize_metrics, _validate_axes)
+# never diverge on validation, grid expansion or metric resolution
+# (sweep.py imports this module lazily, so there is no cycle).
+from repro.harness.sweep import _assemble_rows, grid_units
+from repro.harness.units import Metric, SweepUnit, unit_key
 from repro.sim.stats import Stats
 
 __all__ = ["parallel_sweep", "run_units", "aggregate_stats", "config_key",
@@ -60,31 +61,22 @@ def pmap(fn, items: Sequence[Any], jobs: Optional[int] = None) -> List[Any]:
 
 
 def config_key(exp: ExperimentConfig, max_cycles: int,
-               metric: Optional[str]) -> str:
-    """Stable cache key for one work unit.
-
-    ``ExperimentConfig`` is a frozen dataclass of scalars and enums, so
-    its repr is deterministic across processes and sessions (no ids,
-    no dict ordering hazards).
-    """
-    blob = f"{exp!r}|max_cycles={max_cycles}|metric={metric}"
-    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+               metric: Metric) -> str:
+    """Stable cache key for one work unit (alias of
+    :func:`repro.harness.units.unit_key`, kept for the callers and
+    on-disk caches that predate the :class:`SweepUnit` extraction)."""
+    return unit_key(exp, max_cycles, metric)
 
 
-def _run_unit(unit: Tuple[ExperimentConfig, int, Optional[str]],
+def _run_unit(unit: SweepUnit,
               warmup_images: Optional[WarmupImageCache] = None):
-    """Worker entry point: simulate one config, reduce to the metric
-    (or return the full RunResult when no metric was requested)."""
-    exp, max_cycles, metric = unit
-    result = run_benchmark(exp, max_cycles=max_cycles,
-                           warmup_images=warmup_images)
-    if metric is None:
-        return result
-    return _metric_of(result, metric)
+    """Pool entry point: simulate one unit (must stay module-level and
+    tuple-tolerant — in-flight pickles from older callers ship bare
+    tuples)."""
+    return SweepUnit.coerce(unit).run(warmup_images=warmup_images)
 
 
-def _run_unit_warm(args: Tuple[Tuple[ExperimentConfig, int, Optional[str]],
-                               str]):
+def _run_unit_warm(args: Tuple[SweepUnit, str]):
     """Pool entry point for warmup-forked units: the image store is the
     shared directory (each worker re-opens it)."""
     unit, warmup_dir = args
@@ -98,12 +90,19 @@ def _as_image_cache(warmup_cache: Union[None, str, WarmupImageCache]
     return WarmupImageCache(warmup_cache)
 
 
-def run_units(units: Sequence[Tuple[ExperimentConfig, int, Optional[str]]],
+def _warmup_dir_of(warmup_cache: Union[None, str, WarmupImageCache]
+                   ) -> Optional[str]:
+    if isinstance(warmup_cache, WarmupImageCache):
+        return warmup_cache.cache_dir
+    return warmup_cache
+
+
+def run_units(units: Sequence[Union[SweepUnit, tuple]],
               jobs: Optional[int] = None,
               cache_dir: Optional[str] = None,
               warmup_snapshots: bool = False,
-              warmup_cache: Union[None, str, WarmupImageCache] = None
-              ) -> List[Any]:
+              warmup_cache: Union[None, str, WarmupImageCache] = None,
+              service: Optional[str] = None) -> List[Any]:
     """Execute work units, preserving input order.
 
     ``jobs`` <= 1 (or a single unit) runs in-process — same code path,
@@ -117,9 +116,22 @@ def run_units(units: Sequence[Tuple[ExperimentConfig, int, Optional[str]]],
     ``warmup_cache`` is a directory that already holds images). On a
     pool, the first unit of each prefix runs as a *leader* building the
     image; the rest fork from it via the shared directory.
+
+    ``service="host:port"`` ships the units to a running
+    :mod:`repro.service` fleet instead (``jobs`` is then ignored): the
+    coordinator shards them across its workers with warmup-prefix
+    affinity and streams rows back. The local ``cache_dir`` still
+    short-circuits units it already holds, and absorbs the returned
+    rows, so local and service sweeps share one resumable cache.
+    Only a *directory* ``warmup_cache`` reaches the fleet (workers may
+    live on other hosts; there is no RAM to share) — a memory-only
+    :class:`WarmupImageCache` stays local and the workers fall back to
+    their own retained per-prefix caches, which affinity still feeds.
+    Rows are identical either way; only warmup reuse differs.
     """
+    units = [SweepUnit.coerce(u) for u in units]
     out: List[Any] = [None] * len(units)
-    todo: List[Tuple[int, Tuple[ExperimentConfig, int, Optional[str]]]] = []
+    todo: List[Tuple[int, SweepUnit]] = []
     for i, unit in enumerate(units):
         cached = _cache_load(cache_dir, unit)
         if cached is not None:
@@ -127,6 +139,23 @@ def run_units(units: Sequence[Tuple[ExperimentConfig, int, Optional[str]]],
         else:
             todo.append((i, unit))
     if not todo:
+        return out
+    if service is not None:
+        from repro.service.client import ServiceClient
+
+        # cache each row as it streams (same contract as the pool
+        # path): a fleet dying mid-job costs only the rows that never
+        # arrived, and the retry resumes from the cache
+        def _absorb(j: int, value: Any) -> None:
+            i, unit = todo[j]
+            out[i] = value
+            _cache_store(cache_dir, unit, value)
+
+        with ServiceClient(service) as client:
+            client.run_units([u for _, u in todo],
+                             warmup_snapshots=warmup_snapshots,
+                             warmup_dir=_warmup_dir_of(warmup_cache),
+                             on_row=_absorb)
         return out
     pooled = jobs is not None and jobs > 1 and len(todo) > 1
     # Results are cached as they arrive (pool.map yields in input
@@ -174,11 +203,11 @@ def run_units(units: Sequence[Tuple[ExperimentConfig, int, Optional[str]]],
         # prefix's warmup is never simulated twice. (The two phases are
         # global barriers: all leaders finish before any follower
         # starts.)
-        leaders: List[Tuple[int, Any]] = []
-        followers: List[Tuple[int, Any]] = []
+        leaders: List[Tuple[int, SweepUnit]] = []
+        followers: List[Tuple[int, SweepUnit]] = []
         seen: Dict[str, bool] = {}
         for i, unit in todo:
-            key = warmup_key(unit[0])
+            key = unit.warmup_key
             if key in seen:
                 followers.append((i, unit))
             else:
@@ -207,11 +236,10 @@ def run_units(units: Sequence[Tuple[ExperimentConfig, int, Optional[str]]],
     return out
 
 
-def _cache_load(cache_dir, unit):
-    exp, max_cycles, metric = unit
-    if cache_dir is None or metric is None:
+def _cache_load(cache_dir: Optional[str], unit: SweepUnit):
+    if cache_dir is None or unit.metric is None:
         return None
-    path = os.path.join(cache_dir, config_key(exp, max_cycles, metric) + ".json")
+    path = os.path.join(cache_dir, unit.key() + ".json")
     try:
         with open(path) as f:
             return (json.load(f)["value"],)
@@ -219,18 +247,20 @@ def _cache_load(cache_dir, unit):
         return None
 
 
-def _cache_store(cache_dir, unit, value) -> None:
-    exp, max_cycles, metric = unit
-    if cache_dir is None or metric is None:
+def _cache_store(cache_dir: Optional[str], unit: SweepUnit, value) -> None:
+    if cache_dir is None or unit.metric is None:
         return
-    if not isinstance(value, (int, float)):
-        return  # only scalar metrics are cacheable
+    if not isinstance(value, (int, float, dict)):
+        return  # only JSON-scalar metric reductions are cacheable
     os.makedirs(cache_dir, exist_ok=True)
-    path = os.path.join(cache_dir, config_key(exp, max_cycles, metric) + ".json")
-    tmp = path + ".tmp"
+    path = os.path.join(cache_dir, unit.key() + ".json")
+    tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "w") as f:
-        json.dump({"config": repr(exp), "max_cycles": max_cycles,
-                   "metric": metric, "value": value}, f)
+        json.dump({"config": repr(unit.exp), "max_cycles": unit.max_cycles,
+                   "metric": (list(unit.metric)
+                              if isinstance(unit.metric, tuple)
+                              else unit.metric),
+                   "value": value}, f)
     os.replace(tmp, path)  # atomic: concurrent sweeps may share the dir
 
 
@@ -240,29 +270,25 @@ def parallel_sweep(benchmark: str, metric=None,
                    cache_dir: Optional[str] = None,
                    warmup_snapshots: bool = False,
                    warmup_cache: Union[None, str, WarmupImageCache] = None,
+                   service: Optional[str] = None,
                    **axes: Sequence[Any]) -> List[Dict[str, Any]]:
     """Run ``benchmark`` for the cross product of ``axes`` on a process
-    pool. Drop-in parallel replacement for
+    pool — or a service fleet. Drop-in parallel replacement for
     :func:`repro.harness.sweep.sweep`: same axis validation, same row
     order, bit-identical rows (deterministic per-config seeding), same
     ``metric``-list and ``warmup_snapshots`` semantics.
 
     ``jobs`` defaults to ``os.cpu_count()``; pass 1 to force serial
-    execution through the same code path.
+    execution through the same code path. ``service="host:port"``
+    routes the units to a running coordinator instead of a local pool.
     """
-    _validate_axes(axes)
-    metrics = _normalize_metrics(metric)
     if jobs is None:
         jobs = os.cpu_count() or 1
-    names = list(axes)
-    combos = list(itertools.product(*(axes[n] for n in names)))
-    units = [(ExperimentConfig(benchmark=benchmark,
-                               **dict(zip(names, combo))),
-              max_cycles, m)
-             for combo in combos for m in metrics]
+    names, combos, metrics, units = grid_units(benchmark, metric,
+                                               max_cycles, axes)
     values = run_units(units, jobs=jobs, cache_dir=cache_dir,
                        warmup_snapshots=warmup_snapshots,
-                       warmup_cache=warmup_cache)
+                       warmup_cache=warmup_cache, service=service)
     return _assemble_rows(names, combos, metrics, values)
 
 

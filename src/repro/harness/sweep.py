@@ -52,6 +52,28 @@ def _normalize_metrics(metric) -> List[Optional[str]]:
     return metrics
 
 
+def grid_units(benchmark: str, metric, max_cycles: int,
+               axes: Dict[str, Sequence[Any]]):
+    """Expand a sweep grid into its work units.
+
+    The one place the (validate axes -> normalize metrics -> cross
+    product -> combo-major/metric-minor unit list) expansion lives —
+    the serial sweep, ``parallel_sweep`` and ``ServiceClient.sweep``
+    all call it, so their unit lists (and therefore their rows) can
+    never drift apart. Returns ``(names, combos, metrics, units)``
+    with one :class:`SweepUnit` per (combo, metric)."""
+    from repro.harness.units import SweepUnit
+    _validate_axes(axes)
+    metrics = _normalize_metrics(metric)
+    names = list(axes)
+    combos = list(itertools.product(*(axes[n] for n in names)))
+    units = [SweepUnit(ExperimentConfig(benchmark=benchmark,
+                                        **dict(zip(names, combo))),
+                       max_cycles, m)
+             for combo in combos for m in metrics]
+    return names, combos, metrics, units
+
+
 def _assemble_rows(names: List[str], combos: List[tuple],
                    metrics: List[Optional[str]],
                    values: List[Any]) -> List[Dict[str, Any]]:
@@ -72,6 +94,7 @@ def sweep(benchmark: str, metric=None,
           max_cycles: int = 50_000_000, jobs: Optional[int] = None,
           warmup_snapshots: bool = False,
           warmup_cache: Union[None, str, WarmupImageCache] = None,
+          service: Optional[str] = None,
           **axes: Sequence[Any]) -> List[Dict[str, Any]]:
     """Run ``benchmark`` for the cross product of ``axes``.
 
@@ -91,33 +114,32 @@ def sweep(benchmark: str, metric=None,
     ``warmup_cache`` may be a directory (images persist across calls
     and processes) or a :class:`WarmupImageCache`; omitted, images live
     only for this call.
+
+    ``service="host:port"`` ships the cells to a running
+    :mod:`repro.service` coordinator/worker fleet (``jobs`` is then
+    ignored) — same rows, streamed back from persistent workers with
+    warmup-prefix affinity. ``metric`` is then required: full
+    ``RunResult`` objects only exist in-process.
     """
-    if jobs is not None and jobs > 1:
+    if service is None and jobs is not None and jobs > 1:
         from repro.harness.parallel import parallel_sweep
         return parallel_sweep(benchmark, metric=metric,
                               max_cycles=max_cycles, jobs=jobs,
                               warmup_snapshots=warmup_snapshots,
                               warmup_cache=warmup_cache, **axes)
-    _validate_axes(axes)
-    metrics = _normalize_metrics(metric)
-    names = list(axes)
-    combos = list(itertools.product(*(axes[n] for n in names)))
-    units = [(ExperimentConfig(benchmark=benchmark, **dict(zip(names, combo))),
-              max_cycles, m)
-             for combo in combos for m in metrics]
+    names, combos, metrics, units = grid_units(benchmark, metric,
+                                               max_cycles, axes)
     from repro.harness.parallel import run_units
     values = run_units(units, jobs=1, warmup_snapshots=warmup_snapshots,
-                       warmup_cache=warmup_cache)
+                       warmup_cache=warmup_cache, service=service)
     return _assemble_rows(names, combos, metrics, values)
 
 
 def _metric_of(result: RunResult, metric: str):
-    if hasattr(result, metric):
-        return getattr(result, metric)
-    value = result.to_dict().get(metric)
-    if value is None:
-        raise ConfigError(f"unknown metric {metric!r}")
-    return value
+    # Delegates to the shared unit-of-work helper so every backend
+    # (serial, pool, service worker) resolves metrics identically.
+    from repro.harness.units import metric_of
+    return metric_of(result, metric)
 
 
 def best(rows: List[Dict[str, Any]], metric: str,

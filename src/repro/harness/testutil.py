@@ -1,0 +1,32 @@
+"""Helpers for timing-sensitive assertions (tests and benchmarks).
+
+Lives in the package (not in a conftest) so both ``tests/`` and
+``benchmarks/`` can import it under any pytest invocation — bare
+``pytest`` does not put the repo root on ``sys.path``, but ``src`` is
+always there.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def retry_once_on_miss(check: Callable[[], object], attempts: int = 2):
+    """Re-run a *timing* assertion that lost to machine noise.
+
+    Wall-clock payoff tests ("the forked sweep must beat the cold one")
+    are correct in expectation but can lose a single race on a loaded
+    CI box — a scheduler stall during the fast variant flips the
+    comparison without any regression existing. ``check`` re-measures
+    from scratch on every call, so a bounded retry only filters noise:
+    a genuine regression fails every attempt and still fails the test.
+    Keep ``attempts`` at 2 — more would water the assertion down.
+
+    Only ``AssertionError`` is retried; real errors propagate at once.
+    """
+    for attempt in range(attempts):
+        try:
+            return check()
+        except AssertionError:
+            if attempt == attempts - 1:
+                raise

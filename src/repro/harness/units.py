@@ -1,0 +1,142 @@
+"""The shared unit-of-work abstraction of the experiment layer.
+
+Every execution backend — the serial ``sweep`` loop, the
+``ProcessPoolExecutor`` in :mod:`repro.harness.parallel`, and the
+distributed coordinator/worker service in :mod:`repro.service` — runs
+the same thing: *simulate one* :class:`ExperimentConfig` *for
+max_cycles and reduce it to a metric*. :class:`SweepUnit` is that unit,
+factored out of ``parallel.py`` so all three backends share one
+identity (cache key), one warmup-prefix key (scheduling affinity), one
+wire encoding, and one execution path — which is what keeps their rows
+bit-identical to each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.harness.experiment import (ExperimentConfig, WarmupImageCache,
+                                      run_benchmark)
+from repro.harness.experiment import warmup_key as _warmup_key
+from repro.params import NocKind, Organization
+
+__all__ = ["SweepUnit", "Metric", "metric_of", "unit_key"]
+
+#: what a unit reduces to: the full ``RunResult`` (``None``), one scalar
+#: metric (``str``), or a dict of several (tuple of names).
+Metric = Union[None, str, Tuple[str, ...]]
+
+
+def metric_of(result: Any, metric: str) -> Any:
+    """Extract one named metric from a ``RunResult``."""
+    if hasattr(result, metric):
+        return getattr(result, metric)
+    value = result.to_dict().get(metric)
+    if value is None:
+        raise ConfigError(f"unknown metric {metric!r}")
+    return value
+
+
+def unit_key(exp: ExperimentConfig, max_cycles: int, metric: Metric) -> str:
+    """Stable identity hash for one work unit.
+
+    ``ExperimentConfig`` is a frozen dataclass of scalars and enums, so
+    its repr is deterministic across processes and sessions (no ids,
+    no dict ordering hazards). The encoding for ``None``/``str``
+    metrics is unchanged from the original ``parallel.config_key``, so
+    existing on-disk result caches stay valid.
+    """
+    blob = f"{exp!r}|max_cycles={max_cycles}|metric={metric}"
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One independent simulation: config x horizon x metric reduction."""
+
+    exp: ExperimentConfig
+    max_cycles: int = 50_000_000
+    metric: Metric = None
+
+    @staticmethod
+    def coerce(unit: Union["SweepUnit", Tuple]) -> "SweepUnit":
+        """Accept the legacy ``(exp, max_cycles, metric)`` tuple form
+        (and normalize a list-of-metrics to a hashable tuple)."""
+        if isinstance(unit, SweepUnit):
+            u = unit
+        else:
+            exp, max_cycles, metric = unit
+            u = SweepUnit(exp, max_cycles, metric)
+        if isinstance(u.metric, list):
+            u = SweepUnit(u.exp, u.max_cycles, tuple(u.metric))
+        return u
+
+    def key(self) -> str:
+        return unit_key(self.exp, self.max_cycles, self.metric)
+
+    @property
+    def warmup_key(self) -> str:
+        """The config-prefix hash warmup images are keyed on — units
+        sharing it can fork from one warmup checkpoint, which is what
+        the service's affinity sharding exploits."""
+        return _warmup_key(self.exp)
+
+    def run(self, warmup_images: Optional[WarmupImageCache] = None) -> Any:
+        """Simulate and reduce. Returns the full ``RunResult`` when
+        ``metric`` is None, a scalar for a named metric, or a
+        ``{name: value}`` dict for a metric tuple."""
+        result = run_benchmark(self.exp, max_cycles=self.max_cycles,
+                               warmup_images=warmup_images)
+        if self.metric is None:
+            return result
+        if isinstance(self.metric, str):
+            return metric_of(result, self.metric)
+        return {m: metric_of(result, m) for m in self.metric}
+
+    # -- wire encoding (the service protocol ships units as JSON) ------
+    def to_wire(self) -> Dict[str, Any]:
+        exp = self.exp
+        return {
+            "benchmark": exp.benchmark,
+            "organization": exp.organization.value,
+            "cores": exp.cores,
+            "noc": exp.noc.value,
+            "cluster": list(exp.cluster),
+            "scale": exp.scale,
+            "full_system": exp.full_system,
+            "seed": exp.seed,
+            "warmup_fraction": exp.warmup_fraction,
+            "cache_scale": exp.cache_scale,
+            "max_cycles": self.max_cycles,
+            "metric": (list(self.metric)
+                       if isinstance(self.metric, tuple) else self.metric),
+        }
+
+    @staticmethod
+    def from_wire(wire: Dict[str, Any]) -> "SweepUnit":
+        try:
+            exp = ExperimentConfig(
+                benchmark=wire["benchmark"],
+                organization=Organization(wire["organization"]),
+                cores=wire["cores"],
+                noc=NocKind(wire["noc"]),
+                cluster=tuple(wire["cluster"]),
+                scale=wire["scale"],
+                full_system=wire["full_system"],
+                seed=wire["seed"],
+                warmup_fraction=wire["warmup_fraction"],
+                cache_scale=wire["cache_scale"],
+            )
+            metric = wire["metric"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed wire unit: {exc!r}") from exc
+        if isinstance(metric, list):
+            metric = tuple(metric)
+        if not (metric is None or isinstance(metric, str)
+                or (isinstance(metric, tuple)
+                    and all(isinstance(m, str) for m in metric))):
+            raise ConfigError(f"malformed wire metric: {metric!r}")
+        return SweepUnit(exp, wire["max_cycles"], metric)

@@ -1,0 +1,35 @@
+"""Distributed sweep service: coordinator / worker / client.
+
+The experiment layer's third execution backend (after the serial loop
+and the process pool): a :class:`~repro.service.coordinator.Coordinator`
+accepts sweep jobs over a length-prefixed JSON socket protocol, shards
+their units across persistent :class:`~repro.service.worker.Worker`
+processes with warmup-prefix affinity, requeues the in-flight units of
+dead workers, and streams rows back to
+:class:`~repro.service.client.ServiceClient` as they complete. Rows are
+bit-identical to ``sweep(jobs=0)`` — runs are seeded by config, results
+are deduplicated per unit, and retries are idempotent.
+
+Entry points: ``scripts/sweep_service.py`` (launch a fleet),
+``sweep(..., service="host:port")`` (use one), and
+``examples/distributed_sweep.py`` (the tour).
+"""
+
+from repro.service.client import ServiceClient, service_sweep
+from repro.service.coordinator import Coordinator
+from repro.service.errors import (ConnectionClosed, FrameError, JobFailed,
+                                  ServiceError, WorkerLost)
+from repro.service.protocol import (MAX_FRAME, MESSAGE_TYPES,
+                                    PROTOCOL_VERSION, FrameDecoder,
+                                    encode_frame)
+from repro.service.scheduler import Scheduler
+from repro.service.worker import Worker, parse_address
+
+__all__ = [
+    "Coordinator", "Worker", "ServiceClient", "Scheduler",
+    "service_sweep", "parse_address",
+    "ServiceError", "FrameError", "ConnectionClosed", "WorkerLost",
+    "JobFailed",
+    "PROTOCOL_VERSION", "MAX_FRAME", "MESSAGE_TYPES", "FrameDecoder",
+    "encode_frame",
+]

@@ -1,0 +1,53 @@
+"""``python -m repro.service ROLE …`` — process entry points.
+
+Roles::
+
+    worker       --connect HOST:PORT [--name N] [--verbose]
+    coordinator  [--bind HOST:PORT] [--cache-dir DIR] [--verbose]
+
+A dedicated dispatcher (rather than ``-m repro.service.worker``) keeps
+runpy from importing the worker module twice — once via the package
+``__init__`` and once as ``__main__`` — which would duplicate its
+module-level state. ``scripts/sweep_service.py`` is the operator CLI;
+this entry is what it (and the chaos tests) actually spawn.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in ("worker", "coordinator"):
+        print("usage: python -m repro.service {worker|coordinator} …",
+              file=sys.stderr)
+        return 2
+    role, rest = argv[0], argv[1:]
+    if role == "worker":
+        from repro.service.worker import main as worker_main
+        return worker_main(rest)
+    cli = argparse.ArgumentParser(prog="python -m repro.service "
+                                       "coordinator")
+    cli.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT")
+    cli.add_argument("--cache-dir", default=None, metavar="DIR")
+    cli.add_argument("--heartbeat-timeout", type=float, default=8.0)
+    cli.add_argument("--verbose", action="store_true")
+    args = cli.parse_args(rest)
+    from repro.service.coordinator import Coordinator
+    from repro.service.worker import parse_address
+    host, port = parse_address(args.bind)
+    coord = Coordinator(host=host, port=port, cache_dir=args.cache_dir,
+                        heartbeat_timeout=args.heartbeat_timeout,
+                        verbose=args.verbose)
+    print(f"coordinator on {coord.start()}", flush=True)
+    try:
+        coord.wait()
+    except KeyboardInterrupt:
+        coord.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,207 @@
+"""Python client of the distributed sweep service.
+
+:class:`ServiceClient` speaks the client half of the protocol: submit
+a job (a list of :class:`~repro.harness.units.SweepUnit`), consume the
+``row`` stream, and return the values in unit order. The harness entry
+points (``sweep(service=...)``, ``run_units(service=...)``) build on
+:meth:`ServiceClient.run_units`; :meth:`ServiceClient.sweep` is the
+standalone convenience mirror of :func:`repro.harness.sweep.sweep`.
+
+The client is deliberately synchronous — a sweep is a batch, and the
+coordinator streams rows as they finish, so blocking on the socket *is*
+the progress loop. ``on_row`` gives callers a live hook (progress bars,
+incremental plotting) without threads.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.harness.units import SweepUnit
+from repro.service.errors import (ConnectionClosed, JobFailed, ServiceError)
+from repro.service.protocol import (PROTOCOL_VERSION, FrameDecoder,
+                                    recv_msg, send_msg)
+from repro.service.worker import parse_address
+
+__all__ = ["ServiceClient", "service_sweep"]
+
+
+class ServiceClient:
+    """One connection to a sweep coordinator (usable as a context
+    manager). Not thread-safe; open one client per thread."""
+
+    def __init__(self, address: str, *,
+                 connect_timeout: float = 30.0,
+                 row_timeout: Optional[float] = None) -> None:
+        self.address = address
+        self.row_timeout = row_timeout
+        #: warm_builds / warm_hits / from_cache of the last finished job
+        self.last_job_stats: Dict[str, int] = {}
+        host, port = parse_address(address)
+        self._sock = socket.create_connection((host, port),
+                                              timeout=connect_timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._wlock = threading.Lock()
+        self._decoder = FrameDecoder()
+        send_msg(self._sock, {"type": "hello", "role": "client",
+                              "protocol": PROTOCOL_VERSION},
+                 lock=self._wlock)
+        welcome = self._recv()
+        if welcome.get("type") != "welcome":
+            raise ServiceError(f"expected welcome, got "
+                               f"{welcome.get('type')!r}: "
+                               f"{welcome.get('error', '')}")
+        self._sock.settimeout(row_timeout)
+
+    # ------------------------------------------------------------------
+    def _recv(self) -> Dict[str, Any]:
+        try:
+            msg = recv_msg(self._sock, self._decoder)
+        except socket.timeout:
+            raise ServiceError(
+                f"no message from coordinator within "
+                f"{self.row_timeout}s") from None
+        if msg.get("type") == "error":
+            raise ServiceError(f"coordinator error: {msg.get('error')}")
+        return msg
+
+    def _send(self, msg: Dict[str, Any]) -> None:
+        send_msg(self._sock, msg, lock=self._wlock)
+
+    def close(self) -> None:
+        try:
+            self._send({"type": "bye"})
+        except (OSError, ServiceError):
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        self._send({"type": "ping"})
+        return self._recv().get("type") == "pong"
+
+    def status(self) -> Dict[str, Any]:
+        """Fleet snapshot: per-worker rows + scheduler/cache stats."""
+        self._send({"type": "status"})
+        reply = self._recv()
+        if reply.get("type") != "status_reply":
+            raise ServiceError(f"expected status_reply, got "
+                               f"{reply.get('type')!r}")
+        return reply
+
+    def shutdown(self) -> None:
+        """Stop the whole fleet (coordinator tells workers to exit)."""
+        self._send({"type": "shutdown"})
+        try:
+            self._recv()  # bye
+        except (ServiceError, ConnectionClosed):
+            pass
+
+    # ------------------------------------------------------------------
+    def run_units(self, units: Sequence[Union[SweepUnit, tuple]], *,
+                  warmup_snapshots: bool = False,
+                  warmup_dir: Optional[str] = None,
+                  on_row: Optional[Callable[[int, Any], None]] = None
+                  ) -> List[Any]:
+        """Submit one job and block until every row arrived.
+
+        Returns values in unit order (same contract as the in-process
+        :func:`repro.harness.parallel.run_units`). ``warmup_dir`` must
+        be a directory visible to the *workers* (a shared filesystem
+        for a multi-host fleet); without one, each worker keeps its own
+        in-memory image cache, which affinity sharding still exploits.
+        Raises :class:`JobFailed` when a unit exhausts its retries.
+        """
+        units = [SweepUnit.coerce(u) for u in units]
+        for u in units:
+            if u.metric is None:
+                raise ServiceError(
+                    "service jobs need a named metric (or a list of "
+                    "metrics): full RunResult objects only exist "
+                    "in-process")
+        self._send({
+            "type": "submit",
+            "units": [u.to_wire() for u in units],
+            "warmup_snapshots": warmup_snapshots,
+            "warmup_dir": warmup_dir,
+        })
+        accepted = self._recv()
+        if accepted.get("type") != "accepted":
+            raise ServiceError(f"expected accepted, got "
+                               f"{accepted.get('type')!r}")
+        job_id = accepted["job"]
+        values: List[Any] = [None] * len(units)
+        got = [False] * len(units)
+        remaining = len(units)
+        for idx, value in accepted.get("cached", []):
+            values[idx] = value
+            got[idx] = True
+            remaining -= 1
+            if on_row is not None:
+                on_row(idx, value)
+        while True:  # exits via "done" (all rows), JobFailed, or error
+            try:
+                msg = self._recv()
+            except ConnectionClosed:
+                raise JobFailed(
+                    f"{job_id}: coordinator went away with "
+                    f"{remaining} rows outstanding") from None
+            kind = msg.get("type")
+            if kind == "row" and msg.get("job") == job_id:
+                idx = msg["idx"]
+                if not got[idx]:
+                    got[idx] = True
+                    remaining -= 1
+                values[idx] = msg["value"]
+                if on_row is not None:
+                    on_row(idx, msg["value"])
+            elif kind == "done" and msg.get("job") == job_id:
+                if remaining:
+                    raise JobFailed(f"{job_id}: done with {remaining} "
+                                    f"rows missing")
+                self.last_job_stats = {
+                    "warm_builds": msg.get("warm_builds", 0),
+                    "warm_hits": msg.get("warm_hits", 0),
+                    "from_cache": msg.get("from_cache", 0),
+                }
+                return values
+            elif kind == "job_failed" and msg.get("job") == job_id:
+                raise JobFailed(f"{job_id}: unit #{msg.get('idx')} "
+                                f"failed permanently: {msg.get('error')}")
+            else:
+                raise ServiceError(f"unexpected {kind!r} while waiting "
+                                   f"for {job_id} rows")
+
+    def sweep(self, benchmark: str, metric, *,
+              max_cycles: int = 50_000_000,
+              warmup_snapshots: bool = False,
+              warmup_dir: Optional[str] = None,
+              **axes: Sequence[Any]) -> List[Dict[str, Any]]:
+        """Run a sweep grid through the service; same rows as
+        :func:`repro.harness.sweep.sweep` with the same arguments."""
+        # Imported here: keeping client.py importable without the
+        # harness stack costs nothing.
+        from repro.harness.sweep import _assemble_rows, grid_units
+        names, combos, metrics, units = grid_units(benchmark, metric,
+                                                   max_cycles, axes)
+        values = self.run_units(units, warmup_snapshots=warmup_snapshots,
+                                warmup_dir=warmup_dir)
+        return _assemble_rows(names, combos, metrics, values)
+
+
+def service_sweep(address: str, benchmark: str, metric,
+                  **kwargs) -> List[Dict[str, Any]]:
+    """One-shot convenience: connect, sweep, close."""
+    with ServiceClient(address) as client:
+        return client.sweep(benchmark, metric, **kwargs)

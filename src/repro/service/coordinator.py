@@ -1,0 +1,529 @@
+"""The sweep coordinator: accepts jobs, shards units across workers.
+
+One listening socket serves both roles; the first message of every
+connection is a ``hello`` naming its role:
+
+* **workers** register, then loop receiving ``assign`` messages and
+  pushing ``result``/``unit_error``/``heartbeat``;
+* **clients** ``submit`` jobs (lists of wire-encoded
+  :class:`~repro.harness.units.SweepUnit`), then receive ``row``
+  messages streamed as units complete, closed by ``done`` (or
+  ``job_failed``). ``status``/``ping``/``shutdown`` are one-shot
+  requests.
+
+Fault tolerance: a worker that EOFs, errors, or misses heartbeats past
+``heartbeat_timeout`` is dropped and its in-flight unit requeued at the
+front of the queue (:class:`~repro.service.scheduler.Scheduler`).
+Results are deduplicated per (job, idx) *and* memoized by unit config
+hash — in memory always, on disk when ``cache_dir`` is given — so
+retried units stay idempotent and a restarted coordinator with a warm
+cache directory serves repeat jobs without re-simulating anything.
+
+Threading model: one accept thread, one reader thread per connection,
+one liveness monitor; all shared state behind a single lock. Sends are
+tiny JSON frames, so holding the lock across them is fine — the heavy
+work happens in worker *processes*, never here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.errors import ConfigError
+from repro.harness.units import SweepUnit
+from repro.service.errors import ConnectionClosed, FrameError, ServiceError
+from repro.service.protocol import (PROTOCOL_VERSION, FrameDecoder,
+                                    recv_msg, send_msg, set_send_timeout)
+from repro.service.scheduler import Scheduler
+
+__all__ = ["Coordinator"]
+
+
+@dataclass
+class _Conn:
+    sock: socket.socket
+    wlock: threading.Lock = field(default_factory=threading.Lock)
+
+    def send(self, msg: Dict[str, Any]) -> None:
+        send_msg(self.sock, msg, lock=self.wlock)
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@dataclass
+class _WorkerConn:
+    name: str
+    conn: _Conn
+    pid: Optional[int] = None
+    last_seen: float = field(default_factory=time.monotonic)
+
+
+@dataclass
+class _Job:
+    job_id: str
+    client: _Conn
+    units: List[SweepUnit]
+    values: List[Any]
+    remaining: int
+    warmup_snapshots: bool = False
+    warmup_dir: Optional[str] = None
+    warm_builds: int = 0
+    warm_hits: int = 0
+    from_cache: int = 0
+
+
+class Coordinator:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 cache_dir: Optional[str] = None,
+                 heartbeat_timeout: float = 8.0,
+                 monitor_interval: float = 0.5,
+                 send_timeout: float = 30.0,
+                 verbose: bool = False) -> None:
+        self.host = host
+        self.port = port
+        self.cache_dir = cache_dir
+        self.heartbeat_timeout = heartbeat_timeout
+        self.monitor_interval = monitor_interval
+        self.send_timeout = send_timeout
+        self.verbose = verbose
+
+        self._lock = threading.RLock()
+        self._sched = Scheduler()
+        self._workers: Dict[str, _WorkerConn] = {}
+        self._jobs: Dict[str, _Job] = {}
+        self._results: Dict[str, Any] = {}   # unit key -> value (memo)
+        self._job_seq = 0
+        self._worker_seq = 0
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._stopped = threading.Event()
+        # counters surfaced via status (and asserted by the tests)
+        self.served_from_cache = 0
+        self.rows_streamed = 0
+        self.units_completed = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> str:
+        """Bind, start serving, return the ``host:port`` address."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        for target in (self._accept_loop, self._monitor_loop):
+            t = threading.Thread(target=target, daemon=True,
+                                 name=f"coord-{target.__name__}")
+            t.start()
+            self._threads.append(t)
+        self._log(f"coordinator listening on {self.address}")
+        return self.address
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Shut down: tell workers to exit, close every connection."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        with self._lock:
+            workers = list(self._workers.values())
+            jobs = list(self._jobs.values())
+        for w in workers:
+            try:
+                w.conn.send({"type": "shutdown"})
+            except (OSError, ServiceError):
+                pass
+            w.conn.close()
+        for job in jobs:
+            job.client.close()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for t in self._threads:
+            t.join(timeout=2.0)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until :meth:`stop` is called (e.g. via a client
+        ``shutdown`` message). Returns True when stopped."""
+        return self._stopped.wait(timeout)
+
+    def _log(self, msg: str) -> None:
+        if self.verbose:
+            print(f"[coordinator] {msg}", flush=True)
+
+    # ------------------------------------------------------------------
+    # accept / per-connection loops
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopped.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            t = threading.Thread(target=self._serve_conn, args=(sock,),
+                                 daemon=True, name="coord-conn")
+            t.start()
+
+    def _serve_conn(self, sock: socket.socket) -> None:
+        conn = _Conn(sock)
+        decoder = FrameDecoder()
+        try:
+            # bounded sends (kernel-level, receive-independent): a
+            # peer that stops draining must become an OSError here,
+            # not a permanent sendall block under self._lock
+            set_send_timeout(sock, self.send_timeout)
+            sock.settimeout(30.0)
+            hello = recv_msg(sock, decoder)
+            if hello.get("type") != "hello":
+                raise FrameError(f"expected hello, got {hello.get('type')!r}")
+            if hello.get("protocol", PROTOCOL_VERSION) != PROTOCOL_VERSION:
+                raise FrameError(
+                    f"protocol version {hello.get('protocol')!r} != "
+                    f"{PROTOCOL_VERSION}")
+            role = hello.get("role")
+            sock.settimeout(None)
+            if role == "worker":
+                self._serve_worker(conn, decoder, hello)
+            elif role == "client":
+                self._serve_client(conn, decoder)
+            else:
+                raise FrameError(f"unknown role {role!r}")
+        except (ServiceError, OSError) as exc:
+            if not self._stopped.is_set():
+                self._log(f"connection dropped: {exc}")
+            try:
+                conn.send({"type": "error", "error": str(exc)})
+            except (OSError, ServiceError):
+                pass
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _serve_worker(self, conn: _Conn, decoder: FrameDecoder,
+                      hello: Dict[str, Any]) -> None:
+        with self._lock:
+            self._worker_seq += 1
+            name = hello.get("name") or f"worker-{self._worker_seq}"
+            if name in self._workers:  # names must be unique
+                name = f"{name}.{self._worker_seq}"
+            worker = _WorkerConn(name, conn, pid=hello.get("pid"))
+            self._workers[name] = worker
+            self._sched.add_worker(name)
+        conn.send({"type": "welcome", "name": name,
+                   "protocol": PROTOCOL_VERSION})
+        self._log(f"worker {name} (pid {worker.pid}) joined")
+        self._dispatch()
+        try:
+            while not self._stopped.is_set():
+                msg = recv_msg(conn.sock, decoder)
+                kind = msg["type"]
+                with self._lock:
+                    worker.last_seen = time.monotonic()
+                if kind == "heartbeat":
+                    continue
+                if kind == "result":
+                    self._on_result(name, msg)
+                elif kind == "unit_error":
+                    self._on_unit_error(name, msg)
+                elif kind == "bye":
+                    break
+                else:
+                    raise FrameError(f"unexpected {kind!r} from worker")
+        finally:
+            self._drop_worker(name, "connection closed")
+
+    def _drop_worker(self, name: str, reason: str) -> None:
+        with self._lock:
+            worker = self._workers.pop(name, None)
+            if worker is None:
+                return
+            requeued = self._reap_worker_locked(name, reason)
+        worker.conn.close()
+        if requeued and not self._stopped.is_set():
+            self._log(f"worker {name} lost ({reason}); requeued "
+                      f"{[f'{j}#{i}' for j, i in requeued]}")
+        elif not self._stopped.is_set():
+            self._log(f"worker {name} left ({reason})")
+        self._dispatch()
+
+    def _reap_worker_locked(self, name: str, reason: str):
+        """Remove ``name`` from the scheduler; units whose attempts a
+        repeated worker-killer already exhausted fail their jobs
+        instead of circling through yet another worker."""
+        requeued, fatal = self._sched.remove_worker(name)
+        for job_id, idx in fatal:
+            self._fail_job_locked(
+                job_id, idx,
+                f"unit killed its worker {self._sched.max_attempts} "
+                f"times (last: {name}, {reason})")
+        return requeued
+
+    def _fail_job_locked(self, job_id: str, idx: int,
+                         error: str) -> None:
+        job = self._jobs.pop(job_id, None)
+        self._sched.fail_job(job_id)
+        if job is not None:
+            try:
+                job.client.send({"type": "job_failed", "job": job_id,
+                                 "idx": idx, "error": error})
+            except (OSError, ServiceError):
+                pass
+
+    def _on_result(self, name: str, msg: Dict[str, Any]) -> None:
+        job_id, idx = msg["job"], msg["idx"]
+        with self._lock:
+            verdict = self._sched.complete(name, job_id, idx)
+            if verdict != "fresh":
+                self._log(f"dropped {verdict} result {job_id}#{idx} "
+                          f"from {name}")
+                self._dispatch_locked()
+                return
+            job = self._jobs[job_id]
+            value = msg["value"]
+            job.values[idx] = value
+            job.remaining -= 1
+            job.warm_builds += msg.get("warm_builds", 0)
+            job.warm_hits += msg.get("warm_hits", 0)
+            self.units_completed += 1
+            self._store_result(job.units[idx], value)
+            self._send_row(job, idx, value)
+            if job.remaining == 0:
+                self._finish_job(job)
+            self._dispatch_locked()
+
+    def _on_unit_error(self, name: str, msg: Dict[str, Any]) -> None:
+        job_id, idx = msg["job"], msg["idx"]
+        error = msg.get("error", "unknown unit error")
+        with self._lock:
+            verdict = self._sched.fail(name, job_id, idx)
+            self._log(f"unit {job_id}#{idx} failed on {name} "
+                      f"({verdict}): {error}")
+            if verdict == "fatal":
+                self._fail_job_locked(job_id, idx, error)
+            self._dispatch_locked()
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def _serve_client(self, conn: _Conn, decoder: FrameDecoder) -> None:
+        conn.send({"type": "welcome", "protocol": PROTOCOL_VERSION})
+        submitted: List[str] = []
+        try:
+            while not self._stopped.is_set():
+                msg = recv_msg(conn.sock, decoder)
+                kind = msg["type"]
+                if kind == "ping":
+                    conn.send({"type": "pong"})
+                elif kind == "status":
+                    conn.send(self._status_reply())
+                elif kind == "submit":
+                    submitted.append(self._on_submit(conn, msg))
+                elif kind == "shutdown":
+                    conn.send({"type": "bye"})
+                    threading.Thread(target=self.stop, daemon=True).start()
+                    return
+                elif kind == "bye":
+                    return
+                else:
+                    raise FrameError(f"unexpected {kind!r} from client")
+        finally:
+            # a client that vanishes abandons its unfinished jobs
+            with self._lock:
+                for job_id in submitted:
+                    if job_id in self._jobs:
+                        del self._jobs[job_id]
+                        self._sched.cancel_job(job_id)
+
+    def _on_submit(self, conn: _Conn, msg: Dict[str, Any]) -> str:
+        try:
+            units = [SweepUnit.from_wire(w) for w in msg["units"]]
+        except (ConfigError, KeyError, TypeError) as exc:
+            # malformed submits get the typed error reply the protocol
+            # promises, not a bare connection drop (ConfigError is a
+            # ReproError, which _serve_conn would not catch)
+            raise FrameError(f"malformed submit: {exc}") from exc
+        for u in units:
+            if u.metric is None:
+                raise FrameError("service jobs need a scalar or named-"
+                                 "metric reduction (metric=None only "
+                                 "exists in-process)")
+        with self._lock:
+            self._job_seq += 1
+            job_id = f"job-{self._job_seq}"
+            job = _Job(job_id=job_id, client=conn, units=units,
+                       values=[None] * len(units), remaining=len(units),
+                       warmup_snapshots=bool(msg.get("warmup_snapshots")),
+                       warmup_dir=msg.get("warmup_dir"))
+            cached: List[List[Any]] = []
+            skip: Set[int] = set()
+            for idx, unit in enumerate(units):
+                value = self._load_result(unit)
+                if value is not None:
+                    job.values[idx] = value[0]
+                    job.remaining -= 1
+                    skip.add(idx)
+                    cached.append([idx, value[0]])
+                    self.served_from_cache += 1
+            job.from_cache = len(skip)
+            self._jobs[job_id] = job
+            conn.send({"type": "accepted", "job": job_id,
+                       "total": len(units), "cached": cached})
+            self._log(f"{job_id}: {len(units)} units "
+                      f"({len(skip)} from cache)")
+            if job.remaining == 0:
+                self._finish_job(job)
+            else:
+                self._sched.add_job(job_id, units, skip=skip)
+                self._dispatch_locked()
+        return job_id
+
+    def _send_row(self, job: _Job, idx: int, value: Any) -> None:
+        try:
+            job.client.send({"type": "row", "job": job.job_id,
+                             "idx": idx, "value": value})
+            self.rows_streamed += 1
+        except (OSError, ServiceError):
+            self._log(f"{job.job_id}: client gone, abandoning job")
+            self._jobs.pop(job.job_id, None)
+            self._sched.cancel_job(job.job_id)
+
+    def _finish_job(self, job: _Job) -> None:
+        self._jobs.pop(job.job_id, None)
+        # release the scheduler's job state too (unit lists would
+        # otherwise accumulate for the coordinator's lifetime, and
+        # status would report finished jobs as live)
+        self._sched.cancel_job(job.job_id)
+        try:
+            job.client.send({"type": "done", "job": job.job_id,
+                             "warm_builds": job.warm_builds,
+                             "warm_hits": job.warm_hits,
+                             "from_cache": job.from_cache})
+        except (OSError, ServiceError):
+            pass
+        self._log(f"{job.job_id}: done (builds={job.warm_builds} "
+                  f"hits={job.warm_hits} cached={job.from_cache})")
+
+    def _status_reply(self) -> Dict[str, Any]:
+        with self._lock:
+            workers = []
+            for name, w in self._workers.items():
+                view = self._sched.worker_view(name)
+                workers.append({
+                    "name": name, "pid": w.pid,
+                    "busy": list(view.busy) if view.busy else None,
+                    "completed": view.completed,
+                    "prefixes": len(view.prefixes),
+                })
+            stats = self._sched.stats()
+            stats.update(served_from_cache=self.served_from_cache,
+                         rows_streamed=self.rows_streamed,
+                         units_completed=self.units_completed,
+                         results_cached=len(self._results))
+            return {"type": "status_reply", "workers": workers,
+                    "stats": stats}
+
+    # ------------------------------------------------------------------
+    # dispatch + liveness
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        with self._lock:
+            self._dispatch_locked()
+
+    def _dispatch_locked(self) -> None:
+        while True:
+            assigned = False
+            for name in self._sched.idle_workers():
+                a = self._sched.next_unit_for(name)
+                if a is None:
+                    continue
+                job = self._jobs.get(a.job_id)
+                worker = self._workers.get(name)
+                if job is None or worker is None:
+                    continue
+                try:
+                    worker.conn.send({
+                        "type": "assign", "job": a.job_id, "idx": a.idx,
+                        "unit": a.unit.to_wire(),
+                        "warmup_snapshots": job.warmup_snapshots,
+                        "warmup_dir": job.warmup_dir,
+                    })
+                    assigned = True
+                except (OSError, ServiceError):
+                    # send failed: treat as death; requeue + retry loop
+                    worker.conn.close()
+                    self._workers.pop(name, None)
+                    self._reap_worker_locked(name, "assign send failed")
+                    assigned = True
+            if not assigned:
+                return
+
+    def _monitor_loop(self) -> None:
+        while not self._stopped.wait(self.monitor_interval):
+            now = time.monotonic()
+            with self._lock:
+                stale = [name for name, w in self._workers.items()
+                         if now - w.last_seen > self.heartbeat_timeout]
+            for name in stale:
+                self._drop_worker(name, "heartbeat timeout")
+
+    # ------------------------------------------------------------------
+    # result memo (idempotency + restart warm cache)
+    # ------------------------------------------------------------------
+    def _cache_path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"{key}.result.json")
+
+    def _load_result(self, unit: SweepUnit):
+        """Returns a 1-tuple holding the memoized value, or None."""
+        key = unit.key()
+        if key in self._results:
+            return (self._results[key],)
+        if self.cache_dir is not None:
+            try:
+                with open(self._cache_path(key)) as f:
+                    value = json.load(f)["value"]
+            except (OSError, ValueError, KeyError):
+                return None
+            self._results[key] = value
+            return (value,)
+        return None
+
+    def _store_result(self, unit: SweepUnit, value: Any) -> None:
+        key = unit.key()
+        self._results[key] = value
+        if self.cache_dir is not None and isinstance(
+                value, (int, float, dict)):
+            os.makedirs(self.cache_dir, exist_ok=True)
+            path = self._cache_path(key)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            try:
+                with open(tmp, "w") as f:
+                    json.dump({"key": key, "value": value}, f)
+                os.replace(tmp, path)
+            except OSError:
+                pass

@@ -1,0 +1,175 @@
+"""Length-prefixed JSON wire protocol for the sweep service.
+
+One frame = a 4-byte big-endian payload length followed by a UTF-8
+JSON object with a ``type`` field. JSON keeps the protocol inspectable
+and version-tolerant; float round-tripping through ``json`` is exact
+(repr-based), so metric values survive the wire bit-identically.
+
+The decoder is *incremental* (:class:`FrameDecoder`): feed it whatever
+``recv`` returned — single bytes, half frames, three frames at once —
+and it yields complete messages. Anything malformed (oversized length
+prefix, garbage JSON, a non-object payload, an unknown ``type``)
+raises a typed :class:`FrameError` immediately instead of hanging or
+desynchronizing, and a stream that ends mid-frame is distinguishable
+from a clean close (:class:`ConnectionClosed`).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Any, Dict, Iterator, Optional
+
+from repro.service.errors import ConnectionClosed, FrameError
+
+__all__ = ["PROTOCOL_VERSION", "MAX_FRAME", "MESSAGE_TYPES",
+           "encode_frame", "FrameDecoder", "send_msg", "recv_msg",
+           "set_send_timeout"]
+
+PROTOCOL_VERSION = 1
+
+#: hard payload ceiling — a submit of ~100k units is a few MB; anything
+#: past this is a corrupt or hostile length prefix, not a real message.
+MAX_FRAME = 64 * 1024 * 1024
+
+_LEN = struct.Struct("!I")
+_RECV_CHUNK = 1 << 16
+
+MESSAGE_TYPES = frozenset({
+    # session establishment (both directions)
+    "hello", "welcome",
+    # client -> coordinator
+    "submit", "status", "ping", "shutdown", "bye",
+    # coordinator -> client
+    "accepted", "row", "done", "job_failed", "status_reply", "pong",
+    # coordinator <-> worker
+    "assign", "result", "unit_error", "heartbeat",
+    # either direction: fatal protocol-level complaint before drop
+    "error",
+})
+
+
+def encode_frame(msg: Dict[str, Any]) -> bytes:
+    """Serialize one message to its wire frame."""
+    if not isinstance(msg, dict) or msg.get("type") not in MESSAGE_TYPES:
+        raise FrameError(f"cannot encode message with type "
+                         f"{msg.get('type') if isinstance(msg, dict) else msg!r}")
+    payload = json.dumps(msg, separators=(",", ":"), sort_keys=True).encode()
+    if len(payload) > MAX_FRAME:
+        raise FrameError(f"frame payload {len(payload)} bytes exceeds "
+                         f"MAX_FRAME {MAX_FRAME}")
+    return _LEN.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser; byte-chunking agnostic.
+
+    ``feed(data)`` appends received bytes; iterate (or call
+    :meth:`next_message`) to drain complete messages. The decoder keeps
+    at most one frame of lookahead buffered.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def at_boundary(self) -> bool:
+        """True when no partial frame is buffered (a clean EOF point)."""
+        return not self._buf
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+        # Reject a poisoned length prefix as soon as it is readable:
+        # waiting for MAX_FRAME bytes that will never come is the hang
+        # the typed error exists to prevent.
+        if len(self._buf) >= _LEN.size:
+            (length,) = _LEN.unpack_from(self._buf, 0)
+            if length > MAX_FRAME:
+                raise FrameError(f"frame length {length} exceeds "
+                                 f"MAX_FRAME {MAX_FRAME}")
+
+    def next_message(self) -> Optional[Dict[str, Any]]:
+        if len(self._buf) < _LEN.size:
+            return None
+        (length,) = _LEN.unpack_from(self._buf, 0)
+        if length > MAX_FRAME:
+            raise FrameError(f"frame length {length} exceeds "
+                             f"MAX_FRAME {MAX_FRAME}")
+        end = _LEN.size + length
+        if len(self._buf) < end:
+            return None
+        payload = bytes(self._buf[_LEN.size:end])
+        del self._buf[:end]
+        try:
+            msg = json.loads(payload)
+        except ValueError as exc:
+            raise FrameError(f"frame payload is not JSON: {exc}") from exc
+        if not isinstance(msg, dict):
+            raise FrameError(f"frame payload is not an object: "
+                             f"{type(msg).__name__}")
+        if msg.get("type") not in MESSAGE_TYPES:
+            raise FrameError(f"unknown message type {msg.get('type')!r}")
+        return msg
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        while True:
+            msg = self.next_message()
+            if msg is None:
+                return
+            yield msg
+
+
+def set_send_timeout(sock: socket.socket, seconds: float) -> None:
+    """Bound *sends* without touching receives (``SO_SNDTIMEO``).
+
+    The coordinator holds its global lock across sendall calls (frames
+    are tiny), which is fine until a peer stops draining its receive
+    buffer — a SIGSTOPped client would then block one reader thread in
+    sendall forever and wedge the whole fleet behind the lock. A
+    kernel-level send timeout turns that into a bounded stall and an
+    ``OSError`` the caller already treats as peer death. A Python-level
+    ``settimeout`` cannot do this: it would also time out the blocking
+    ``recv`` that idle clients and quiet workers legitimately sit in.
+    """
+    usec = int(seconds * 1_000_000)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDTIMEO,
+                    struct.pack("ll", usec // 1_000_000,
+                                usec % 1_000_000))
+
+
+def send_msg(sock: socket.socket, msg: Dict[str, Any],
+             lock: Optional[threading.Lock] = None) -> None:
+    """Send one message; ``lock`` serializes writers sharing a socket
+    (a worker's heartbeat thread vs its result sends)."""
+    frame = encode_frame(msg)
+    if lock is None:
+        sock.sendall(frame)
+    else:
+        with lock:
+            sock.sendall(frame)
+
+
+def recv_msg(sock: socket.socket, decoder: FrameDecoder) -> Dict[str, Any]:
+    """Block until one complete message is available.
+
+    Raises :class:`ConnectionClosed` on clean EOF (between frames) and
+    :class:`FrameError` when the stream ends mid-frame or the frame is
+    malformed. ``socket.timeout`` propagates to the caller.
+    """
+    while True:
+        msg = decoder.next_message()
+        if msg is not None:
+            return msg
+        try:
+            chunk = sock.recv(_RECV_CHUNK)
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            if isinstance(exc, socket.timeout):
+                raise
+            raise ConnectionClosed(f"connection lost: {exc}") from exc
+        if not chunk:
+            if decoder.at_boundary:
+                raise ConnectionClosed("peer closed the connection")
+            raise FrameError("stream truncated mid-frame")
+        decoder.feed(chunk)

@@ -1,0 +1,266 @@
+"""The sweep worker: a persistent simulation process.
+
+A worker connects to the coordinator, names itself, and loops: receive
+an ``assign``, simulate the unit, send the ``result`` (or a
+``unit_error``). A daemon heartbeat thread keeps the connection warm so
+the coordinator's liveness monitor can tell "slow simulation" from
+"dead process" — the GIL switches threads every few milliseconds, so
+heartbeats flow even while a simulation is compute-bound.
+
+Warmup affinity is realized *here*: the worker keeps one
+:class:`~repro.harness.experiment.WarmupImageCache` per warmup
+directory (plus a process-local in-memory cache for jobs without one)
+that lives across assignments. Because the coordinator routes every
+unit of a ``warmup_key`` prefix to the prefix's owner, the first unit
+builds the image in this cache and every later unit forks from it.
+Each ``result`` carries the build/hit *delta* for its unit, so the
+coordinator can attribute warmup work to jobs exactly.
+
+Runnable standalone::
+
+    PYTHONPATH=src python -m repro.service worker --connect HOST:PORT
+
+which is what ``scripts/sweep_service.py`` (and the chaos tests, which
+SIGKILL these processes) launch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import threading
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+from repro.harness.experiment import WarmupImageCache
+from repro.harness.units import SweepUnit
+from repro.service.errors import (ConnectionClosed, FrameError,
+                                  ServiceError)
+from repro.service.protocol import (PROTOCOL_VERSION, FrameDecoder,
+                                    recv_msg, send_msg)
+
+__all__ = ["Worker", "parse_address"]
+
+
+class _BoundedImageCache(WarmupImageCache):
+    """Memory-only image cache with LRU eviction.
+
+    A worker lives for the fleet's lifetime; without a warmup
+    directory it would pin one whole-machine snapshot blob per prefix
+    it ever owned. Affinity makes the *recent* prefixes the hot ones,
+    so a small LRU keeps the forking payoff while bounding RSS.
+    An evicted image costs one warmup re-simulation, never
+    correctness."""
+
+    def __init__(self, max_images: int) -> None:
+        super().__init__(None)
+        self.max_images = max_images
+
+    def get(self, key):
+        blob = self._mem.get(key)
+        if blob is not None:  # refresh recency (dicts keep order)
+            del self._mem[key]
+            self._mem[key] = blob
+        return blob
+
+    def put(self, key, blob) -> None:
+        self._mem.pop(key, None)
+        self._mem[key] = blob
+        while len(self._mem) > self.max_images:
+            del self._mem[next(iter(self._mem))]
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``host:port`` -> ``(host, port)`` (IPv4/hostname form)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ServiceError(f"bad service address {address!r} "
+                           f"(expected host:port)")
+    return host or "127.0.0.1", int(port)
+
+
+def spawn_worker_process(address: str, *, name: Optional[str] = None,
+                         verbose: bool = False, capture: bool = False):
+    """Start a worker as a detached OS process attached to ``address``.
+
+    The one spawn recipe (``python -m repro.service worker``, with this
+    checkout's ``src`` prepended to ``PYTHONPATH``) shared by the fleet
+    CLI, the examples, and the chaos tests that SIGKILL the result.
+    ``capture=True`` silences stdout/stderr (test fleets).
+    Returns the ``subprocess.Popen``.
+    """
+    import subprocess
+    import sys
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    cmd = [sys.executable, "-m", "repro.service", "worker",
+           "--connect", address]
+    if name:
+        cmd += ["--name", name]
+    if verbose:
+        cmd += ["--verbose"]
+    sink = subprocess.DEVNULL if capture else None
+    return subprocess.Popen(cmd, env=env, stdout=sink, stderr=sink)
+
+
+class Worker:
+    """One persistent simulation worker (see module docstring)."""
+
+    def __init__(self, address: str, *, name: Optional[str] = None,
+                 heartbeat_interval: float = 2.0,
+                 max_memory_images: int = 8,
+                 verbose: bool = False) -> None:
+        self.address = address
+        self.name = name
+        self.heartbeat_interval = heartbeat_interval
+        self.max_memory_images = max_memory_images
+        self.verbose = verbose
+        self.units_run = 0
+        self._sock: Optional[socket.socket] = None
+        self._wlock = threading.Lock()
+        self._stopping = threading.Event()
+        # one image cache per warmup directory, living across
+        # assignments — the affinity payoff. None key = memory-only.
+        self._images: Dict[Optional[str], WarmupImageCache] = {}
+
+    def _log(self, msg: str) -> None:
+        if self.verbose:
+            print(f"[worker {self.name or os.getpid()}] {msg}", flush=True)
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Connect and serve assignments until the coordinator says
+        ``shutdown`` or goes away. Blocks."""
+        host, port = parse_address(self.address)
+        sock = socket.create_connection((host, port), timeout=30.0)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        decoder = FrameDecoder()
+        try:
+            send_msg(sock, {"type": "hello", "role": "worker",
+                            "protocol": PROTOCOL_VERSION,
+                            "name": self.name, "pid": os.getpid()},
+                     lock=self._wlock)
+            welcome = recv_msg(sock, decoder)
+            if welcome.get("type") == "error":
+                raise ServiceError(f"coordinator rejected worker: "
+                                   f"{welcome.get('error')}")
+            if welcome.get("type") != "welcome":
+                raise ServiceError(f"expected welcome, got "
+                                   f"{welcome.get('type')!r}")
+            self.name = welcome.get("name", self.name)
+            sock.settimeout(None)
+            self._log(f"registered with {self.address}")
+            hb = threading.Thread(target=self._heartbeat_loop,
+                                  daemon=True, name="worker-heartbeat")
+            hb.start()
+            try:
+                while not self._stopping.is_set():
+                    msg = recv_msg(sock, decoder)
+                    kind = msg.get("type")
+                    if kind == "assign":
+                        self._handle_assign(msg)
+                    elif kind == "shutdown":
+                        self._log("shutdown requested")
+                        return
+                    elif kind == "error":
+                        raise ServiceError(f"coordinator error: "
+                                           f"{msg.get('error')}")
+                    else:
+                        raise ServiceError(f"unexpected {kind!r} from "
+                                           f"coordinator")
+            except (ConnectionClosed, FrameError, OSError) as exc:
+                # transport-level loss (incl. a close racing a frame
+                # mid-flight at shutdown) ends this worker quietly —
+                # the coordinator requeues anything it owed; only
+                # protocol-level complaints above stay loud
+                self._log(f"coordinator went away ({exc})")
+                return
+        finally:
+            self._stopping.set()
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def stop(self) -> None:
+        """Ask a threaded worker to exit after its current unit."""
+        self._stopping.set()
+        if self._sock is not None:
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        while not self._stopping.wait(self.heartbeat_interval):
+            try:
+                send_msg(self._sock, {"type": "heartbeat"},
+                         lock=self._wlock)
+            except (OSError, ServiceError):
+                return
+
+    def _images_for(self, warmup_dir: Optional[str]) -> WarmupImageCache:
+        cache = self._images.get(warmup_dir)
+        if cache is None:
+            if warmup_dir is None:  # memory-only: bound the blobs
+                cache = _BoundedImageCache(self.max_memory_images)
+            else:  # disk-backed caches hold nothing in RAM
+                cache = WarmupImageCache(warmup_dir)
+            self._images[warmup_dir] = cache
+        return cache
+
+    def _handle_assign(self, msg: Dict[str, Any]) -> None:
+        job_id, idx = msg["job"], msg["idx"]
+        try:
+            unit = SweepUnit.from_wire(msg["unit"])
+            images: Optional[WarmupImageCache] = None
+            if msg.get("warmup_snapshots"):
+                images = self._images_for(msg.get("warmup_dir"))
+            builds0 = images.misses if images is not None else 0
+            hits0 = images.hits if images is not None else 0
+            value = unit.run(warmup_images=images)
+            reply = {
+                "type": "result", "job": job_id, "idx": idx,
+                "value": value,
+                "warm_builds": (images.misses - builds0) if images else 0,
+                "warm_hits": (images.hits - hits0) if images else 0,
+            }
+            self.units_run += 1
+            self._log(f"{job_id}#{idx} done")
+        except Exception as exc:  # a bad unit must not kill the worker
+            self._log(f"{job_id}#{idx} failed: {exc}\n"
+                      f"{traceback.format_exc()}")
+            reply = {"type": "unit_error", "job": job_id, "idx": idx,
+                     "error": f"{type(exc).__name__}: {exc}"}
+        send_msg(self._sock, reply, lock=self._wlock)
+
+
+def main(argv: Optional[list] = None) -> int:
+    cli = argparse.ArgumentParser(
+        description="Persistent sweep-service worker.")
+    cli.add_argument("--connect", required=True, metavar="HOST:PORT",
+                     help="coordinator address")
+    cli.add_argument("--name", default=None,
+                     help="worker name (default: coordinator-assigned)")
+    cli.add_argument("--heartbeat", type=float, default=2.0,
+                     metavar="SECONDS", help="heartbeat interval")
+    cli.add_argument("--verbose", action="store_true")
+    args = cli.parse_args(argv)
+    worker = Worker(args.connect, name=args.name,
+                    heartbeat_interval=args.heartbeat,
+                    verbose=args.verbose)
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -339,13 +339,34 @@ def loads(blob: bytes, external: Optional[Dict[Any, Any]] = None) -> Any:
 
 
 def save_file(path: str, blob: bytes) -> None:
-    """Write an image atomically (concurrent writers may share a dir)."""
-    import os
+    """Write an image atomically (concurrent writers may share a dir).
 
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "wb") as f:
-        f.write(blob)
-    os.replace(tmp, path)
+    The temp name comes from ``mkstemp``, so it is unique per *writer*,
+    not per process — two threads (service worker + a local sweep) or
+    two processes racing to build the same image each write their own
+    private file and the last ``os.replace`` wins with a complete blob.
+    A reader can never observe a torn image; a writer killed mid-write
+    leaves only a stray ``.tmp-*`` file, never a corrupt final one.
+    """
+    import os
+    import tempfile
+
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(blob)
+        # mkstemp creates 0600; published images must stay readable by
+        # other users of a shared cache directory (multi-host fleets)
+        os.chmod(tmp, 0o644)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_file(path: str) -> bytes:

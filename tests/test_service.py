@@ -1,0 +1,315 @@
+"""End-to-end sweep-service campaign: fleets must be invisible.
+
+``sweep(service=addr)`` must return rows bit-identical to the serial
+``sweep()`` — same values, same order — because every unit is seeded by
+its config, deduplicated by its hash, and reduced by the same shared
+:class:`SweepUnit` path on every backend. These tests run real
+coordinators with threaded workers (cheap, deterministic) and one
+3-process fleet for the figure-matrix equivalence the service exists
+to serve; the kill-and-requeue campaign lives in
+``test_service_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.sweep import sweep
+from repro.harness.units import SweepUnit, unit_key
+from repro.params import Organization
+from repro.service import (Coordinator, JobFailed, ServiceClient,
+                           ServiceError, Worker)
+from repro.service.protocol import FrameDecoder, recv_msg, send_msg
+from repro.service.worker import spawn_worker_process
+
+BENCH = "water_spatial"
+AXES = dict(organization=[Organization.SHARED, Organization.LOCO_CC],
+            scale=[0.04], warmup_fraction=[0.5])
+METRICS = ["runtime", "mpki", "offchip_accesses"]
+
+
+def _wait_for_workers(address: str, count: int,
+                      timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    with ServiceClient(address, row_timeout=10.0) as client:
+        while time.monotonic() < deadline:
+            if client.status()["stats"]["workers"] >= count:
+                return
+            time.sleep(0.05)
+    raise AssertionError(f"fleet never reached {count} workers")
+
+
+@pytest.fixture
+def fleet():
+    """Factory for a coordinator + N threaded in-process workers."""
+    running = []
+
+    def make(workers: int = 3, **coord_kw):
+        coord = Coordinator(**coord_kw)
+        address = coord.start()
+        objs = [Worker(address, name=f"tw{i}",
+                       heartbeat_interval=0.5)
+                for i in range(workers)]
+        threads = [threading.Thread(target=w.run, daemon=True)
+                   for w in objs]
+        for t in threads:
+            t.start()
+        running.append((coord, objs, threads))
+        _wait_for_workers(address, workers)
+        return coord, address
+
+    yield make
+    for coord, objs, threads in running:
+        coord.stop()
+        for w in objs:
+            w.stop()
+        for t in threads:
+            t.join(timeout=5)
+
+
+def units_of(axes, metrics):
+    return [SweepUnit(ExperimentConfig(benchmark=BENCH,
+                                       organization=org, scale=scale,
+                                       warmup_fraction=wf),
+                      50_000_000, m)
+            for org in axes["organization"]
+            for scale in axes["scale"]
+            for wf in axes["warmup_fraction"]
+            for m in metrics]
+
+
+class TestEquivalence:
+    def test_rows_bit_identical_to_serial(self, fleet):
+        _coord, address = fleet(workers=3)
+        cold = sweep(BENCH, metric=METRICS, **AXES)
+        svc = sweep(BENCH, metric=METRICS, service=address, **AXES)
+        assert svc == cold
+
+    def test_order_stable_under_config_hash_sort(self, fleet):
+        """The acceptance framing: values AND order must match the
+        serial path after sorting by unit hash (a worker finishing
+        out of order must not reorder the returned rows)."""
+        _coord, address = fleet(workers=3)
+        units = units_of(AXES, ["runtime", "mpki"])
+        with ServiceClient(address) as client:
+            values = client.run_units(units)
+        serial = [u.run() for u in units]
+        svc_sorted = sorted(zip(units, values), key=lambda p: p[0].key())
+        ser_sorted = sorted(zip(units, serial), key=lambda p: p[0].key())
+        assert [v for _, v in svc_sorted] == [v for _, v in ser_sorted]
+
+    def test_process_fleet_matches_serial_small_figure_matrix(self):
+        """3 real worker processes serving the small figure table —
+        the distributed analogue of ``sweep(jobs=N)`` equivalence."""
+        axes = dict(organization=[Organization.SHARED,
+                                  Organization.LOCO_CC,
+                                  Organization.LOCO_CC_VMS_IVR],
+                    scale=[0.04], warmup_fraction=[0.5])
+        coord = Coordinator()
+        address = coord.start()
+        procs = [spawn_worker_process(address, name=f"pw{i}",
+                                      capture=True)
+                 for i in range(3)]
+        try:
+            _wait_for_workers(address, 3)
+            cold = sweep(BENCH, metric=["runtime", "mpki"], **axes)
+            svc = sweep(BENCH, metric=["runtime", "mpki"],
+                        service=address, **axes)
+            assert svc == cold
+            with ServiceClient(address) as client:
+                stats = client.status()["stats"]
+                assert stats["units_completed"] == 6
+                assert stats["workers"] == 3
+        finally:
+            coord.stop()
+            for p in procs:
+                try:
+                    p.wait(timeout=10)
+                except Exception:
+                    p.kill()
+
+
+class TestWarmupAffinity:
+    def test_each_prefix_builds_exactly_once(self, fleet):
+        """2 prefixes x 3 metrics on 3 workers: affinity must route
+        each prefix to one worker, so each warmup image is built once
+        (warm_builds == prefixes) and forked for every other cell
+        (warm_hits == cells - prefixes)."""
+        _coord, address = fleet(workers=3)
+        units = units_of(AXES, METRICS)  # 2 prefixes x 3 metrics
+        with ServiceClient(address) as client:
+            values = client.run_units(units, warmup_snapshots=True)
+            stats = client.last_job_stats
+        assert stats["warm_builds"] == 2
+        assert stats["warm_hits"] == 4
+        assert values == [u.run() for u in units]
+
+    def test_affinity_survives_multiple_jobs(self, fleet):
+        """A second job over the same prefixes forks from the workers'
+        *retained* image caches: zero new builds."""
+        _coord, address = fleet(workers=3)
+        with ServiceClient(address) as client:
+            client.run_units(units_of(AXES, ["runtime"]),
+                             warmup_snapshots=True)
+            client.run_units(units_of(AXES, ["mpki"]),
+                             warmup_snapshots=True)
+            assert client.last_job_stats["warm_builds"] == 0
+            assert client.last_job_stats["warm_hits"] == 2
+
+
+class TestResultCache:
+    def test_resubmit_served_from_memo_without_simulation(self, fleet):
+        coord, address = fleet(workers=2)
+        with ServiceClient(address) as client:
+            first = client.run_units(units_of(AXES, ["runtime"]))
+            completed = coord.units_completed
+            again = client.run_units(units_of(AXES, ["runtime"]))
+            assert again == first
+            assert client.last_job_stats["from_cache"] == len(first)
+        assert coord.units_completed == completed  # nothing re-ran
+        assert coord.served_from_cache == len(first)
+
+    def test_disk_cache_matches_local_cache_keys(self, fleet, tmp_path):
+        """The coordinator's on-disk results use the same unit-key
+        naming as the local JSON cache, so the two stores are
+        interchangeable evidence of a completed unit."""
+        _coord, address = fleet(workers=2, cache_dir=str(tmp_path))
+        units = units_of(AXES, ["runtime"])
+        with ServiceClient(address) as client:
+            client.run_units(units)
+        for u in units:
+            assert (tmp_path /
+                    f"{unit_key(u.exp, u.max_cycles, u.metric)}"
+                    ".result.json").exists()
+
+    def test_local_cache_dir_short_circuits_service(self, fleet,
+                                                    tmp_path):
+        from repro.harness.parallel import run_units
+        _coord, address = fleet(workers=2)
+        units = units_of(AXES, ["runtime"])
+        first = run_units(units, cache_dir=str(tmp_path),
+                          service=address)
+        # a second call finds every value locally; it must not even
+        # need the fleet (point it at a dead address to prove it)
+        again = run_units(units, cache_dir=str(tmp_path),
+                          service="127.0.0.1:1")
+        assert again == first
+
+
+class TestFailureModes:
+    def test_bad_unit_fails_job_but_not_fleet(self, fleet):
+        _coord, address = fleet(workers=2)
+        bad = SweepUnit(ExperimentConfig(benchmark="no_such_bench",
+                                         organization=Organization.SHARED,
+                                         scale=0.04),
+                        1_000_000, "runtime")
+        with ServiceClient(address) as client:
+            with pytest.raises(JobFailed):
+                client.run_units([bad])
+        # the fleet survives and serves the next job
+        with ServiceClient(address) as client:
+            rows = client.run_units(units_of(AXES, ["runtime"]))
+            assert len(rows) == 2
+
+    def test_metric_none_rejected_client_side(self, fleet):
+        _coord, address = fleet(workers=1)
+        unit = SweepUnit(ExperimentConfig(benchmark=BENCH,
+                                          organization=Organization.SHARED,
+                                          scale=0.04),
+                         1_000_000, None)
+        with ServiceClient(address) as client:
+            with pytest.raises(ServiceError):
+                client.run_units([unit])
+
+    def test_protocol_version_mismatch_rejected(self, fleet):
+        _coord, address = fleet(workers=0)
+        host, port = address.rsplit(":", 1)
+        sock = socket.create_connection((host, int(port)), timeout=5)
+        try:
+            send_msg(sock, {"type": "hello", "role": "client",
+                            "protocol": 999})
+            reply = recv_msg(sock, FrameDecoder())
+            assert reply["type"] == "error"
+            assert "protocol" in reply["error"]
+        finally:
+            sock.close()
+
+    def test_malformed_submit_gets_typed_error_reply(self, fleet):
+        """A wire unit that fails validation (ConfigError) must come
+        back as a typed error frame, not a silent connection drop."""
+        _coord, address = fleet(workers=0)
+        host, port = address.rsplit(":", 1)
+        sock = socket.create_connection((host, int(port)), timeout=5)
+        try:
+            dec = FrameDecoder()
+            send_msg(sock, {"type": "hello", "role": "client",
+                            "protocol": 1})
+            assert recv_msg(sock, dec)["type"] == "welcome"
+            send_msg(sock, {"type": "submit",
+                            "units": [{"benchmark": "barnes",
+                                       "organization": "no_such_org"}]})
+            reply = recv_msg(sock, dec)
+            assert reply["type"] == "error"
+            assert "malformed submit" in reply["error"]
+        finally:
+            sock.close()
+
+    def test_unknown_role_rejected(self, fleet):
+        _coord, address = fleet(workers=0)
+        host, port = address.rsplit(":", 1)
+        sock = socket.create_connection((host, int(port)), timeout=5)
+        try:
+            send_msg(sock, {"type": "hello", "role": "wizard",
+                            "protocol": 1})
+            reply = recv_msg(sock, FrameDecoder())
+            assert reply["type"] == "error"
+        finally:
+            sock.close()
+
+
+class TestOperations:
+    def test_ping_and_status_shape(self, fleet):
+        _coord, address = fleet(workers=2)
+        with ServiceClient(address) as client:
+            assert client.ping()
+            reply = client.status()
+        assert len(reply["workers"]) == 2
+        for key in ("workers", "pending", "in_flight", "requeues",
+                    "duplicates", "served_from_cache", "rows_streamed",
+                    "units_completed"):
+            assert key in reply["stats"]
+
+    def test_finished_jobs_are_released_everywhere(self, fleet):
+        """Scheduler job state must not leak after completion: status
+        reports 0 live jobs once the rows are streamed."""
+        _coord, address = fleet(workers=2)
+        with ServiceClient(address) as client:
+            client.run_units(units_of(AXES, ["runtime"]))
+            stats = client.status()["stats"]
+        assert stats["jobs"] == 0
+        assert stats["pending"] == 0
+        assert stats["in_flight"] == 0
+
+    def test_worker_memory_image_cache_is_bounded(self):
+        """A long-lived worker must not pin every prefix's machine
+        snapshot: the memory-only cache evicts LRU past its cap."""
+        from repro.service.worker import _BoundedImageCache
+        cache = _BoundedImageCache(max_images=3)
+        for i in range(5):
+            cache.put(f"k{i}", bytes([i]) * 16)
+        assert set(cache._mem) == {"k2", "k3", "k4"}
+        assert cache.get("k2") == b"\x02" * 16  # refreshes recency
+        cache.put("k5", b"new")
+        assert set(cache._mem) == {"k4", "k2", "k5"}  # k3 was LRU
+        assert cache.get("k3") is None
+
+    def test_shutdown_stops_fleet_and_worker_threads(self, fleet):
+        coord, address = fleet(workers=2)
+        with ServiceClient(address) as client:
+            client.shutdown()
+        assert coord.wait(timeout=10)

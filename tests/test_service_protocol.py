@@ -1,0 +1,257 @@
+"""Wire-protocol property tests: framing survives any byte chunking,
+and anything malformed raises a typed ServiceError instead of hanging.
+
+The decoder is the only thing standing between a flaky TCP stream and
+the scheduler state machine, so its contract is pinned hard:
+
+* every message type round-trips bit-exactly (floats included — JSON
+  repr round-tripping is exact, which is what keeps service rows
+  bit-identical to local ones);
+* chunk boundaries are invisible: 1-byte drip, half frames, many
+  frames per recv — same messages out, in order;
+* truncated / oversized / garbage frames raise :class:`FrameError`
+  *immediately* (a poisoned length prefix must not make the reader
+  wait for 64 MiB that will never arrive);
+* a clean EOF between frames is :class:`ConnectionClosed`, distinct
+  from corruption, so "worker went away" can be requeued without
+  masking protocol bugs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service.errors import (ConnectionClosed, FrameError,
+                                  ServiceError)
+from repro.service.protocol import (MAX_FRAME, MESSAGE_TYPES,
+                                    FrameDecoder, encode_frame, recv_msg,
+                                    send_msg)
+
+#: one representative payload per message type — keep in sync with
+#: MESSAGE_TYPES (the completeness test below enforces it)
+SAMPLES = {
+    "hello": {"type": "hello", "role": "worker", "protocol": 1,
+              "name": "w0", "pid": 4242},
+    "welcome": {"type": "welcome", "name": "w0", "protocol": 1},
+    "submit": {"type": "submit", "units": [{"benchmark": "barnes"}],
+               "warmup_snapshots": True, "warmup_dir": None},
+    "status": {"type": "status"},
+    "ping": {"type": "ping"},
+    "shutdown": {"type": "shutdown"},
+    "bye": {"type": "bye"},
+    "accepted": {"type": "accepted", "job": "job-1", "total": 6,
+                 "cached": [[0, 1.5]]},
+    "row": {"type": "row", "job": "job-1", "idx": 3,
+            "value": {"runtime": 30237, "mpki": 0.1 + 0.2}},
+    "done": {"type": "done", "job": "job-1", "warm_builds": 2,
+             "warm_hits": 4, "from_cache": 0},
+    "job_failed": {"type": "job_failed", "job": "job-1", "idx": 2,
+                   "error": "ConfigError: unknown benchmark"},
+    "status_reply": {"type": "status_reply", "workers": [],
+                     "stats": {"pending": 0}},
+    "pong": {"type": "pong"},
+    "assign": {"type": "assign", "job": "job-1", "idx": 0,
+               "unit": {"benchmark": "barnes", "seed": 1},
+               "warmup_snapshots": False, "warmup_dir": None},
+    "result": {"type": "result", "job": "job-1", "idx": 0,
+               "value": 1e-308, "warm_builds": 1, "warm_hits": 0},
+    "unit_error": {"type": "unit_error", "job": "job-1", "idx": 0,
+                   "error": "boom"},
+    "heartbeat": {"type": "heartbeat"},
+    "error": {"type": "error", "error": "protocol version mismatch"},
+}
+
+
+def decode_all(data: bytes, chunk_sizes=None):
+    """Push ``data`` through a decoder in the given chunk sizes."""
+    dec = FrameDecoder()
+    out = []
+    pos = 0
+    sizes = iter(chunk_sizes or [len(data)])
+    while pos < len(data):
+        size = next(sizes, len(data))
+        dec.feed(data[pos:pos + size])
+        pos += size
+        out.extend(dec)
+    assert dec.at_boundary
+    return out
+
+
+class TestRoundTrip:
+    def test_samples_cover_every_message_type(self):
+        assert set(SAMPLES) == set(MESSAGE_TYPES)
+
+    @pytest.mark.parametrize("kind", sorted(MESSAGE_TYPES))
+    def test_round_trip(self, kind):
+        msg = SAMPLES[kind]
+        (out,) = decode_all(encode_frame(msg))
+        assert out == msg
+
+    def test_floats_round_trip_bit_exactly(self):
+        values = [0.1 + 0.2, 1 / 3, 1e-308, 1.7976931348623157e308,
+                  -0.0, 3.141592653589793, 2 ** 53 - 1]
+        msg = {"type": "row", "job": "j", "idx": 0, "value": values}
+        (out,) = decode_all(encode_frame(msg))
+        for sent, got in zip(values, out["value"]):
+            assert sent == got
+            assert struct.pack("!d", sent) == struct.pack("!d", got)
+
+    def test_many_frames_single_feed(self):
+        msgs = [SAMPLES[k] for k in sorted(MESSAGE_TYPES)] * 3
+        blob = b"".join(encode_frame(m) for m in msgs)
+        assert decode_all(blob) == msgs
+
+
+class TestChunking:
+    """Frame boundaries must be invisible to the decoder."""
+
+    def test_one_byte_drip(self):
+        msgs = [SAMPLES["assign"], SAMPLES["result"], SAMPLES["ping"]]
+        blob = b"".join(encode_frame(m) for m in msgs)
+        assert decode_all(blob, chunk_sizes=[1] * len(blob)) == msgs
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_fuzzed_chunk_boundaries(self, seed):
+        rng = random.Random(seed)
+        kinds = [rng.choice(sorted(MESSAGE_TYPES)) for _ in range(30)]
+        msgs = [SAMPLES[k] for k in kinds]
+        blob = b"".join(encode_frame(m) for m in msgs)
+        sizes = []
+        total = 0
+        while total < len(blob):
+            n = rng.choice([1, 2, 3, 5, 7, 16, 64, 1024])
+            sizes.append(n)
+            total += n
+        assert decode_all(blob, chunk_sizes=sizes) == msgs
+
+    def test_chunks_split_inside_length_prefix(self):
+        blob = encode_frame(SAMPLES["row"])
+        for cut in range(1, 4):  # inside the 4-byte length prefix
+            dec = FrameDecoder()
+            dec.feed(blob[:cut])
+            assert dec.next_message() is None
+            dec.feed(blob[cut:])
+            assert dec.next_message() == SAMPLES["row"]
+
+
+class TestMalformed:
+    def test_oversized_length_prefix_rejected_immediately(self):
+        dec = FrameDecoder()
+        with pytest.raises(FrameError):
+            # only the prefix arrives — the decoder must not wait for
+            # the (impossible) 2 GiB payload
+            dec.feed(struct.pack("!I", MAX_FRAME + 1))
+
+    def test_garbage_json_rejected(self):
+        payload = b"{not json!"
+        dec = FrameDecoder()
+        dec.feed(struct.pack("!I", len(payload)) + payload)
+        with pytest.raises(FrameError):
+            dec.next_message()
+
+    def test_non_object_payload_rejected(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        dec = FrameDecoder()
+        dec.feed(struct.pack("!I", len(payload)) + payload)
+        with pytest.raises(FrameError):
+            dec.next_message()
+
+    def test_unknown_message_type_rejected(self):
+        payload = json.dumps({"type": "teleport"}).encode()
+        dec = FrameDecoder()
+        dec.feed(struct.pack("!I", len(payload)) + payload)
+        with pytest.raises(FrameError):
+            dec.next_message()
+
+    def test_missing_type_rejected(self):
+        payload = json.dumps({"job": "job-1"}).encode()
+        dec = FrameDecoder()
+        dec.feed(struct.pack("!I", len(payload)) + payload)
+        with pytest.raises(FrameError):
+            dec.next_message()
+
+    def test_encode_rejects_unknown_type(self):
+        with pytest.raises(FrameError):
+            encode_frame({"type": "teleport"})
+        with pytest.raises(FrameError):
+            encode_frame({"no": "type"})
+
+    def test_every_frame_error_is_a_service_error(self):
+        assert issubclass(FrameError, ServiceError)
+        assert issubclass(ConnectionClosed, ServiceError)
+
+
+class TestSocketRecv:
+    """recv_msg over a real socket pair: EOF semantics."""
+
+    def _pair(self):
+        a, b = socket.socketpair()
+        a.settimeout(5.0)
+        b.settimeout(5.0)
+        return a, b
+
+    def test_send_recv_round_trip(self):
+        a, b = self._pair()
+        try:
+            send_msg(a, SAMPLES["assign"])
+            assert recv_msg(b, FrameDecoder()) == SAMPLES["assign"]
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_between_frames_is_connection_closed(self):
+        a, b = self._pair()
+        try:
+            send_msg(a, SAMPLES["ping"])
+            a.close()
+            dec = FrameDecoder()
+            assert recv_msg(b, dec) == SAMPLES["ping"]
+            with pytest.raises(ConnectionClosed):
+                recv_msg(b, dec)
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_is_frame_error(self):
+        a, b = self._pair()
+        try:
+            frame = encode_frame(SAMPLES["row"])
+            a.sendall(frame[:len(frame) // 2])
+            a.close()
+            with pytest.raises(FrameError):
+                recv_msg(b, FrameDecoder())
+        finally:
+            b.close()
+
+    def test_interleaved_writers_do_not_corrupt_frames(self):
+        """Two threads sharing one socket through send_msg's lock (the
+        worker's heartbeat vs. result pattern): every frame must come
+        out whole."""
+        a, b = self._pair()
+        lock = threading.Lock()
+        n = 100
+        try:
+            def blast(kind):
+                for _ in range(n):
+                    send_msg(a, SAMPLES[kind], lock=lock)
+            threads = [threading.Thread(target=blast, args=(k,))
+                       for k in ("heartbeat", "result")]
+            for t in threads:
+                t.start()
+            dec = FrameDecoder()
+            got = [recv_msg(b, dec) for _ in range(2 * n)]
+            for t in threads:
+                t.join()
+            kinds = [m["type"] for m in got]
+            assert kinds.count("heartbeat") == n
+            assert kinds.count("result") == n
+            for m in got:
+                assert m == SAMPLES[m["type"]]
+        finally:
+            a.close()
+            b.close()

@@ -1,0 +1,237 @@
+"""Scheduler policy unit tests: affinity, requeue, idempotent dedup.
+
+The scheduler is a pure state machine (no sockets, no clocks), so
+every fleet-level property the chaos campaign asserts end-to-end is
+also pinned here in isolation, where the failure mode is readable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.units import SweepUnit
+from repro.params import Organization
+from repro.service.scheduler import Scheduler
+
+
+def unit(seed: int = 1, metric: str = "runtime") -> SweepUnit:
+    """Units with equal ``seed`` share a warmup prefix; the metric
+    only varies the post-warmup reduction."""
+    return SweepUnit(ExperimentConfig(benchmark="barnes",
+                                      organization=Organization.SHARED,
+                                      scale=0.05, seed=seed),
+                     1_000_000, metric)
+
+
+def drain(sched: Scheduler, name: str):
+    """Assign units to ``name`` until it would block (it never does
+    here — one busy slot per worker), returning the one assignment."""
+    return sched.next_unit_for(name)
+
+
+class TestAffinity:
+    def test_same_prefix_routes_to_one_worker(self):
+        sched = Scheduler()
+        for w in ("a", "b", "c"):
+            sched.add_worker(w)
+        units = [unit(seed=1, metric=m)
+                 for m in ("runtime", "mpki", "offchip_accesses")]
+        sched.add_job("j", units)
+        first = sched.next_unit_for("a")
+        assert first is not None
+        # b and c are idle but must not take prefix-1 units: a owns it
+        assert sched.next_unit_for("b") is None
+        assert sched.next_unit_for("c") is None
+        sched.complete("a", "j", first.idx)
+        second = sched.next_unit_for("a")
+        assert second is not None and second.idx != first.idx
+
+    def test_distinct_prefixes_spread_across_workers(self):
+        sched = Scheduler()
+        for w in ("a", "b", "c"):
+            sched.add_worker(w)
+        units = [unit(seed=s) for s in (1, 2, 3)]
+        sched.add_job("j", units)
+        owners = {sched.next_unit_for(w).idx for w in ("a", "b", "c")}
+        assert owners == {0, 1, 2}
+
+    def test_own_prefix_preferred_over_new_claim(self):
+        sched = Scheduler()
+        sched.add_worker("a")
+        units = [unit(seed=1, metric="runtime"),
+                 unit(seed=2, metric="runtime"),
+                 unit(seed=1, metric="mpki")]
+        sched.add_job("j", units)
+        a0 = sched.next_unit_for("a")
+        assert a0.idx == 0  # claims prefix 1
+        sched.complete("a", "j", 0)
+        a1 = sched.next_unit_for("a")
+        # queue order would say idx 1 (prefix 2), but affinity says
+        # finish the owned prefix first
+        assert a1.idx == 2
+
+    def test_busy_worker_gets_nothing(self):
+        sched = Scheduler()
+        sched.add_worker("a")
+        sched.add_job("j", [unit(seed=1), unit(seed=2)])
+        assert sched.next_unit_for("a") is not None
+        assert sched.next_unit_for("a") is None
+
+
+class TestWorkerDeath:
+    def test_inflight_unit_requeued_at_front(self):
+        sched = Scheduler()
+        sched.add_worker("a")
+        sched.add_worker("b")
+        sched.add_job("j", [unit(seed=1), unit(seed=2)])
+        a = sched.next_unit_for("a")
+        requeued, fatal = sched.remove_worker("a")
+        assert requeued == [("j", a.idx)] and fatal == []
+        assert sched.requeues == 1
+        # b picks the orphaned unit up immediately (front of queue)
+        b = sched.next_unit_for("b")
+        assert b.idx == a.idx
+
+    def test_prefix_ownership_released_on_death(self):
+        sched = Scheduler()
+        sched.add_worker("a")
+        sched.add_worker("b")
+        units = [unit(seed=1, metric=m) for m in ("runtime", "mpki")]
+        sched.add_job("j", units)
+        sched.next_unit_for("a")
+        assert sched.next_unit_for("b") is None  # a owns the prefix
+        sched.remove_worker("a")
+        assert sched.next_unit_for("b") is not None  # b inherits
+
+    def test_removing_idle_worker_requeues_nothing(self):
+        sched = Scheduler()
+        sched.add_worker("a")
+        assert sched.remove_worker("a") == ([], [])
+        assert sched.requeues == 0
+
+    def test_repeated_worker_death_exhausts_attempts(self):
+        """A unit that kills every worker it lands on must go fatal
+        after max_attempts, not circle through respawned workers
+        forever (death consumes the attempt, like unit_error)."""
+        sched = Scheduler(max_attempts=3)
+        sched.add_job("j", [unit(seed=1)])
+        for round_ in range(3):
+            name = f"w{round_}"
+            sched.add_worker(name)
+            a = sched.next_unit_for(name)
+            assert a is not None, f"round {round_}"
+            requeued, fatal = sched.remove_worker(name)
+            if round_ < 2:
+                assert requeued == [("j", 0)] and fatal == []
+            else:
+                assert requeued == [] and fatal == [("j", 0)]
+        sched.fail_job("j")
+        assert sched.pending_count() == 0
+
+    def test_duplicate_worker_name_rejected(self):
+        sched = Scheduler()
+        sched.add_worker("a")
+        with pytest.raises(ValueError):
+            sched.add_worker("a")
+
+
+class TestIdempotentCompletion:
+    def test_late_result_from_dead_worker_is_duplicate(self):
+        """a is declared dead and its unit reassigned to b; both finish.
+        Exactly one completion is fresh."""
+        sched = Scheduler()
+        sched.add_worker("a")
+        sched.add_worker("b")
+        sched.add_job("j", [unit(seed=1)])
+        a = sched.next_unit_for("a")
+        sched.remove_worker("a")         # presumed dead (it was slow)
+        b = sched.next_unit_for("b")
+        assert b.idx == a.idx
+        assert sched.complete("b", "j", b.idx) == "fresh"
+        assert sched.complete("a", "j", a.idx) == "duplicate"
+        assert sched.duplicates == 1
+        assert sched.job_done("j")
+
+    def test_stale_fail_racing_death_requeue_never_double_queues(self):
+        """remove_worker already requeued the uid; a buffered
+        unit_error for the same uid must not enqueue a second copy
+        (a duplicate would be double-assigned, or dangle in pending
+        after completion and wedge dispatch on a missing unit)."""
+        sched = Scheduler()
+        sched.add_worker("a")
+        sched.add_worker("b")
+        sched.add_job("j", [unit(seed=1)])
+        a = sched.next_unit_for("a")
+        sched.remove_worker("a")                  # requeues the uid
+        assert sched.fail("a", "j", a.idx) == "retry"
+        assert sched.pending_count() == 1          # not 2
+        b = sched.next_unit_for("b")
+        assert b is not None and b.idx == a.idx
+        assert sched.next_unit_for("b") is None    # no ghost copy
+        assert sched.complete("b", "j", b.idx) == "fresh"
+        assert sched.pending_count() == 0
+
+    def test_result_racing_requeue_drops_pending_copy(self):
+        """a's unit is requeued on death, but its result arrives before
+        the copy is reassigned: the pending copy must evaporate."""
+        sched = Scheduler()
+        sched.add_worker("a")
+        sched.add_worker("b")
+        sched.add_job("j", [unit(seed=1)])
+        a = sched.next_unit_for("a")
+        sched.remove_worker("a")
+        assert sched.complete("a", "j", a.idx) == "fresh"
+        assert sched.pending_count() == 0
+        assert sched.next_unit_for("b") is None
+        assert sched.job_done("j")
+
+    def test_unknown_job_result_ignored(self):
+        sched = Scheduler()
+        sched.add_worker("a")
+        assert sched.complete("a", "ghost-job", 0) == "unknown"
+
+    def test_cache_skip_marks_done_without_queueing(self):
+        sched = Scheduler()
+        sched.add_worker("a")
+        sched.add_job("j", [unit(seed=1), unit(seed=2)], skip={0})
+        assert sched.job_remaining("j") == 1
+        a = sched.next_unit_for("a")
+        assert a.idx == 1
+        sched.complete("a", "j", 1)
+        assert sched.job_done("j")
+
+
+class TestFailures:
+    def test_unit_retries_until_attempts_exhausted(self):
+        sched = Scheduler(max_attempts=3)
+        sched.add_worker("a")
+        sched.add_job("j", [unit(seed=1)])
+        for attempt in range(3):
+            a = sched.next_unit_for("a")
+            assert a is not None, f"attempt {attempt}"
+            verdict = sched.fail("a", "j", a.idx)
+            assert verdict == ("retry" if attempt < 2 else "fatal")
+        sched.fail_job("j")
+        assert sched.pending_count() == 0
+
+    def test_cancel_job_drops_pending_units(self):
+        sched = Scheduler()
+        sched.add_worker("a")
+        sched.add_job("j", [unit(seed=1), unit(seed=2)])
+        sched.next_unit_for("a")
+        sched.cancel_job("j")
+        assert sched.pending_count() == 0
+        # the in-flight result now reports as unknown, not a crash
+        assert sched.complete("a", "j", 0) == "unknown"
+
+    def test_stats_shape(self):
+        sched = Scheduler()
+        sched.add_worker("a")
+        sched.add_job("j", [unit(seed=1)])
+        sched.next_unit_for("a")
+        stats = sched.stats()
+        assert stats["workers"] == 1
+        assert stats["in_flight"] == 1
+        assert stats["pending"] == 0
+        assert stats["jobs"] == 1
