@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Run the perf-telemetry suite; emit/diff ``BENCH_<rev>.json``.
+
+Typical uses::
+
+    # measure, write BENCH_<git-rev>.json next to the repo root
+    python scripts/bench.py
+
+    # the CI regression gate (fails >20% per-scenario regressions)
+    python scripts/bench.py --diff benchmarks/BENCH_baseline.json \
+        --tolerance 0.8
+
+    # refresh the committed baseline after an intentional perf change
+    python scripts/bench.py --output benchmarks/BENCH_baseline.json
+
+    # compare two existing artifacts without re-measuring
+    python scripts/bench.py --input BENCH_abc.json \
+        --diff benchmarks/BENCH_baseline.json
+
+Exit codes: 0 ok, 1 regression (or missing scenario) against the
+baseline, 2 usage/artifact error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from typing import List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+REPO_SRC = os.path.join(REPO_ROOT, "src")
+if REPO_SRC not in sys.path:
+    sys.path.insert(0, REPO_SRC)
+
+from repro.bench.runner import run_scenarios          # noqa: E402
+from repro.bench.scenarios import SCENARIOS           # noqa: E402
+from repro.bench.schema import (BenchSchemaError,     # noqa: E402
+                                compare, dump_report, load_report,
+                                report_from_dict, report_to_dict)
+from repro.errors import ConfigError                  # noqa: E402
+
+
+def git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10)
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "local"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    cli = argparse.ArgumentParser(
+        description="Deterministic perf-telemetry benchmarks.")
+    cli.add_argument("--list", action="store_true",
+                     help="list scenarios and exit")
+    cli.add_argument("--only", metavar="NAMES",
+                     help="comma-separated scenario subset")
+    cli.add_argument("--repeat", type=int, default=2,
+                     help="timed repeats per scenario (best-of)")
+    cli.add_argument("--output", metavar="PATH",
+                     help="artifact path (default BENCH_<rev>.json)")
+    cli.add_argument("--input", metavar="PATH",
+                     help="diff an existing artifact instead of "
+                          "re-measuring")
+    cli.add_argument("--diff", metavar="BASELINE",
+                     help="compare against a baseline artifact; exit 1 "
+                          "on per-scenario regression")
+    cli.add_argument("--tolerance", type=float, default=0.8,
+                     help="pass threshold for current/baseline "
+                          "normalized ratio (default 0.8 = fail >20%% "
+                          "regressions)")
+    cli.add_argument("--quiet", action="store_true")
+    args = cli.parse_args(argv)
+
+    if args.list:
+        for name, s in SCENARIOS.items():
+            print(f"{name:24s} [{s.subsystem}]")
+        return 0
+
+    try:
+        out_path = None
+        if args.input:
+            doc = load_report(args.input)
+            if not args.quiet:
+                print(f"loaded {args.input} "
+                      f"(aggregate {doc.get('aggregate_normalized')})")
+        else:
+            names = args.only.split(",") if args.only else None
+            if not args.quiet:
+                print(f"running {len(names) if names else len(SCENARIOS)}"
+                      f" scenarios (best of {args.repeat})...",
+                      flush=True)
+            report = run_scenarios(names=names, repeats=args.repeat,
+                                   verbose=not args.quiet)
+            rev = git_rev()
+            out_path = args.output or os.path.join(
+                REPO_ROOT, f"BENCH_{rev}.json")
+            doc = dump_report(report, out_path, rev=rev)
+            if not args.quiet:
+                print(f"wrote {out_path} (aggregate normalized "
+                      f"{report.aggregate_normalized:.6f})")
+
+        if args.diff:
+            baseline = load_report(args.diff)
+            result = compare(baseline, doc, tolerance=args.tolerance)
+            if result.regressions and not args.input:
+                # One bounded re-measure of just the regressed
+                # scenarios (same rationale as the perf smoke's
+                # retry_once_on_miss): a load spike during one
+                # scenario shows up as a fake regression; a real one
+                # repeats. Keep the better of the two measurements.
+                names = [d.name for d in result.regressions]
+                if not args.quiet:
+                    print(f"re-measuring regressed scenario(s) once: "
+                          f"{', '.join(names)}", flush=True)
+                retry = run_scenarios(names=names, repeats=args.repeat,
+                                      verbose=not args.quiet)
+                retry_doc = report_to_dict(retry, rev=doc.get("rev"))
+                for name in names:
+                    fresh = retry_doc["scenarios"][name]
+                    if fresh["normalized"] > \
+                            doc["scenarios"][name]["normalized"]:
+                        doc["scenarios"][name] = fresh
+                # Re-render through the schema layer so the artifact
+                # stays self-consistent (aggregate recomputed from the
+                # retried rows) and single-sourced with the primary
+                # write path.
+                merged = report_from_dict(doc)
+                if out_path:
+                    doc = dump_report(merged, out_path,
+                                      rev=doc.get("rev"))
+                else:
+                    doc = report_to_dict(merged, rev=doc.get("rev"))
+                result = compare(baseline, doc, tolerance=args.tolerance)
+            print(f"\ndiff vs {args.diff}:")
+            for line in result.summary_lines():
+                print(f"  {line}")
+            if not result.ok:
+                print(f"\nFAIL: {len(result.regressions)} scenario(s) "
+                      f"below tolerance, {len(result.missing)} missing")
+                return 1
+            print("\nOK: no per-scenario regression beyond tolerance")
+        return 0
+    except (BenchSchemaError, ConfigError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -73,6 +73,11 @@ def cmd_worker(args) -> int:
     return 0
 
 
+#: a worker that dies faster than this after (re)spawn counts toward
+#: the consecutive-crash streak of its fleet slot
+_FLEET_MIN_UPTIME = 5.0
+
+
 def cmd_fleet(args) -> int:
     host, port = parse_address(args.bind)
     coord = Coordinator(host=host, port=port, cache_dir=args.cache_dir,
@@ -85,18 +90,50 @@ def cmd_fleet(args) -> int:
         spawn_worker_process(address, name=f"w{i}",
                              verbose=not args.quiet)
         for i in range(args.workers)]
+    spawned_at = [time.time()] * len(procs)
+    crash_streak = [0] * len(procs)
+    rc = 0
+
+    # SIGTERM runs the same orderly teardown as Ctrl-C: wrappers (the
+    # CI trap, service managers) send TERM to this process only, and
+    # without this handler Python would die before the worker
+    # terminate/SIGKILL sweep below — leaking workers that hold the
+    # caller's stdout pipe open (and, in CI, hang the step).
+    def _on_term(signum, frame):
+        raise KeyboardInterrupt
+
+    prev_term = signal.signal(signal.SIGTERM, _on_term)
     try:
         while not coord.wait(timeout=1.0):
             for i, p in enumerate(procs):
-                if p.poll() is not None and not coord._stopped.is_set():
-                    # fleet mode keeps its worker count: respawn (the
-                    # coordinator already requeued the lost units)
-                    print(f"worker w{i} exited rc={p.returncode}; "
-                          f"respawning", flush=True)
-                    procs[i] = spawn_worker_process(
-                        address, name=f"w{i}", verbose=not args.quiet)
+                if p.poll() is None or coord._stopped.is_set():
+                    continue
+                # fleet mode keeps its worker count: respawn (the
+                # coordinator already requeued the lost units) — but a
+                # slot whose worker keeps dying straight after spawn
+                # (bad install, port mismatch, OOM on arrival) must not
+                # respawn forever: give up and exit nonzero so wrapping
+                # scripts/CI see the failure instead of a livelock.
+                uptime = time.time() - spawned_at[i]
+                crash_streak[i] = (crash_streak[i] + 1
+                                   if uptime < _FLEET_MIN_UPTIME else 1)
+                if crash_streak[i] > args.max_respawns:
+                    print(f"worker w{i} crashed {crash_streak[i]} times "
+                          f"in a row within {_FLEET_MIN_UPTIME:.0f}s of "
+                          f"spawn (last rc={p.returncode}); giving up",
+                          file=sys.stderr, flush=True)
+                    rc = 1
+                    coord.stop()
+                    break
+                print(f"worker w{i} exited rc={p.returncode}; "
+                      f"respawning", flush=True)
+                procs[i] = spawn_worker_process(
+                    address, name=f"w{i}", verbose=not args.quiet)
+                spawned_at[i] = time.time()
     except KeyboardInterrupt:
         coord.stop()
+    finally:
+        signal.signal(signal.SIGTERM, prev_term)
     for p in procs:
         if p.poll() is None:
             p.terminate()
@@ -106,7 +143,7 @@ def cmd_fleet(args) -> int:
             p.wait(timeout=max(0.1, deadline - time.time()))
         except subprocess.TimeoutExpired:
             p.send_signal(signal.SIGKILL)
-    return 0
+    return rc
 
 
 def cmd_status(args) -> int:
@@ -166,6 +203,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="coordinator + N local workers (respawning)")
     common(p, bind=True)
     p.add_argument("--workers", type=int, default=os.cpu_count() or 2)
+    p.add_argument("--max-respawns", type=int, default=5,
+                   help="consecutive fast crashes of one worker slot "
+                        "before the fleet gives up and exits nonzero")
     p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser("status", help="print a fleet snapshot")

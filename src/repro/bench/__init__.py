@@ -1,0 +1,29 @@
+"""Deterministic performance-telemetry benchmarks (``repro.bench``).
+
+The perf smoke test pins one pass/fail floor under whole-system
+throughput; this package is the *trajectory* instrument behind it: a
+suite of seeded micro/macro scenarios spanning every subsystem (kernel
+event dispatch, cache array/MSHR ops, per-organization coherence
+transactions, the three NoC fabrics, snapshot save/restore, the sweep
+backend), a calibrated runner, and a versioned machine-readable
+``BENCH_<rev>.json`` schema — so a perf PR can say *which* subsystem
+got faster or slower and by how much, and CI can gate on the committed
+baseline (``scripts/bench.py --diff benchmarks/BENCH_baseline.json``).
+
+Determinism contract: every scenario is seeded and returns an op-count
+fingerprint; two runs of one scenario in any processes must produce
+identical fingerprints (only the wall-clock varies). That is what makes
+the events/sec columns comparable across commits.
+"""
+
+from repro.bench.runner import (BenchReport, ScenarioResult,
+                                calibration_rate, run_scenarios)
+from repro.bench.scenarios import SCENARIOS
+from repro.bench.schema import (SCHEMA_VERSION, compare, load_report,
+                                report_to_dict, validate_report)
+
+__all__ = [
+    "BenchReport", "ScenarioResult", "SCENARIOS", "SCHEMA_VERSION",
+    "calibration_rate", "compare", "load_report", "report_to_dict",
+    "run_scenarios", "validate_report",
+]

@@ -1,0 +1,154 @@
+"""Calibrated scenario runner.
+
+Raw events/sec is machine-dependent, so every report also carries a
+``normalized`` column: events per *calibration op*, where the
+calibration rate is measured on the same interpreter right before the
+scenarios run (the same technique the perf smoke floor uses — this
+module is now the one home of that loop, and the smoke test imports
+it). Normalized values are comparable across machines to first order;
+the CI gate diffs them, never the raw rates.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.scenarios import SCENARIOS, Fingerprint
+from repro.errors import ConfigError
+
+_CAL_OPS = 400_000
+
+
+def calibration_rate(rounds: int = 3) -> float:
+    """Ops/sec of a deterministic loop shaped like the kernel's work:
+    dict probes, list indexing, small-int arithmetic, method calls.
+    Best-of-``rounds``, matching the scenario measurement, so a
+    transient load spike cannot skew the ratio asymmetrically."""
+    best = 0.0
+    for _ in range(rounds):
+        d: Dict[int, int] = {}
+        lst = [0] * 1024
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(_CAL_OPS):
+            k = i & 1023
+            d[k] = i
+            acc += d.get(k ^ 511, 0) + lst[k]
+            lst[k] = acc & 4095
+        wall = time.perf_counter() - t0
+        best = max(best, _CAL_OPS / wall)
+    return best
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's measurement."""
+
+    name: str
+    subsystem: str
+    ops: int
+    seconds: float               # best (fastest) timed repeat
+    events_per_sec: float
+    normalized: float            # events per calibration op
+    fingerprint: Fingerprint
+    #: the calibration this scenario was normalized against (measured
+    #: right before it ran, so frequency drift over a long suite —
+    #: turbo decay, thermal throttling — cancels per scenario)
+    calibration: float = 0.0
+
+
+@dataclass
+class BenchReport:
+    """A full suite run."""
+
+    calibration_ops_per_sec: float
+    scenarios: List[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def aggregate_normalized(self) -> float:
+        """Geometric mean of the normalized per-scenario scores — the
+        single number "did this commit make the simulator faster"."""
+        vals = [s.normalized for s in self.scenarios if s.normalized > 0]
+        if not vals:
+            return 0.0
+        return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+    def scenario(self, name: str) -> ScenarioResult:
+        for s in self.scenarios:
+            if s.name == name:
+                return s
+        raise ConfigError(f"no scenario {name!r} in report")
+
+
+def run_scenarios(names: Optional[Sequence[str]] = None,
+                  repeats: int = 2,
+                  calibration: Optional[float] = None,
+                  verbose: bool = False) -> BenchReport:
+    """Run ``names`` (default: all registered scenarios), best-of-
+    ``repeats`` each, and return a calibrated report.
+
+    Fingerprints are checked across repeats — a scenario that is not
+    run-to-run deterministic is a bug, and the report refuses to
+    include it.
+    """
+    if repeats < 1:
+        raise ConfigError("repeats must be >= 1")
+    chosen = list(names) if names is not None else list(SCENARIOS)
+    for name in chosen:
+        if name not in SCENARIOS:
+            raise ConfigError(
+                f"unknown scenario {name!r}; known: {list(SCENARIOS)}")
+    # With no explicit calibration, each scenario is normalized against
+    # a calibration measured right before it: a suite takes tens of
+    # seconds, and sustained load changes CPU clocks mid-run — one
+    # up-front calibration then skews the late scenarios' ratios. The
+    # report's headline calibration is filled in below (median of the
+    # per-scenario measurements), so nothing is measured up front.
+    fixed_cal = calibration
+    report = BenchReport(
+        calibration_ops_per_sec=fixed_cal if fixed_cal is not None
+        else 0.0)
+    cals: List[float] = []
+    for name in chosen:
+        scenario = SCENARIOS[name]
+        run_fn = scenario.prepare()
+        cal = fixed_cal if fixed_cal is not None else calibration_rate(2)
+        cals.append(cal)
+        best_wall = float("inf")
+        ops = -1
+        fingerprint: Fingerprint = {}
+        for r in range(repeats):
+            t0 = time.perf_counter()
+            got_ops, got_fp = run_fn()
+            wall = time.perf_counter() - t0
+            if r == 0:
+                ops, fingerprint = got_ops, got_fp
+            elif (got_ops, got_fp) != (ops, fingerprint):
+                raise ConfigError(
+                    f"scenario {name!r} is not deterministic: repeat "
+                    f"{r} returned ops={got_ops} fp={got_fp}, first "
+                    f"run ops={ops} fp={fingerprint}")
+            best_wall = min(best_wall, wall)
+        rate = ops / best_wall if best_wall > 0 else 0.0
+        result = ScenarioResult(name=name, subsystem=scenario.subsystem,
+                                ops=ops, seconds=best_wall,
+                                events_per_sec=rate,
+                                normalized=rate / cal if cal else 0.0,
+                                fingerprint=fingerprint,
+                                calibration=cal)
+        report.scenarios.append(result)
+        if verbose:
+            print(f"  {name:24s} {rate:14,.0f} ev/s  "
+                  f"norm {result.normalized:.6f}  ({best_wall:.3f}s)",
+                  flush=True)
+    if fixed_cal is None:
+        if cals:
+            # headline: median of the per-scenario measurements
+            ordered = sorted(cals)
+            report.calibration_ops_per_sec = ordered[len(ordered) // 2]
+        else:  # empty scenario list: still report a real calibration
+            report.calibration_ops_per_sec = calibration_rate()
+    return report

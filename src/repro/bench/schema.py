@@ -1,0 +1,232 @@
+"""Versioned machine-readable benchmark artifacts (``BENCH_*.json``).
+
+The JSON layout is schema-versioned so downstream tooling (the CI
+regression gate, trend dashboards) can refuse artifacts it does not
+understand instead of misreading them. ``compare`` implements the gate:
+per-scenario normalized ratios against a baseline with a tolerance
+floor (``--tolerance 0.8`` = fail on >20% per-scenario regression).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.bench.runner import BenchReport, ScenarioResult
+from repro.errors import ConfigError
+
+
+class BenchSchemaError(ConfigError):
+    """Malformed, corrupt, or wrong-version benchmark artifact."""
+
+
+#: bump when the JSON layout changes incompatibly
+SCHEMA_VERSION = 1
+
+_REQUIRED_TOP = ("schema_version", "environment",
+                 "calibration_ops_per_sec", "scenarios")
+_REQUIRED_SCENARIO = ("subsystem", "ops", "seconds", "events_per_sec",
+                      "normalized", "fingerprint")
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """Where a report was measured (context for humans and dashboards;
+    the gate itself relies on calibration, not on matching hosts)."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is baked into CI
+        numpy_version = None
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+    }
+
+
+def report_to_dict(report: BenchReport,
+                   rev: Optional[str] = None) -> Dict[str, Any]:
+    """Render a :class:`BenchReport` as the versioned artifact dict."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "rev": rev,
+        "environment": environment_fingerprint(),
+        "calibration_ops_per_sec": report.calibration_ops_per_sec,
+        "aggregate_normalized": report.aggregate_normalized,
+        "scenarios": {
+            s.name: {
+                "subsystem": s.subsystem,
+                "ops": s.ops,
+                "seconds": s.seconds,
+                "events_per_sec": s.events_per_sec,
+                "normalized": s.normalized,
+                "calibration_ops_per_sec": s.calibration,
+                "fingerprint": s.fingerprint,
+            }
+            for s in report.scenarios
+        },
+    }
+
+
+def validate_report(doc: Any) -> Dict[str, Any]:
+    """Check an artifact dict's shape + version; returns it on success."""
+    if not isinstance(doc, dict):
+        raise BenchSchemaError(f"artifact is {type(doc).__name__}, "
+                               f"expected an object")
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise BenchSchemaError(
+            f"artifact schema_version={version!r}, this tooling "
+            f"understands {SCHEMA_VERSION} — regenerate the artifact "
+            f"(scripts/bench.py) or upgrade")
+    for key in _REQUIRED_TOP:
+        if key not in doc:
+            raise BenchSchemaError(f"artifact missing {key!r}")
+    scenarios = doc["scenarios"]
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise BenchSchemaError("artifact has no scenarios")
+    for name, entry in scenarios.items():
+        if not isinstance(entry, dict):
+            raise BenchSchemaError(f"scenario {name!r} is not an object")
+        for key in _REQUIRED_SCENARIO:
+            if key not in entry:
+                raise BenchSchemaError(
+                    f"scenario {name!r} missing {key!r}")
+    return doc
+
+
+def dump_report(report: BenchReport, path: str,
+                rev: Optional[str] = None) -> Dict[str, Any]:
+    doc = report_to_dict(report, rev=rev)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return doc
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load + validate an artifact file."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as exc:
+        raise BenchSchemaError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchSchemaError(f"{path} is not valid JSON: {exc}") from exc
+    return validate_report(doc)
+
+
+def report_from_dict(doc: Dict[str, Any]) -> BenchReport:
+    """Rebuild a :class:`BenchReport` from a validated artifact dict
+    (round-trip support for tests and tooling)."""
+    validate_report(doc)
+    report = BenchReport(
+        calibration_ops_per_sec=doc["calibration_ops_per_sec"])
+    for name, e in doc["scenarios"].items():
+        report.scenarios.append(ScenarioResult(
+            name=name, subsystem=e["subsystem"], ops=e["ops"],
+            seconds=e["seconds"], events_per_sec=e["events_per_sec"],
+            normalized=e["normalized"],
+            fingerprint=dict(e["fingerprint"]),
+            calibration=e.get("calibration_ops_per_sec",
+                              doc["calibration_ops_per_sec"])))
+    return report
+
+
+# ----------------------------------------------------------------------
+# the regression gate
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioDelta:
+    name: str
+    baseline_normalized: float
+    current_normalized: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_normalized <= 0:
+            return math.inf
+        return self.current_normalized / self.baseline_normalized
+
+
+@dataclass
+class Comparison:
+    """Result of diffing a fresh report against a baseline artifact."""
+
+    tolerance: float
+    deltas: List[ScenarioDelta] = field(default_factory=list)
+    #: scenarios present in the baseline but absent from the current
+    #: report — treated as failures (a silently dropped scenario must
+    #: not pass the gate).
+    missing: List[str] = field(default_factory=list)
+    #: scenarios only in the current report (informational)
+    added: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[ScenarioDelta]:
+        return [d for d in self.deltas if d.ratio < self.tolerance]
+
+    @property
+    def aggregate_ratio(self) -> float:
+        ratios = [d.ratio for d in self.deltas
+                  if 0 < d.ratio < math.inf]
+        if not ratios:
+            return 0.0
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def summary_lines(self) -> List[str]:
+        lines = []
+        for d in sorted(self.deltas, key=lambda d: d.ratio):
+            flag = "REGRESSED" if d.ratio < self.tolerance else (
+                "improved" if d.ratio > 1.0 else "ok")
+            lines.append(
+                f"{d.name:24s} {d.baseline_normalized:.6f} -> "
+                f"{d.current_normalized:.6f}  x{d.ratio:.3f}  {flag}")
+        for name in self.missing:
+            lines.append(f"{name:24s} MISSING from current report")
+        for name in self.added:
+            lines.append(f"{name:24s} new scenario (no baseline)")
+        lines.append(f"{'aggregate':24s} x{self.aggregate_ratio:.3f} "
+                     f"(tolerance {self.tolerance})")
+        return lines
+
+
+def compare(baseline: Dict[str, Any], current: Dict[str, Any],
+            tolerance: float = 0.8) -> Comparison:
+    """Per-scenario normalized-throughput ratios, gate at ``tolerance``.
+
+    ``ratio >= tolerance`` passes (so 0.8 tolerates up to a 20%
+    per-scenario drop — calibration absorbs most machine variance, the
+    slack absorbs the rest); a baseline scenario missing from
+    ``current`` always fails.
+    """
+    if not (0.0 < tolerance <= 1.0):
+        raise ConfigError(f"tolerance must be in (0, 1], got {tolerance}")
+    validate_report(baseline)
+    validate_report(current)
+    cmp = Comparison(tolerance=tolerance)
+    base_s = baseline["scenarios"]
+    cur_s = current["scenarios"]
+    for name, b in base_s.items():
+        c = cur_s.get(name)
+        if c is None:
+            cmp.missing.append(name)
+            continue
+        cmp.deltas.append(ScenarioDelta(
+            name=name,
+            baseline_normalized=float(b["normalized"]),
+            current_normalized=float(c["normalized"])))
+    cmp.added = [n for n in cur_s if n not in base_s]
+    return cmp

@@ -41,10 +41,10 @@ class CacheArray:
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
         self._policies = [make_policy(policy, self.assoc)
                           for _ in range(self.num_sets)]
-        # way bookkeeping: per set, line_addr -> way plus the reverse
-        # way -> line_addr map (None = free), so victim resolution is an
-        # O(1) list index instead of a scan over the addr->way dict.
-        self._ways: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        # way bookkeeping: each resident line carries its own way
+        # (``CacheLine.way``) and the reverse way -> line_addr map
+        # (None = free) makes victim resolution an O(1) list index —
+        # no parallel addr->way dict to probe on the hot paths.
         self._addr_of_way: List[List[Optional[int]]] = [
             [None] * self.assoc for _ in range(self.num_sets)]
         self._free_ways: List[List[int]] = [list(range(self.assoc))
@@ -56,14 +56,16 @@ class CacheArray:
     # ------------------------------------------------------------------
     def lookup(self, line_addr: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the resident line or None. ``touch`` updates LRU."""
-        idx = self.set_index(line_addr)
+        # set_index inlined: this is the hottest method of the array.
+        idx = (line_addr // self.index_stride) % self.num_sets
         line = self._sets[idx].get(line_addr)
         if line is not None and touch:
-            self._policies[idx].touch(self._ways[idx][line_addr])
+            self._policies[idx].touch(line.way)
         return line
 
     def contains(self, line_addr: int) -> bool:
-        return line_addr in self._sets[self.set_index(line_addr)]
+        return line_addr in self._sets[
+            (line_addr // self.index_stride) % self.num_sets]
 
     # ------------------------------------------------------------------
     def allocate(self, line_addr: int) -> Tuple[CacheLine, Optional[CacheLine]]:
@@ -72,7 +74,7 @@ class CacheArray:
         The caller owns the evicted line (must write back / migrate /
         drop it per protocol). Raises if the line is already resident.
         """
-        idx = self.set_index(line_addr)
+        idx = (line_addr // self.index_stride) % self.num_sets
         if line_addr in self._sets[idx]:
             raise ConfigError(f"line {line_addr:#x} already resident")
         victim: Optional[CacheLine] = None
@@ -82,10 +84,9 @@ class CacheArray:
             way = self._policies[idx].victim()
             victim_addr = self._inverse_way(idx, way)
             victim = self._sets[idx].pop(victim_addr)
-            del self._ways[idx][victim_addr]
-        line = CacheLine(line_addr)
+            victim.way = -1
+        line = CacheLine(line_addr, way)
         self._sets[idx][line_addr] = line
-        self._ways[idx][line_addr] = way
         self._addr_of_way[idx][way] = line_addr
         self._policies[idx].touch(way)
         return line, victim
@@ -94,7 +95,7 @@ class CacheArray:
         """The line that WOULD be evicted to make room for ``line_addr``
         (None if a free way exists). Does not modify the array — used by
         IVR to compare timestamps before committing (paper Section 3.3)."""
-        idx = self.set_index(line_addr)
+        idx = (line_addr // self.index_stride) % self.num_sets
         if line_addr in self._sets[idx] or self._free_ways[idx]:
             return None
         way = self._policies[idx].victim()
@@ -114,16 +115,17 @@ class CacheArray:
                 if addr_of_way[w] is not None]
 
     def set_full(self, line_addr: int) -> bool:
-        idx = self.set_index(line_addr)
+        idx = (line_addr // self.index_stride) % self.num_sets
         return not self._free_ways[idx] and line_addr not in self._sets[idx]
 
     def invalidate(self, line_addr: int) -> Optional[CacheLine]:
         """Remove and return the line (None if absent)."""
-        idx = self.set_index(line_addr)
+        idx = (line_addr // self.index_stride) % self.num_sets
         line = self._sets[idx].pop(line_addr, None)
         if line is None:
             return None
-        way = self._ways[idx].pop(line_addr)
+        way = line.way
+        line.way = -1
         self._addr_of_way[idx][way] = None
         self._free_ways[idx].append(way)
         return line

@@ -13,23 +13,27 @@ from typing import Set
 
 
 class L1State(Enum):
-    """MSI states for L1 lines."""
+    """MSI states for L1 lines.
+
+    ``readable``/``writable`` are plain per-member attributes attached
+    at import (below), not properties: state tests run on every cache
+    access, and a property costs a Python-level descriptor call where
+    an instance attribute is a C-level fetch.
+    """
 
     I = "I"  # noqa: E741 - canonical protocol letter
     S = "S"
     M = "M"
 
-    @property
-    def readable(self) -> bool:
-        return self is not L1State.I
-
-    @property
-    def writable(self) -> bool:
-        return self is L1State.M
-
 
 class L2State(Enum):
-    """MOESI states for L2 lines."""
+    """MOESI states for L2 lines (hot flags attached at import, as for
+    :class:`L1State`).
+
+    ``is_owner``: owner states respond with data to remote requests
+    (paper Section 3.4: "the one with ownership, i.e. in O state,
+    responds"). E/M imply ownership; O is shared-with-ownership.
+    """
 
     I = "I"  # noqa: E741
     S = "S"
@@ -37,24 +41,18 @@ class L2State(Enum):
     O = "O"  # noqa: E741
     M = "M"
 
-    @property
-    def readable(self) -> bool:
-        return self is not L2State.I
 
-    @property
-    def writable(self) -> bool:
-        return self in (L2State.M, L2State.E)
-
-    @property
-    def is_owner(self) -> bool:
-        """Owner states respond with data to remote requests (paper
-        Section 3.4: "the one with ownership, i.e. in O state,
-        responds"). E/M imply ownership; O is shared-with-ownership."""
-        return self in (L2State.M, L2State.O, L2State.E)
-
-    @property
-    def dirty(self) -> bool:
-        return self in (L2State.M, L2State.O)
+# Import-time member flags. Enum members pickle by name, so snapshots
+# re-derive these on import and never embed them.
+for _s in L1State:
+    _s.readable = _s is not L1State.I
+    _s.writable = _s is L1State.M
+for _s in L2State:
+    _s.readable = _s is not L2State.I
+    _s.writable = _s in (L2State.M, L2State.E)
+    _s.is_owner = _s in (L2State.M, L2State.O, L2State.E)
+    _s.dirty = _s in (L2State.M, L2State.O)
+del _s
 
 
 @dataclass(slots=True)
@@ -84,6 +82,10 @@ class CacheLine:
     """
 
     line_addr: int
+    #: way this line occupies in its set, maintained by CacheArray —
+    #: carried on the line so the hot lookup/invalidate paths need no
+    #: parallel addr->way dict probe (-1 = not resident in an array)
+    way: int = -1
     l1_state: L1State = L1State.I
     l2_state: L2State = L2State.I
     sharers: Set[int] = field(default_factory=set)

@@ -58,14 +58,15 @@ class MshrFile:
         """Allocate an entry. ``force`` bypasses the capacity cap — used
         for transactions that must not stall on structural hazards
         (evictions completing an already-granted fill)."""
-        if line_addr in self._entries:
+        entries = self._entries
+        if line_addr in entries:
             raise ProtocolError(
                 f"line {line_addr:#x} already has an MSHR "
-                f"({self._entries[line_addr]})")
-        if self.full and not force:
+                f"({entries[line_addr]})")
+        if len(entries) >= self.capacity and not force:  # inlined .full
             raise ProtocolError("MSHR file full (caller must check first)")
         entry = Mshr(line_addr, kind, requestor, issued_cycle)
-        self._entries[line_addr] = entry
+        entries[line_addr] = entry
         return entry
 
     def retire(self, line_addr: int) -> List[Any]:

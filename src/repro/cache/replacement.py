@@ -21,9 +21,12 @@ class LruPolicy:
     a doubly-linked list), so ``touch`` is an O(1) ``move_to_end``
     instead of the O(assoc) ``list.remove`` a plain list needs — this
     runs on every cache lookup, the hottest path in the simulator.
+    ``touch`` is the bound C method itself (an instance slot, assigned
+    in ``__init__``), so the hottest call in the array has no Python
+    frame at all.
     """
 
-    __slots__ = ("assoc", "_order")
+    __slots__ = ("assoc", "_order", "touch")
 
     def __init__(self, assoc: int) -> None:
         if assoc < 1:
@@ -32,9 +35,15 @@ class LruPolicy:
         # Keys in LRU ... MRU order; values unused.
         self._order: "OrderedDict[int, None]" = OrderedDict(
             (way, None) for way in range(assoc))
+        #: touch(way) == move_to_end(way): C-level, no wrapper frame
+        self.touch = self._order.move_to_end
 
-    def touch(self, way: int) -> None:
-        self._order.move_to_end(way)
+    def __getstate__(self):
+        return self.assoc, self._order
+
+    def __setstate__(self, state) -> None:
+        self.assoc, self._order = state
+        self.touch = self._order.move_to_end
 
     def victim(self) -> int:
         return next(iter(self._order))

@@ -121,7 +121,7 @@ class Core:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Schedule the first event; call once after system build."""
-        self.sim.schedule(0, self._step)
+        self.sim.call_after(0, self._step)
 
     def _step(self) -> None:
         if self._pc >= len(self.trace):
@@ -131,25 +131,26 @@ class Core:
         self._pc += 1
         if ev.gap > 0:
             self.instructions += ev.gap
-            self._c_instructions.inc(ev.gap)
-            self.sim.schedule(ev.gap, lambda: self._execute(ev))
+            self._c_instructions.value += ev.gap
+            self.sim.call_after(ev.gap, lambda: self._execute(ev))
         else:
             self._execute(ev)
 
     def _execute(self, ev: TraceEvent) -> None:
         self.instructions += 1
-        self._c_instructions.inc()
+        self._c_instructions.value += 1
         if self.warmup is not None:
             self.warmup.note_ref()
-        if ev.op is Op.BARRIER:
+        op = ev.op
+        if op is Op.BARRIER:
             self._do_barrier(ev)
-        elif ev.op is Op.LOCK and self.full_system:
+        elif op is Op.LOCK and self.full_system:
             self._do_lock(ev)
-        elif ev.op is Op.UNLOCK and self.full_system:
+        elif op is Op.UNLOCK and self.full_system:
             self._do_unlock(ev)
-        elif ev.is_memory:
-            self._c_mem_refs.inc()
-            self.l1.access(ev.line_addr, ev.is_write, self._step)
+        elif op.is_memory:
+            self._c_mem_refs.value += 1
+            self.l1.access(ev.line_addr, op.is_write, self._step)
         else:
             raise TraceError(f"core {self.tile}: cannot execute {ev}")
 
@@ -176,8 +177,8 @@ class Core:
         if self.sync.barrier_done(barrier_id, self.barrier_population):
             self._step()
         else:
-            self.sim.schedule(_SPIN_BACKOFF,
-                              lambda: self._wait_barrier_free(barrier_id))
+            self.sim.call_after(_SPIN_BACKOFF,
+                                lambda: self._wait_barrier_free(barrier_id))
 
     def _spin_barrier(self, barrier_id: int, barrier_line: int) -> None:
         if self.sync.barrier_done(barrier_id, self.barrier_population):
@@ -186,7 +187,7 @@ class Core:
 
         def after_probe() -> None:
             self.stats.counter("spin_probes").inc()
-            self.sim.schedule(
+            self.sim.call_after(
                 _SPIN_BACKOFF,
                 lambda: self._spin_barrier(barrier_id, barrier_line))
 
@@ -209,7 +210,7 @@ class Core:
                     attempt()
                 else:
                     self.stats.counter("lock_spins").inc()
-                    self.sim.schedule(_SPIN_BACKOFF, probe)
+                    self.sim.call_after(_SPIN_BACKOFF, probe)
 
             self._c_mem_refs.inc()
             self.l1.access(ev.line_addr, False, after_read)
@@ -220,7 +221,7 @@ class Core:
                     self._step()
                 else:
                     self.stats.counter("lock_spins").inc()
-                    self.sim.schedule(_SPIN_BACKOFF, probe)
+                    self.sim.call_after(_SPIN_BACKOFF, probe)
 
             self._c_mem_refs.inc()
             self.l1.access(ev.line_addr, True, after_rmw)

@@ -73,10 +73,12 @@ class SystemContext:
         #: by the stress harness, None in normal runs (zero cost beyond
         #: one attribute test per L1 access).
         self.shadow = None
-        #: dispatch table indexed [tile][unit.value] — a flat list
-        #: lookup per delivered packet, not a tuple-keyed dict probe
+        #: dispatch table indexed [tile][unit.idx] — ``idx`` is the
+        #: dense import-time attribute on Unit members (a plain C-level
+        #: fetch; both ``unit.value`` and enum-keyed dict probes pay a
+        #: Python-level descriptor/hash call per delivered packet)
         self._handlers: List[List[Optional[Callable[[Msg], None]]]] = [
-            [None] * (len(Unit) + 1) for _ in range(self.mesh.num_tiles)]
+            [None] * len(Unit) for _ in range(self.mesh.num_tiles)]
         for tile in range(self.mesh.num_tiles):
             network.attach(tile, self._make_receiver(tile))
 
@@ -116,35 +118,40 @@ class SystemContext:
     def register(self, tile: int, unit: Unit,
                  handler: Callable[[Msg], None]) -> None:
         row = self._handlers[tile]
-        if row[unit.value] is not None:
+        if row[unit.idx] is not None:
             raise ConfigError(f"unit {unit} at tile {tile} already registered")
-        row[unit.value] = handler
+        row[unit.idx] = handler
 
     def _make_receiver(self, tile: int) -> Callable[[Packet], None]:
         row = self._handlers[tile]
 
         def receive(packet: Packet) -> None:
             msg: Msg = packet.payload
-            handler = row[msg.unit.value]
+            handler = row[msg.unit.idx]
             if handler is None:
                 raise ConfigError(
                     f"no {msg.unit} handler at tile {tile} for {msg}")
             handler(msg)
         return receive
 
-    def _size_of(self, msg: Msg) -> int:
-        return self.data_flits if msg.carries_data else 1
-
     def send(self, msg: Msg, src: int, dst: int) -> None:
         """Unicast ``msg`` from tile ``src`` to tile ``dst``."""
-        self.network.send(Packet(src=src, dst=dst, vn=msg.vn,
-                                 size_flits=self._size_of(msg), payload=msg))
+        # vn/size computed inline via the import-time MsgKind
+        # attributes (not the Msg properties): this is one of the two
+        # or three hottest call sites in a run.
+        kind = msg.kind
+        self.network.send(Packet(
+            src=src, dst=dst, vn=kind.vn,
+            size_flits=self.data_flits if kind.carries_data else 1,
+            payload=msg))
 
     def multicast(self, msg: Msg, src: int, vms: VirtualMesh) -> None:
         """Broadcast ``msg`` from ``src`` over ``vms`` (to all other
         members). SMART does this in hardware; other fabrics fall back
         to serial unicasts."""
-        packet = Packet(src=src, dst=None, vn=msg.vn,
-                        size_flits=self._size_of(msg), payload=msg,
-                        mcast_group=vms.members)
+        kind = msg.kind
+        packet = Packet(
+            src=src, dst=None, vn=kind.vn,
+            size_flits=self.data_flits if kind.carries_data else 1,
+            payload=msg, mcast_group=vms.members)
         self.network.multicast(packet, vms)

@@ -44,6 +44,7 @@ class L1Controller:
         self.latency = ctx.config.l1.access_latency
         #: consecutive poisoned fills per line, for reissue backoff
         self._poison_streak: dict = {}
+        self._build_dispatch()
         ctx.register(tile, Unit.L1, self.handle)
         # Bound once: these fire on every memory reference / fill.
         st = ctx.stats
@@ -60,9 +61,9 @@ class L1Controller:
         """Issue one memory reference; ``done`` fires when it completes."""
         if self.ctx.shadow is not None:
             done = self.ctx.shadow.bind(self, line_addr, is_write, done)
-        self.ctx.sim.schedule(self.latency,
-                              lambda: self._access_body(line_addr, is_write,
-                                                        done))
+        self.ctx.sim.call_after(self.latency,
+                                lambda: self._access_body(line_addr, is_write,
+                                                          done))
 
     def _access_body(self, line_addr: int, is_write: bool, done: DoneCb) -> None:
         mshr = self.mshrs.get(line_addr)
@@ -72,10 +73,10 @@ class L1Controller:
             return
         line = self.array.lookup(line_addr)
         if line is not None and self._hit(line, is_write):
-            self._c_l1_hits.inc()
+            self._c_l1_hits.value += 1
             done()
             return
-        self._c_l1_misses.inc()
+        self._c_l1_misses.value += 1
         kind = "GETX" if is_write else "GETS"
         mshr = self.mshrs.allocate(line_addr, kind, requestor=self.tile,
                                    issued_cycle=self.ctx.sim.cycle)
@@ -96,15 +97,32 @@ class L1Controller:
     # ------------------------------------------------------------------
     # message handling
     # ------------------------------------------------------------------
+    def _build_dispatch(self) -> None:
+        """Dispatch table of bound methods indexed by the dense
+        import-time ``MsgKind.idx`` (enum-keyed dicts pay a
+        Python-level Enum.__hash__ per probe). Derived state: excluded
+        from snapshots (a table of bound methods per tile bloats every
+        image) and rebuilt on restore."""
+        self._dispatch = [None] * len(MsgKind)
+        for kind, fn in ((MsgKind.DATA_L1, self._on_data),
+                         (MsgKind.INV_L1, self._on_inv),
+                         (MsgKind.RECALL_L1, self._on_recall)):
+            self._dispatch[kind.idx] = fn
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_dispatch"]  # derived; rebuilt in __setstate__
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._build_dispatch()
+
     def handle(self, msg: Msg) -> None:
-        if msg.kind is MsgKind.DATA_L1:
-            self._on_data(msg)
-        elif msg.kind is MsgKind.INV_L1:
-            self._on_inv(msg)
-        elif msg.kind is MsgKind.RECALL_L1:
-            self._on_recall(msg)
-        else:
+        fn = self._dispatch[msg.kind.idx]
+        if fn is None:
             raise ProtocolError(f"L1 at tile {self.tile} got {msg}")
+        fn(msg)
 
     def _on_data(self, msg: Msg) -> None:
         line_addr = msg.line_addr
@@ -137,7 +155,7 @@ class L1Controller:
                 for args in deferred:
                     self._access_body(*args)
 
-            self.ctx.sim.schedule(delay, reissue)
+            self.ctx.sim.call_after(delay, reissue)
             return
         self._poison_streak.pop(line_addr, None)
         line = self.array.lookup(line_addr, touch=True)

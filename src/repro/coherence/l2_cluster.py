@@ -251,11 +251,11 @@ class TokenL2Controller(HomeL2Base):
         if kind in (MsgKind.TOK_DATA, MsgKind.TOK_ACK):
             self._on_token_response(msg)
         elif kind is MsgKind.TOK_GETS:
-            self.ctx.sim.schedule(self.latency,
-                                  lambda: self._peer_gets(msg))
+            self.ctx.sim.call_after(self.latency,
+                                    lambda: self._peer_gets(msg))
         elif kind is MsgKind.TOK_GETX:
-            self.ctx.sim.schedule(self.latency,
-                                  lambda: self._peer_getx(msg))
+            self.ctx.sim.call_after(self.latency,
+                                    lambda: self._peer_getx(msg))
         elif kind is MsgKind.PERSIST_GRANT:
             self._on_persist_grant(msg)
         elif kind is MsgKind.IVR_MIGRATE:

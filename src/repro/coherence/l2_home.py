@@ -49,6 +49,7 @@ class HomeL2Base:
         self.latency = ctx.config.l2.access_latency
         self._fwd_ops: Dict[int, Dict] = {}
         self._overflow: List[Msg] = []  # requests parked on a full MSHR file
+        self._build_dispatch()
         ctx.register(tile, Unit.L2, self.handle)
         # Bound once: these fire for every L2 access/fill.
         st = ctx.stats
@@ -63,18 +64,32 @@ class HomeL2Base:
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
+    def _build_dispatch(self) -> None:
+        """First-level dispatch table of bound methods, indexed by the
+        dense import-time ``MsgKind.idx`` (enum-keyed dicts pay a
+        Python-level Enum.__hash__ per probe); anything not claimed
+        here belongs to the subclass's second level. Derived state:
+        excluded from snapshots (a per-tile table of bound methods
+        bloats every image) and rebuilt on restore."""
+        self._dispatch = [self._handle_level2] * len(MsgKind)
+        for kind, fn in ((MsgKind.GETS, self._serve_request),
+                         (MsgKind.GETX, self._serve_request),
+                         (MsgKind.WB_L1, self._on_wb_l1),
+                         (MsgKind.ACK_INV_L1, self._on_ack_inv),
+                         (MsgKind.RECALL_RESP, self._on_recall_resp)):
+            self._dispatch[kind.idx] = fn
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_dispatch"]  # derived; rebuilt in __setstate__
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._build_dispatch()
+
     def handle(self, msg: Msg) -> None:
-        kind = msg.kind
-        if kind in (MsgKind.GETS, MsgKind.GETX):
-            self._serve_request(msg)
-        elif kind is MsgKind.WB_L1:
-            self._on_wb_l1(msg)
-        elif kind is MsgKind.ACK_INV_L1:
-            self._on_ack_inv(msg)
-        elif kind is MsgKind.RECALL_RESP:
-            self._on_recall_resp(msg)
-        else:
-            self._handle_level2(msg)
+        self._dispatch[msg.kind.idx](msg)
 
     # ------------------------------------------------------------------
     # first-level service
@@ -93,33 +108,33 @@ class HomeL2Base:
                                    requestor=msg.requestor,
                                    issued_cycle=self.ctx.sim.cycle)
         mshr.scratch["msg"] = msg
-        self._c_l2_accesses.inc()
-        self.ctx.sim.schedule(self.latency, lambda: self._serve_body(mshr))
+        self._c_l2_accesses.value += 1
+        self.ctx.sim.call_after(self.latency, lambda: self._serve_body(mshr))
 
     def _serve_body(self, mshr: Mshr) -> None:
         msg: Msg = mshr.scratch["msg"]
         line = self.array.lookup(msg.line_addr)
         if msg.kind is MsgKind.GETS:
             if line is not None and line.l2_state.readable:
-                self._c_l2_hits.inc()
+                self._c_l2_hits.value += 1
                 mshr.scratch["home_hit"] = True
                 self._grant_read(mshr, line)
             else:
                 self._start_miss(mshr, exclusive=False)
         else:  # GETX
             if line is not None and self._can_write(line):
-                self._c_l2_hits.inc()
+                self._c_l2_hits.value += 1
                 mshr.scratch["home_hit"] = True
                 self._grant_write(mshr, line)
             elif line is not None and line.l2_state.readable:
-                self._c_l2_upgrades.inc()
+                self._c_l2_upgrades.value += 1
                 mshr.scratch["miss_cycle"] = self.ctx.sim.cycle
                 self._upgrade(mshr, line)
             else:
                 self._start_miss(mshr, exclusive=True)
 
     def _start_miss(self, mshr: Mshr, exclusive: bool) -> None:
-        self._c_l2_misses.inc()
+        self._c_l2_misses.value += 1
         mshr.scratch["miss_cycle"] = self.ctx.sim.cycle
         self._fetch(mshr, exclusive)
 
@@ -281,7 +296,7 @@ class HomeL2Base:
         victim = self._pick_victim(line_addr)
         if victim is None:
             # Every way is mid-transaction; retry shortly.
-            self.ctx.sim.schedule(self.latency,
+            self.ctx.sim.call_after(self.latency,
                                   lambda: self._retry_make_room(line_addr, cont))
             return
         self.array.invalidate(victim.line_addr)

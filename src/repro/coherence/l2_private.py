@@ -131,7 +131,7 @@ class DirectoryL2Controller(HomeL2Base):
             n = mshr.scratch.get("nack_retries", 0)
             mshr.scratch["nack_retries"] = n + 1
             delay = min(_RETRY_DELAY * (2 ** n), 800)
-            self.ctx.sim.schedule(delay, lambda: self._refetch(mshr))
+            self.ctx.sim.call_after(delay, lambda: self._refetch(mshr))
             return
         s = mshr.scratch
         s["data_seen"] = True
@@ -177,7 +177,7 @@ class DirectoryL2Controller(HomeL2Base):
         if self._must_defer_forward(msg.line_addr):
             self.mshrs.defer(msg.line_addr, msg)
             return
-        self.ctx.sim.schedule(self.latency,
+        self.ctx.sim.call_after(self.latency,
                               lambda: self._forward_body(msg))
 
     def _forward_body(self, msg: Msg) -> None:

@@ -58,12 +58,12 @@ class MemoryController:
         elif kind is MsgKind.MEM_WB:
             self._count_writeback(msg)
         elif kind in (MsgKind.DIR_GETS, MsgKind.DIR_GETX):
-            self.ctx.sim.schedule(self.dir_latency,
+            self.ctx.sim.call_after(self.dir_latency,
                                   lambda: self._dir_request(msg))
         elif kind is MsgKind.DIR_DONE:
             self._dir_done(msg)
         elif kind is MsgKind.DIR_WB:
-            self.ctx.sim.schedule(self.dir_latency,
+            self.ctx.sim.call_after(self.dir_latency,
                                   lambda: self._dir_writeback(msg))
         elif kind in (MsgKind.TOK_GETS, MsgKind.TOK_GETX):
             self._token_request(msg)
@@ -109,7 +109,7 @@ class MemoryController:
                        value=self.mem_value(msg.line_addr))
             self.ctx.send(resp, self.tile, msg.requestor)
 
-        self.ctx.sim.schedule(self.mem_latency, respond)
+        self.ctx.sim.call_after(self.mem_latency, respond)
 
     # ------------------------------------------------------------------
     # directory flavour (private / LOCO CC)
@@ -192,7 +192,7 @@ class MemoryController:
             nxt = entry.queue.pop(0)
             entry.busy = True
             entry.grantee = nxt.requestor
-            self.ctx.sim.schedule(self.dir_latency,
+            self.ctx.sim.call_after(self.dir_latency,
                                   lambda: self._dir_dispatch(entry, nxt))
         else:
             self.directory.drop_if_empty(msg.line_addr)
@@ -212,7 +212,7 @@ class MemoryController:
                        value=self.mem_value(msg.line_addr))
             self.ctx.send(resp, self.tile, msg.requestor)
 
-        self.ctx.sim.schedule(self.mem_latency, respond)
+        self.ctx.sim.call_after(self.mem_latency, respond)
 
     def _dir_writeback(self, msg: Msg) -> None:
         entry = self.directory.peek(msg.line_addr)
@@ -252,7 +252,7 @@ class MemoryController:
                            value=self.mem_value(msg.line_addr))
                 self.ctx.send(resp, self.tile, msg.requestor)
 
-            self.ctx.sim.schedule(self.mem_latency, respond)
+            self.ctx.sim.call_after(self.mem_latency, respond)
             return
         # GETX: surrender whatever memory holds.
         if tokens == 0 and not owner:
@@ -268,7 +268,7 @@ class MemoryController:
                            value=self.mem_value(msg.line_addr))
                 self.ctx.send(resp, self.tile, msg.requestor)
 
-            self.ctx.sim.schedule(self.mem_latency, respond_x)
+            self.ctx.sim.call_after(self.mem_latency, respond_x)
         else:
             resp = Msg(MsgKind.TOK_ACK, msg.line_addr, self.tile, Unit.L2,
                        requestor=msg.requestor, tokens=tokens)

@@ -109,7 +109,23 @@ DATA_KINDS = frozenset({
     MsgKind.IVR_MIGRATE, MsgKind.RECALL_RESP,
 })
 
-_msg_ids = id_source("msg")
+# Hot-path per-member attributes, attached once at import: CPython's
+# ``Enum.__hash__`` is a Python-level function, so enum-keyed dict
+# probes (``VN_OF_KIND[kind]``, ``kind in DATA_KINDS``, enum-keyed
+# dispatch tables) cost a Python call per delivered message. A plain
+# instance attribute (``kind.vn``, ``kind.carries_data``) or a list
+# indexed by the dense ``kind.idx`` is a C-level fetch. Members pickle
+# by name, so snapshots re-derive these on import, never embed them.
+for _i, _k in enumerate(MsgKind):
+    _k.idx = _i
+    _k.vn = VN_OF_KIND[_k]
+    _k.carries_data = _k in DATA_KINDS
+for _i, _u in enumerate(Unit):
+    _u.idx = _i
+del _i, _k, _u
+
+#: bound C-level draw — one call per Msg, no lambda/lock layers
+_next_msg_id = id_source("msg").next_fn
 
 
 @dataclass(slots=True)
@@ -137,15 +153,15 @@ class Msg:
     #                                  not the home's own transaction
     value: Optional[int] = None      # shadow value of the carried line
     #                                  (None = message carries no data)
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    msg_id: int = field(default_factory=_next_msg_id)
 
     @property
     def vn(self) -> VirtualNetwork:
-        return VN_OF_KIND[self.kind]
+        return self.kind.vn
 
     @property
     def carries_data(self) -> bool:
-        return self.kind in DATA_KINDS
+        return self.kind.carries_data
 
     def __repr__(self) -> str:
         return (f"Msg({self.kind.name} line={self.line_addr:#x} "

@@ -30,7 +30,8 @@ class VirtualNetwork(IntEnum):
     MIGRATION = 4      # IVR victim migration traffic
 
 
-_packet_ids = id_source("packet")
+#: bound C-level draw — one call per Packet, no lambda/lock layers
+_next_packet_id = id_source("packet").next_fn
 
 
 @dataclass(slots=True)
@@ -57,7 +58,7 @@ class Packet:
     size_flits: int = 1
     payload: Any = None
     mcast_group: Optional[Tuple[int, ...]] = None
-    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    pkt_id: int = field(default_factory=_next_packet_id)
     injected_at: int = -1
     delivered_at: int = -1
 

@@ -23,6 +23,7 @@ Modelling decisions (see DESIGN.md §2):
 from __future__ import annotations
 
 from collections import deque
+from operator import attrgetter
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import NetworkError
@@ -35,7 +36,7 @@ from repro.sim.stats import Stats
 
 Link = Tuple[int, int]  # directed (src_tile, dst_tile)
 
-_flit_seq = id_source("flit")
+_next_flit_seq = id_source("flit").next_fn
 
 
 class _Flit:
@@ -43,8 +44,8 @@ class _Flit:
     good: the packet destination (unicast) or the next home router on a
     VMS tree (multicast); multicast flits then eject a copy and fork."""
 
-    __slots__ = ("packet", "at", "leg_dst", "ready", "seq", "mcast_root",
-                 "vms")
+    __slots__ = ("packet", "at", "leg_dst", "ready", "seq", "order",
+                 "mcast_root", "vms")
 
     def __init__(self, packet: Packet, at: int, leg_dst: int, ready: int,
                  mcast_root: Optional[int] = None, vms=None) -> None:
@@ -52,13 +53,21 @@ class _Flit:
         self.at = at
         self.leg_dst = leg_dst
         self.ready = ready
-        self.seq = next(_flit_seq)
+        self.seq = _next_flit_seq()
+        # Age-priority sort key, computed once: packets are injected
+        # before their flits exist, so injected_at is final here, and
+        # the per-cycle arbitration sort needs no key lambda.
+        self.order = (packet.injected_at, self.seq)
         self.mcast_root = mcast_root
         self.vms = vms
 
     @property
     def is_mcast(self) -> bool:
         return self.vms is not None
+
+
+#: C-level sort key for the age-priority arbitration sort
+_order_of = attrgetter("order")
 
 
 class BaseNetwork:
@@ -92,11 +101,23 @@ class BaseNetwork:
         self.stats = stats if stats is not None else Stats()
         self.name = name
         n = mesh.num_tiles
-        self._buffers: List[List[Deque[_Flit]]] = [
-            [deque() for _ in range(config.num_vns)] for _ in range(n)]
+        # One flat buffer list per tile. VN separation is a *capacity*
+        # concept here (the pooled occupancy check below); keeping one
+        # list per tile instead of per (tile, vn) halves the per-cycle
+        # mover scan, and arbitration order is unaffected because the
+        # mover sort key (injected_at, seq) is a total order.
+        self._buffers: List[List[_Flit]] = [[] for _ in range(n)]
         self._occupancy: List[int] = [0] * n
         self._capacity = config.num_vns * config.vcs_per_vn * config.vc_depth
         self._nic_queues: List[Deque[_Flit]] = [deque() for _ in range(n)]
+        # Flits direct-injected this cycle (already buffered, tick not
+        # yet run). nic_backlog() adds them so the fast path below is
+        # invisible to observers: IVR reads backlog from handlers in
+        # the same event phase, and must see exactly what the
+        # queue-until-tick path would have shown. Cleared at tick
+        # start — the moment _drain_nics would have drained the queue.
+        self._nic_pending: List[int] = [0] * n
+        self._nic_pending_dirty: List[int] = []
         self._receivers: List[Optional[Callable[[Packet], None]]] = [None] * n
         self._link_busy: Dict[Link, int] = {}
         self._active: Set[int] = set()
@@ -130,11 +151,11 @@ class BaseNetwork:
         if packet.dst is None:
             raise NetworkError("use multicast() for multicast packets")
         packet.injected_at = self.sim.cycle
-        self._c_injected.inc()
+        self._c_injected.value += 1
         if packet.dst == packet.src:
             # Loopback through the NIC: one cycle.
             self._in_flight += 1
-            self.sim.schedule(1, lambda p=packet: self._deliver_local(p))
+            self.sim.call_after(1, lambda p=packet: self._deliver_local(p))
             return
         flit = _Flit(packet, packet.src, packet.dst, 0)
         self._enqueue_nic(flit)
@@ -145,7 +166,7 @@ class BaseNetwork:
         support) fall back to serial unicasts from the source — the
         paper's "15 copies sent from the source" case."""
         packet.injected_at = self.sim.cycle
-        self._c_mcast_injected.inc()
+        self._c_mcast_injected.value += 1
         for member in vms.members:
             if member == packet.src:
                 continue
@@ -160,18 +181,22 @@ class BaseNetwork:
         return self._in_flight
 
     def nic_backlog(self, tile: int) -> int:
-        """Flits waiting in the tile's injection queue. Controllers use
-        this to detect output-queue pressure (IVR deadlock avoidance)."""
-        return len(self._nic_queues[tile])
+        """Flits injected at ``tile`` and not yet past the tick-phase
+        drain (queued + same-cycle direct injections). Controllers use
+        this to detect output-queue pressure (IVR deadlock avoidance);
+        it is an architectural observable, so the direct-injection
+        fast path must not change what it reports."""
+        return len(self._nic_queues[tile]) + self._nic_pending[tile]
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _deliver_local(self, packet: Packet) -> None:
-        packet.delivered_at = self.sim.cycle
+        cycle = self.sim.cycle
+        packet.delivered_at = cycle
         self._in_flight -= 1
-        self._c_delivered.inc()
-        self._s_latency.add(packet.latency)
+        self._c_delivered.value += 1
+        self._s_latency.add(cycle - packet.injected_at)
         receiver = self._receivers[packet.src]
         if receiver is None:
             raise NetworkError(f"no receiver attached at tile {packet.src}")
@@ -179,15 +204,31 @@ class BaseNetwork:
 
     def _enqueue_nic(self, flit: _Flit) -> None:
         self._in_flight += 1
-        self._nic_queues[flit.at].append(flit)
-        self._active.add(flit.at)
-        self._nic_active.add(flit.at)
+        tile = flit.at
+        # Injection happens in the event phase, always before this
+        # cycle's tick phase, so when the NIC has no backlog and the
+        # router has buffer room we can do now exactly what
+        # _drain_nics would do at tick start — skipping the deque
+        # round-trip. The `not queue` guard preserves FIFO order
+        # behind an existing backlog, and ``_nic_pending`` keeps the
+        # nic_backlog() observable identical to the queued path.
+        if not self._nic_queues[tile] and self._occupancy[tile] < self._capacity:
+            cycle = self.sim.cycle
+            self._buffer_flit(flit, tile, cycle)
+            flit.ready = cycle + self.injection_delay
+            if not self._nic_pending[tile]:
+                self._nic_pending_dirty.append(tile)
+            self._nic_pending[tile] += 1
+        else:
+            self._nic_queues[tile].append(flit)
+            self._active.add(tile)
+            self._nic_active.add(tile)
         self.sim.wake(self._tid)
 
     def _buffer_flit(self, flit: _Flit, tile: int, cycle: int) -> None:
         flit.at = tile
         flit.ready = cycle + self.wait_cycles
-        self._buffers[tile][flit.packet.vn].append(flit)
+        self._buffers[tile].append(flit)
         self._occupancy[tile] += 1
         self._active.add(tile)
 
@@ -202,32 +243,26 @@ class BaseNetwork:
         packet = flit.packet
         tile = flit.at
         delay = 1
-        self._c_delivered.inc()
+        self._c_delivered.value += 1
 
         def fire(p=packet, t=tile) -> None:
-            p.delivered_at = self.sim.cycle
+            cycle = self.sim.cycle
+            p.delivered_at = cycle
             self._in_flight -= 1
-            self._s_latency.add(p.latency)
+            self._s_latency.add(cycle - p.injected_at)
             receiver = self._receivers[t]
             if receiver is None:
                 raise NetworkError(f"no receiver attached at tile {t}")
             receiver(p)
 
-        self.sim.schedule(delay, fire)
+        self.sim.call_after(delay, fire)
 
-    # -- route planning (subclass hooks) --------------------------------
-    def _plan_links(self, flit: _Flit) -> Tuple[List[Link], List[int]]:
-        """Links (in order) and the routers after each link for one
-        traversal toward ``flit.leg_dst``, memoized per (at, leg_dst):
-        plans on a static mesh never change, and a blocked flit re-plans
-        the identical traversal every arbitration round."""
-        key = (flit.at, flit.leg_dst)
-        plan = self._plan_cache.get(key)
-        if plan is None:
-            plan = self._compute_plan(flit.at, flit.leg_dst)
-            self._plan_cache[key] = plan
-        return plan
-
+    # -- route planning (subclass hook: _compute_plan) ------------------
+    # Plans depend only on (at, leg_dst) on a static mesh, so the
+    # movers' paths inline a memo probe on ``_plan_cache`` and call
+    # ``_compute_plan`` (the one subclass hook — see
+    # FlattenedButterflyNetwork) only on a miss: a blocked flit
+    # re-plans the identical traversal every arbitration round.
     def _compute_plan(self, at: int, leg_dst: int
                       ) -> Tuple[List[Link], List[int]]:
         """Default planner: unit-link XY walk of up to
@@ -258,19 +293,28 @@ class BaseNetwork:
 
     # -- main per-cycle evaluation --------------------------------------
     def tick(self, cycle: int) -> bool:
-        self._drain_nics(cycle)
+        if self._nic_pending_dirty:
+            # direct injections are now "past the drain": stop counting
+            # them in nic_backlog(), exactly when the queued path would
+            for tile in self._nic_pending_dirty:
+                self._nic_pending[tile] = 0
+            self._nic_pending_dirty.clear()
+        if self._nic_active:
+            self._drain_nics(cycle)
         movers = self._gather_movers(cycle)
         if movers:
-            self._arbitrate_and_move(movers, cycle)
-        occupancy = self._occupancy
-        nic_queues = self._nic_queues
-        self._active = {t for t in self._active
-                        if occupancy[t] or nic_queues[t]}
+            if len(movers) > 1:
+                # Age-priority (injected_at, seq) total order: gather
+                # order is irrelevant, so buffers need no VN structure.
+                movers.sort(key=_order_of)
+                self._arbitrate_and_move(movers, cycle)
+            else:
+                self._move_single(movers[0], cycle)
+        # _active is maintained in place (tiles leave in _move_flit the
+        # moment they empty), so no per-tick rebuild is needed.
         return bool(self._active)
 
     def _drain_nics(self, cycle: int) -> None:
-        if not self._nic_active:
-            return
         occupancy = self._occupancy
         capacity = self._capacity
         injection_delay = self.injection_delay
@@ -289,23 +333,46 @@ class BaseNetwork:
         occupancy = self._occupancy
         buffers = self._buffers
         for tile in self._active:
-            if not occupancy[tile]:
-                continue  # NIC backlog only; nothing buffered to move
-            for vn_q in buffers[tile]:
-                for flit in vn_q:
+            if occupancy[tile]:  # else NIC backlog only; nothing to move
+                for flit in buffers[tile]:
                     if flit.ready <= cycle:
                         append(flit)
-        if len(movers) > 1:
-            movers.sort(key=lambda f: (f.packet.injected_at, f.seq))
         return movers
+
+    def _move_single(self, flit: _Flit, cycle: int) -> None:
+        """Uncontended fast path: one mover this cycle means no
+        claimed-set bookkeeping — only physical link reservations
+        (``_link_busy``, serialization tails) can stop the flit.
+        Identical outcome to running the general arbiter on a
+        singleton list."""
+        key = (flit.at, flit.leg_dst)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._plan_cache[key] = self._compute_plan(*key)
+        links, routers = plan
+        if not links:
+            raise NetworkError(
+                f"flit at {flit.at} has no route to {flit.leg_dst}")
+        link_busy = self._link_busy
+        got = 0
+        for link in links:
+            if link_busy.get(link, -1) >= cycle:
+                break
+            got += 1
+        self._finish_move(flit, links, routers, got, cycle)
 
     def _arbitrate_and_move(self, movers: List[_Flit], cycle: int) -> None:
         # Plan entries are [flit, links, routers, got] — `got` mutated
         # in place during arbitration.
         plans: List[List] = []
         plans_append = plans.append
+        plan_cache = self._plan_cache
         for flit in movers:
-            links, routers = self._plan_links(flit)
+            key = (flit.at, flit.leg_dst)
+            plan = plan_cache.get(key)
+            if plan is None:
+                plan = plan_cache[key] = self._compute_plan(*key)
+            links, routers = plan
             if links:
                 plans_append([flit, links, routers, 0])
             else:
@@ -334,42 +401,59 @@ class BaseNetwork:
                     advancing.append(entry)
             live = advancing
             pos += 1
-        allow_partial = self.allow_partial
+        for flit, links, routers, got in plans:
+            self._finish_move(flit, links, routers, got, cycle)
+
+    def _finish_move(self, flit: _Flit, links: List[Link],
+                     routers: List[int], got: int, cycle: int) -> None:
+        """The one copy of the post-arbitration rules, shared by the
+        single-mover fast path and the general arbiter: all-or-nothing
+        release, back-off from full routers (cannot stop where there is
+        no buffer space; the leg destination ejects, needing none),
+        link reservations, then move or charge an arbitration loss."""
+        if not self.allow_partial and got < len(links):
+            got = 0  # all-or-nothing fabrics release their claims
         occupancy = self._occupancy
         capacity = self._capacity
-        for flit, links, routers, got in plans:
-            if not allow_partial and got < len(links):
-                got = 0  # all-or-nothing fabrics release their claims
-            # Back off from full routers (cannot stop where there is no
-            # buffer space; the leg destination ejects, needing none).
-            while got > 0:
-                stop = routers[got - 1]
-                if stop == flit.leg_dst or occupancy[stop] < capacity:
-                    break
-                got -= 1
-                self._c_backoff.inc()
-            if got == 0:
-                flit.ready = cycle + 1  # fresh SSR / re-arbitrate next cycle
-                self._c_arb_losses.inc()
-                continue
-            tail = cycle + flit.packet.size_flits - 1
-            for link in links[:got]:
-                link_busy[link] = tail
-            self._move_flit(flit, routers[got - 1], got, cycle,
-                            premature=(got < len(links)))
+        leg_dst = flit.leg_dst
+        while got > 0:
+            stop = routers[got - 1]
+            if stop == leg_dst or occupancy[stop] < capacity:
+                break
+            got -= 1
+            self._c_backoff.value += 1
+        if got == 0:
+            flit.ready = cycle + 1  # fresh SSR / re-arbitrate next cycle
+            self._c_arb_losses.value += 1
+            return
+        tail = cycle + flit.packet.size_flits - 1
+        link_busy = self._link_busy
+        for i in range(got):
+            link_busy[links[i]] = tail
+        self._move_flit(flit, routers[got - 1], got, cycle,
+                        premature=(got < len(links)))
 
     def _move_flit(self, flit: _Flit, to: int, hops: int, cycle: int,
                    premature: bool) -> None:
-        self._buffers[flit.at][flit.packet.vn].remove(flit)
-        self._occupancy[flit.at] -= 1
-        self._c_flit_hops.inc(hops * flit.packet.size_flits)
+        src = flit.at
+        self._buffers[src].remove(flit)
+        self._occupancy[src] -= 1
+        # In-place _active maintenance: this is the only place a tile's
+        # occupancy can drop, so the tick loop never rebuilds the set.
+        if not self._occupancy[src] and not self._nic_queues[src]:
+            self._active.discard(src)
+        self._c_flit_hops.value += hops * flit.packet.size_flits
         if premature:
-            self._c_premature.inc()
+            self._c_premature.value += 1
         flit.at = to
         if to == flit.leg_dst:
             self._on_leg_complete(flit, cycle)
         else:
-            self._buffer_flit(flit, to, cycle)
+            # inlined _buffer_flit (hot)
+            flit.ready = cycle + self.wait_cycles
+            self._buffers[to].append(flit)
+            self._occupancy[to] += 1
+            self._active.add(to)
 
     def _on_leg_complete(self, flit: _Flit, cycle: int) -> None:
         """Unicast: eject. Multicast (SMART subclass): eject + fork."""

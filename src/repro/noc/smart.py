@@ -51,7 +51,7 @@ class SmartNetwork(BaseNetwork):
         """
         packet.injected_at = self.sim.cycle
         packet.mcast_group = vms.members
-        self._c_mcast_injected.inc()
+        self._c_mcast_injected.value += 1
         root = packet.src
         children = vms.tree_children(root, root)
         if not children:
@@ -62,7 +62,7 @@ class SmartNetwork(BaseNetwork):
             self._enqueue_nic(flit)
 
     def _on_leg_complete(self, flit: _Flit, cycle: int) -> None:
-        if not flit.is_mcast:
+        if flit.vms is None:  # unicast (inlined is_mcast)
             self._eject(flit, cycle)
             return
         # Arrived at a home router on the VMS: deliver a copy here...
@@ -76,7 +76,7 @@ class SmartNetwork(BaseNetwork):
                            cycle + self.wait_cycles,
                            mcast_root=flit.mcast_root, vms=flit.vms)
             self._in_flight += 1
-            self._buffers[flit.at][flit.packet.vn].append(branch)
+            self._buffers[flit.at].append(branch)
             self._occupancy[flit.at] += 1
             self._active.add(flit.at)
-            self._c_mcast_forks.inc()
+            self._c_mcast_forks.value += 1

@@ -93,7 +93,14 @@ def spawn_worker_process(address: str, *, name: Optional[str] = None,
     import subprocess
     import sys
 
-    src = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    # .../src/repro/service/worker.py -> .../src (three levels up).
+    # This used to stop one level short (.../src/repro), which made
+    # `import repro` fail in the child whenever the parent had no
+    # usable PYTHONPATH of its own — a CLI-launched fleet then
+    # respawn-looped instead of serving (tests masked it by exporting
+    # PYTHONPATH=src, which children inherit).
+    src = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
     env = dict(os.environ)
     env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
                                if env.get("PYTHONPATH") else "")

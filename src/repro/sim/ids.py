@@ -17,43 +17,91 @@ coexisting simulations in one process are never perturbed) at restore.
 
 from __future__ import annotations
 
+import itertools
 import threading
-from typing import Dict
+from collections import deque
+from typing import Callable, Dict
 
 
 class IdSource:
     """A readable, restorable replacement for ``itertools.count()``.
 
-    Draws are locked: sources are process-global, and two simulations
-    running on *threads* of one process (in-process service workers,
-    embedders) would otherwise race the read-modify-write — a stale
-    write can move the counter backwards and mint duplicate ids inside
-    one simulation, where relative order is load-bearing (flit-age
-    arbitration). The lock costs ~1% of a run (~50k draws per small
-    benchmark) and keeps every sim's draw sequence strictly increasing
-    no matter how many share the process.
+    Draws must be thread-safe: sources are process-global, and two
+    simulations running on *threads* of one process (in-process service
+    workers, embedders) would otherwise race a read-modify-write — a
+    stale write can move the counter backwards and mint duplicate ids
+    inside one simulation, where relative order is load-bearing
+    (flit-age arbitration). Earlier revisions paid a ``threading.Lock``
+    per draw (~1-2% of a run); draws now come straight from an inner
+    ``itertools.count`` whose ``__next__`` is a single GIL-atomic C
+    call — thread-safe, strictly increasing, and cheap enough that hot
+    paths bind :attr:`next_fn` once and call it directly.
+
+    The inner count object is **never replaced** (``advance_to``
+    fast-forwards it in place by draining it at C speed), so a bound
+    ``next_fn`` stays valid across checkpoint/restore fast-forwards.
     """
 
-    __slots__ = ("value", "_lock")
+    __slots__ = ("_count", "_lock")
 
     def __init__(self) -> None:
-        self.value = 0
-        self._lock = threading.Lock()
+        self._count = itertools.count()
+        self._lock = threading.Lock()  # serializes advance_to only
+
+    @property
+    def value(self) -> int:
+        """The next id that will be drawn (snapshot capture).
+
+        Cold path (snapshot capture / restore only). itertools.count
+        exposes its position through its pickle protocol —
+        ``count(n).__reduce__() == (count, (n,))`` — which 3.12
+        deprecates for removal in 3.14; the fallback parses the repr
+        (``count(n)``), which is stable across versions.
+        """
+        import warnings
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                return self._count.__reduce__()[1][0]
+        except (TypeError, AttributeError, IndexError):
+            return int(repr(self._count).split("(")[1].rstrip(")"))
+
+    @property
+    def next_fn(self) -> Callable[[], int]:
+        """The raw C-level draw callable, bindable at import time."""
+        return self._count.__next__
 
     def __next__(self) -> int:
-        with self._lock:
-            v = self.value
-            self.value = v + 1
-            return v
+        return next(self._count)
 
     def __iter__(self) -> "IdSource":
         return self
 
     def advance_to(self, value: int) -> None:
-        """Ensure the next id drawn is >= ``value`` (never goes back)."""
+        """Ensure the next id drawn is >= ``value`` (never goes back).
+
+        Fast-forwards the existing count object by consuming it, so
+        previously bound :attr:`next_fn` references stay live. A draw
+        racing this from another thread only makes the skip overshoot,
+        which monotonicity tolerates.
+
+        Cost: O(delta), a deliberate trade — replacing the count
+        object would be O(1) but would strand every bound ``next_fn``
+        on the old object, silently minting ids *below* the restored
+        position (the exact bug this class exists to prevent). The
+        drain runs at C speed (~30M ids/sec), it is paid once per
+        fresh process (advance is monotonic, so later restores skip
+        the shared prefix), and this repo's images carry at most a
+        few 10^7 draws (well under a second). If a future workload
+        pushes this to 10^9, the fix is a rebind registry that lets
+        advance_to swap the count and refresh the module-level
+        ``next_fn`` bindings in one step.
+        """
         with self._lock:
-            if value > self.value:
-                self.value = value
+            delta = value - self.value
+            if delta > 0:
+                # maxlen=0 deque: consume exactly `delta` items in C.
+                deque(itertools.islice(self._count, delta), maxlen=0)
 
 
 _sources: Dict[str, IdSource] = {}

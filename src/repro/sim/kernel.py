@@ -12,11 +12,14 @@ Python cycle-level NoC + coherence model tractable:
   so an idle network costs nothing and the kernel can fast-forward
   between events.
 
-The event queue is a binary heap of ``(cycle, seq, event)`` tuples;
-``seq`` is a monotonically increasing tie-breaker so same-cycle events
-run in the order they were scheduled (deterministic replay). Plain
-tuples keep heap sifting in C — an :class:`Event` comparison method in
-the hot path would dominate large runs.
+The event queue is a binary heap of ``(cycle, seq, event-or-callable)``
+tuples; ``seq`` is a monotonically increasing tie-breaker so same-cycle
+events run in the order they were scheduled (deterministic replay).
+Plain tuples keep heap sifting in C — an :class:`Event` comparison
+method in the hot path would dominate large runs, and the unique
+``seq`` guarantees comparisons never reach the third element (which is
+a cancellable :class:`Event` for :meth:`Simulator.schedule` and the
+bare callable for the allocation-free :meth:`Simulator.call_after`).
 """
 
 from __future__ import annotations
@@ -150,6 +153,23 @@ class Simulator:
         heapq.heappush(self._heap, (cycle, seq, ev))
         return ev
 
+    def call_after(self, delay: int, fn: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule` without the :class:`Event`
+        wrapper — no handle, no cancellation. The heap holds the bare
+        callable; interleaving with Event entries is exact because the
+        ``(cycle, seq)`` prefix alone orders the heap (``seq`` is
+        globally unique, so tuple comparison never reaches the third
+        element). Hot paths that never cancel (cache latencies, packet
+        ejections, memory responses) use this to skip one object
+        allocation per scheduled callback."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        cycle = self.cycle + delay
+        seq = self._seq
+        self._seq = seq + 1
+        self._live_events += 1
+        heapq.heappush(self._heap, (cycle, seq, fn))
+
     def at(self, cycle: int, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` at an absolute cycle (must not be in the past)."""
         if cycle < self.cycle:
@@ -201,14 +221,24 @@ class Simulator:
         self._stop_requested = False
         last_progress_cycle = self.cycle
         deadlock_window = self._deadlock_window
+        heap = self._heap
+        heappop = heapq.heappop
         while not self._stop_requested:
             if stop_when is not None and stop_when():
                 break
-            next_event_cycle = self._peek_cycle()
+            # Inline _peek_cycle: this loop runs once per simulated
+            # cycle-with-work, so the two peeks are worth keeping free
+            # of call overhead.
+            while heap:
+                head = heap[0][2]
+                if head.__class__ is Event and head.cancelled:
+                    heappop(heap)
+                else:
+                    break
             if self._awake_count:
                 target = self.cycle
-            elif next_event_cycle is not None:
-                target = next_event_cycle  # fast-forward over idle gap
+            elif heap:
+                target = heap[0][0]  # fast-forward over idle gap
             else:
                 break  # nothing scheduled, nothing awake: simulation done
             if until is not None and target > until:
@@ -222,9 +252,16 @@ class Simulator:
                 raise DeadlockError(
                     f"no progress since cycle {last_progress_cycle} "
                     f"(now {self.cycle})")
-            if not self._awake_count and self._peek_cycle() is None:
-                break
-            if self._awake_count:
+            if not self._awake_count:
+                while heap:
+                    head = heap[0][2]
+                    if head.__class__ is Event and head.cancelled:
+                        heappop(heap)
+                    else:
+                        break
+                if not heap:
+                    break
+            else:
                 self.cycle += 1
             if until is not None and self.cycle > until:
                 self.cycle = until
@@ -234,9 +271,15 @@ class Simulator:
 
     def _peek_cycle(self) -> Optional[int]:
         heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
-        return heap[0][0] if heap else None
+        while heap:
+            head = heap[0]
+            ev = head[2]
+            # call_after entries are bare callables — always live.
+            if ev.__class__ is Event and ev.cancelled:
+                heapq.heappop(heap)
+                continue
+            return head[0]
+        return None
 
     def _run_cycle(self) -> bool:
         """Fire all events due this cycle, then tick awake tickers.
@@ -248,19 +291,24 @@ class Simulator:
         heappop = heapq.heappop
         cycle = self.cycle
         while heap and heap[0][0] <= cycle:
-            ev = heappop(heap)[2]
-            if ev.cancelled:
-                continue
-            if ev.cycle < cycle:
+            entry = heappop(heap)
+            ev = entry[2]
+            if ev.__class__ is Event:
+                if ev.cancelled:
+                    continue
+                # Mark consumed so a late cancel() (e.g. a token-protocol
+                # timeout cancelled after it already fired) is a no-op and
+                # cannot decrement the live-event counter a second time.
+                ev.cancelled = True
+                fn = ev.fn
+            else:
+                fn = ev  # bare call_after callable
+            if entry[0] < cycle:
                 raise SimulationError(
-                    f"event for cycle {ev.cycle} fired late at {cycle}")
+                    f"event for cycle {entry[0]} fired late at {cycle}")
             self._live_events -= 1
-            # Mark consumed so a late cancel() (e.g. a token-protocol
-            # timeout cancelled after it already fired) is a no-op and
-            # cannot decrement the live-event counter a second time.
-            ev.cancelled = True
             progressed = True
-            ev.fn()
+            fn()
         if self._awake_count and cycle != self._ticked_cycle:
             self._ticked_cycle = cycle
             awake = self._awake

@@ -28,6 +28,14 @@ class Op(Enum):
     BARRIER = auto()
 
 
+# Import-time member flags (C-level fetches on the per-instruction
+# core path, where a property would cost a Python descriptor call).
+for _op in Op:
+    _op.is_memory = _op in (Op.LOAD, Op.STORE, Op.LOCK, Op.UNLOCK)
+    _op.is_write = _op in (Op.STORE, Op.LOCK, Op.UNLOCK)
+del _op
+
+
 @dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One trace record: optional compute gap, then one operation."""
@@ -44,11 +52,11 @@ class TraceEvent:
 
     @property
     def is_memory(self) -> bool:
-        return self.op in (Op.LOAD, Op.STORE, Op.LOCK, Op.UNLOCK)
+        return self.op.is_memory
 
     @property
     def is_write(self) -> bool:
-        return self.op in (Op.STORE, Op.LOCK, Op.UNLOCK)
+        return self.op.is_write
 
 
 def validate_trace(events: Sequence[TraceEvent]) -> None:

@@ -1,0 +1,260 @@
+"""Tests for the perf-telemetry subsystem (repro.bench).
+
+Covers the three contracts the CI gate rests on: scenario determinism
+(same seed -> same op counts, in fresh state), schema round-trip +
+versioning (artifacts are refused rather than misread), and the diff
+gate's regression/improvement/tolerance edges.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import unittest
+
+from repro.bench.runner import BenchReport, ScenarioResult, run_scenarios
+from repro.bench.scenarios import SCENARIOS
+from repro.bench.schema import (SCHEMA_VERSION, BenchSchemaError, compare,
+                                dump_report, load_report, report_from_dict,
+                                report_to_dict, validate_report)
+from repro.errors import ConfigError
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_CLI = os.path.join(REPO_ROOT, "scripts", "bench.py")
+
+
+class TestScenarioRegistry(unittest.TestCase):
+    def test_coverage_floor(self):
+        """The acceptance surface: >= 8 scenarios spanning kernel,
+        cache, MSHR, >= 2 NoC modes, >= 2 coherence orgs, snapshot and
+        the sweep backend."""
+        names = set(SCENARIOS)
+        self.assertGreaterEqual(len(names), 8)
+        self.assertIn("kernel_events", names)
+        self.assertIn("cache_array", names)
+        self.assertIn("cache_mshr", names)
+        self.assertGreaterEqual(
+            len([n for n in names if n.startswith("noc_")]), 2)
+        self.assertGreaterEqual(
+            len([n for n in names if n.startswith("coherence_")]), 2)
+        self.assertIn("snapshot_roundtrip", names)
+        self.assertIn("sweep_backend", names)
+
+    def test_subsystem_labels(self):
+        for s in SCENARIOS.values():
+            self.assertTrue(s.subsystem, f"{s.name} lacks a subsystem")
+
+
+class TestScenarioDeterminism(unittest.TestCase):
+    """Same seed -> same (ops, fingerprint), from *fresh* state.
+
+    The runner already cross-checks repeats of one prepared instance;
+    this re-prepares, which is what a fresh process does.
+    """
+
+    def _twice(self, name):
+        a = SCENARIOS[name].prepare()()
+        b = SCENARIOS[name].prepare()()
+        self.assertEqual(a, b, f"scenario {name} is not deterministic")
+        ops, fp = a
+        self.assertGreater(ops, 0)
+        self.assertTrue(fp)
+        for key, value in fp.items():
+            self.assertIsInstance(value, int,
+                                  f"{name} fingerprint {key} not an int")
+
+    def test_kernel_events(self):
+        self._twice("kernel_events")
+
+    def test_cache_array(self):
+        self._twice("cache_array")
+
+    def test_cache_mshr(self):
+        self._twice("cache_mshr")
+
+    def test_noc_smart(self):
+        self._twice("noc_smart")
+
+    def test_runner_rejects_unknown_scenario(self):
+        with self.assertRaises(ConfigError):
+            run_scenarios(names=["no_such_scenario"], repeats=1)
+
+    def test_runner_repeat_crosscheck(self):
+        report = run_scenarios(names=["cache_mshr"], repeats=2,
+                               calibration=1_000_000.0)
+        (res,) = report.scenarios
+        self.assertEqual(res.name, "cache_mshr")
+        self.assertGreater(res.events_per_sec, 0)
+        self.assertAlmostEqual(res.normalized,
+                               res.events_per_sec / 1_000_000.0)
+
+
+def _fake_report(**normals) -> dict:
+    """Synthetic artifact with the given {scenario: normalized}."""
+    report = BenchReport(calibration_ops_per_sec=1_000_000.0)
+    for name, norm in normals.items():
+        report.scenarios.append(ScenarioResult(
+            name=name, subsystem="test", ops=1000, seconds=0.5,
+            events_per_sec=norm * 1_000_000.0, normalized=norm,
+            fingerprint={"ops": 1000}))
+    return report_to_dict(report, rev="test")
+
+
+class TestSchema(unittest.TestCase):
+    def test_round_trip(self):
+        report = run_scenarios(names=["cache_mshr"], repeats=1,
+                               calibration=2_000_000.0)
+        doc = report_to_dict(report, rev="abc123")
+        blob = json.dumps(doc)
+        loaded = validate_report(json.loads(blob))
+        self.assertEqual(loaded["rev"], "abc123")
+        back = report_from_dict(loaded)
+        self.assertEqual(back.calibration_ops_per_sec,
+                         report.calibration_ops_per_sec)
+        self.assertEqual(back.scenarios[0].fingerprint,
+                         report.scenarios[0].fingerprint)
+        self.assertAlmostEqual(back.aggregate_normalized,
+                               report.aggregate_normalized)
+
+    def test_file_round_trip(self):
+        import tempfile
+        doc = _fake_report(a=0.5)
+        report = report_from_dict(doc)
+        with tempfile.TemporaryDirectory() as td:
+            path = os.path.join(td, "BENCH_x.json")
+            dump_report(report, path, rev="x")
+            self.assertEqual(load_report(path)["scenarios"]["a"]
+                             ["normalized"], 0.5)
+
+    def test_version_mismatch_rejected(self):
+        doc = _fake_report(a=1.0)
+        doc["schema_version"] = SCHEMA_VERSION + 1
+        with self.assertRaises(BenchSchemaError):
+            validate_report(doc)
+
+    def test_missing_keys_rejected(self):
+        for key in ("schema_version", "environment", "scenarios",
+                    "calibration_ops_per_sec"):
+            doc = _fake_report(a=1.0)
+            del doc[key]
+            with self.assertRaises(BenchSchemaError):
+                validate_report(doc)
+
+    def test_malformed_scenario_rejected(self):
+        doc = _fake_report(a=1.0)
+        del doc["scenarios"]["a"]["normalized"]
+        with self.assertRaises(BenchSchemaError):
+            validate_report(doc)
+        doc = _fake_report(a=1.0)
+        doc["scenarios"] = {}
+        with self.assertRaises(BenchSchemaError):
+            validate_report(doc)
+
+    def test_non_dict_rejected(self):
+        with self.assertRaises(BenchSchemaError):
+            validate_report([1, 2, 3])
+
+    def test_environment_fingerprint_present(self):
+        doc = _fake_report(a=1.0)
+        self.assertIn("python", doc["environment"])
+        self.assertIn("cpu_count", doc["environment"])
+
+
+class TestCompare(unittest.TestCase):
+    def test_regression_flagged(self):
+        base = _fake_report(fast=1.0, slow=1.0)
+        cur = _fake_report(fast=1.05, slow=0.5)
+        result = compare(base, cur, tolerance=0.8)
+        self.assertFalse(result.ok)
+        self.assertEqual([d.name for d in result.regressions], ["slow"])
+
+    def test_improvement_passes(self):
+        base = _fake_report(a=1.0, b=1.0)
+        cur = _fake_report(a=1.5, b=1.2)
+        result = compare(base, cur, tolerance=0.8)
+        self.assertTrue(result.ok)
+        self.assertGreater(result.aggregate_ratio, 1.3)
+
+    def test_tolerance_boundary_inclusive(self):
+        """ratio == tolerance passes; infinitesimally below fails."""
+        base = _fake_report(a=1.0)
+        at = compare(base, _fake_report(a=0.8), tolerance=0.8)
+        self.assertTrue(at.ok, "ratio == tolerance must pass")
+        below = compare(base, _fake_report(a=0.8 - 1e-9), tolerance=0.8)
+        self.assertFalse(below.ok)
+
+    def test_missing_scenario_fails(self):
+        base = _fake_report(a=1.0, b=1.0)
+        cur = _fake_report(a=1.0)
+        result = compare(base, cur, tolerance=0.8)
+        self.assertFalse(result.ok)
+        self.assertEqual(result.missing, ["b"])
+
+    def test_added_scenario_is_informational(self):
+        base = _fake_report(a=1.0)
+        cur = _fake_report(a=1.0, new=9.9)
+        result = compare(base, cur, tolerance=0.8)
+        self.assertTrue(result.ok)
+        self.assertEqual(result.added, ["new"])
+
+    def test_zero_baseline_never_divides(self):
+        base = _fake_report(a=0.0)
+        result = compare(base, _fake_report(a=1.0), tolerance=0.8)
+        self.assertTrue(result.ok)  # inf ratio: not a regression
+
+    def test_bad_tolerance_rejected(self):
+        base = _fake_report(a=1.0)
+        for tol in (0.0, -1.0, 1.5):
+            with self.assertRaises(ConfigError):
+                compare(base, base, tolerance=tol)
+
+    def test_summary_mentions_each_scenario(self):
+        base = _fake_report(a=1.0, b=1.0)
+        cur = _fake_report(a=0.5, b=1.1)
+        lines = "\n".join(compare(base, cur).summary_lines())
+        self.assertIn("a", lines)
+        self.assertIn("REGRESSED", lines)
+        self.assertIn("aggregate", lines)
+
+
+class TestBenchCli(unittest.TestCase):
+    """scripts/bench.py --input/--diff paths (no measurement)."""
+
+    def _write(self, td, name, doc):
+        path = os.path.join(td, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, BENCH_CLI, *args],
+            capture_output=True, text=True, timeout=120)
+
+    def test_exit_codes(self):
+        import tempfile
+        with tempfile.TemporaryDirectory() as td:
+            base = self._write(td, "base.json",
+                               _fake_report(a=1.0, b=1.0))
+            good = self._write(td, "good.json",
+                               _fake_report(a=1.1, b=0.95))
+            bad = self._write(td, "bad.json",
+                              _fake_report(a=1.1, b=0.5))
+            ok = self._run("--input", good, "--diff", base)
+            self.assertEqual(ok.returncode, 0, ok.stdout + ok.stderr)
+            fail = self._run("--input", bad, "--diff", base)
+            self.assertEqual(fail.returncode, 1, fail.stdout + fail.stderr)
+            self.assertIn("REGRESSED", fail.stdout)
+            # corrupt artifact -> usage/artifact error
+            broken = self._write(td, "broken.json", {"schema_version": 99})
+            err = self._run("--input", broken, "--diff", base)
+            self.assertEqual(err.returncode, 2, err.stdout + err.stderr)
+
+    def test_list(self):
+        out = self._run("--list")
+        self.assertEqual(out.returncode, 0)
+        self.assertIn("kernel_events", out.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

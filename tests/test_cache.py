@@ -259,12 +259,13 @@ class TestLruEquivalence:
 
 class TestWayBookkeepingInvariants:
     def _check_way_invariants(self, a):
-        """addr->way and way->addr maps must stay mutually inverse and
-        disjoint from the free list, per set."""
+        """Per-line ways and the way->addr map must stay mutually
+        inverse and disjoint from the free list, per set."""
         for idx in range(a.num_sets):
-            ways = a._ways[idx]
+            lines = a._sets[idx]
             addr_of_way = a._addr_of_way[idx]
             free = a._free_ways[idx]
+            ways = {addr: line.way for addr, line in lines.items()}
             assert len(set(ways.values())) == len(ways)  # no way reuse
             for addr, way in ways.items():
                 assert addr_of_way[way] == addr
@@ -276,13 +277,14 @@ class TestWayBookkeepingInvariants:
 
     def test_free_way_reused_after_invalidate(self):
         a = small_array(sets=1, assoc=2)
-        a.allocate(0)
+        line0, _ = a.allocate(0)
         a.allocate(1)
-        freed_way = a._ways[0][0]
+        freed_way = line0.way
         a.invalidate(0)
+        assert line0.way == -1  # off-array lines carry no way
         self._check_way_invariants(a)
-        a.allocate(2)
-        assert a._ways[0][2] == freed_way
+        line2, _ = a.allocate(2)
+        assert line2.way == freed_way
         self._check_way_invariants(a)
 
     def test_invariants_through_mixed_churn(self):
