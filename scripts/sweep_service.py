@@ -90,7 +90,7 @@ def cmd_fleet(args) -> int:
         spawn_worker_process(address, name=f"w{i}",
                              verbose=not args.quiet)
         for i in range(args.workers)]
-    spawned_at = [time.time()] * len(procs)
+    spawned_at = [time.monotonic()] * len(procs)
     crash_streak = [0] * len(procs)
     rc = 0
 
@@ -114,7 +114,7 @@ def cmd_fleet(args) -> int:
                 # (bad install, port mismatch, OOM on arrival) must not
                 # respawn forever: give up and exit nonzero so wrapping
                 # scripts/CI see the failure instead of a livelock.
-                uptime = time.time() - spawned_at[i]
+                uptime = time.monotonic() - spawned_at[i]
                 crash_streak[i] = (crash_streak[i] + 1
                                    if uptime < _FLEET_MIN_UPTIME else 1)
                 if crash_streak[i] > args.max_respawns:
@@ -129,7 +129,7 @@ def cmd_fleet(args) -> int:
                       f"respawning", flush=True)
                 procs[i] = spawn_worker_process(
                     address, name=f"w{i}", verbose=not args.quiet)
-                spawned_at[i] = time.time()
+                spawned_at[i] = time.monotonic()
     except KeyboardInterrupt:
         coord.stop()
     finally:
@@ -137,10 +137,10 @@ def cmd_fleet(args) -> int:
     for p in procs:
         if p.poll() is None:
             p.terminate()
-    deadline = time.time() + 5.0
+    deadline = time.monotonic() + 5.0
     for p in procs:
         try:
-            p.wait(timeout=max(0.1, deadline - time.time()))
+            p.wait(timeout=max(0.1, deadline - time.monotonic()))
         except subprocess.TimeoutExpired:
             p.send_signal(signal.SIGKILL)
     return rc

@@ -325,6 +325,97 @@ def _prepare_sweep_backend() -> RunFn:
     return run
 
 
+# ----------------------------------------------------------------------
+# service tier: coordinator connection scale (macro)
+# ----------------------------------------------------------------------
+def _prepare_service_connections() -> RunFn:
+    """Drive 500+ simulated worker connections through one event-loop
+    coordinator: sign-in storm, heartbeat wave, orderly drain.
+
+    The connections are raw worker-role sockets (hello / heartbeat /
+    bye frames), not real :class:`~repro.service.worker.Worker`
+    objects — the point is the coordinator's single-threaded socket
+    tier, not 512 simulators. Every count in the fingerprint is a
+    constant by construction (the runner rejects non-deterministic
+    scenarios); wall time is where the measurement lives. Status polls
+    ride a separate client connection and are deliberately excluded
+    from ops and fingerprint — their count depends on scheduling.
+    """
+    import resource
+    import socket as socket_mod
+    import time as time_mod
+
+    from repro.service import Coordinator, ServiceClient
+    from repro.service.protocol import (PROTOCOL_VERSION, FrameDecoder,
+                                        recv_msg, send_msg)
+
+    # CI runners default to a 1024 soft fd limit; 512 client-side plus
+    # 512 accepted server-side sockets (one process) needs more.
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    want = 4096 if hard == resource.RLIM_INFINITY else min(hard, 4096)
+    if soft < want:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (want, hard))
+
+    N = 512
+    HEARTBEATS = 2
+
+    def run() -> Tuple[int, Fingerprint]:
+        coord = Coordinator(heartbeat_timeout=120.0,
+                            monitor_interval=30.0)
+        address = coord.start()
+        host, port = address.rsplit(":", 1)
+        conns = []
+        welcomed = 0
+        try:
+            for i in range(N):
+                sock = socket_mod.create_connection((host, int(port)),
+                                                    timeout=30.0)
+                sock.setsockopt(socket_mod.IPPROTO_TCP,
+                                socket_mod.TCP_NODELAY, 1)
+                sock.settimeout(30.0)
+                send_msg(sock, {"type": "hello", "role": "worker",
+                                "protocol": PROTOCOL_VERSION,
+                                "name": f"bw{i}", "pid": i})
+                conns.append((sock, FrameDecoder()))
+            for sock, dec in conns:
+                welcome = recv_msg(sock, dec)
+                assert welcome["type"] == "welcome"
+                welcomed += 1
+            for _ in range(HEARTBEATS):
+                for sock, _dec in conns:
+                    send_msg(sock, {"type": "heartbeat"})
+
+            def await_stats(pred, what: str) -> Dict[str, int]:
+                deadline = time_mod.monotonic() + 60.0
+                with ServiceClient(address, row_timeout=30.0) as client:
+                    while time_mod.monotonic() < deadline:
+                        stats = client.status()["stats"]
+                        if pred(stats):
+                            return stats
+                        time_mod.sleep(0.02)
+                raise AssertionError(f"coordinator never {what}; "
+                                     f"last stats: {stats}")
+
+            peak = await_stats(
+                lambda s: (s["workers"] == N and
+                           s["heartbeats_seen"] == N * HEARTBEATS),
+                f"registered {N} workers x {HEARTBEATS} heartbeats")
+            peak_workers = peak["workers"]
+            for sock, _dec in conns:
+                send_msg(sock, {"type": "bye"})
+            await_stats(lambda s: s["workers"] == 0, "drained to 0")
+        finally:
+            for sock, _dec in conns:
+                sock.close()
+            coord.stop()
+        ops = N * (1 + HEARTBEATS + 1)  # hello + heartbeats + bye each
+        return ops, {"connections": N, "welcomed": welcomed,
+                     "heartbeats": N * HEARTBEATS,
+                     "peak_workers": peak_workers, "drained": 1}
+
+    return run
+
+
 #: Registry, keyed by scenario name. Order is the report order.
 SCENARIOS: Dict[str, Scenario] = {}
 
@@ -349,6 +440,8 @@ _register("coherence_loco_token", "coherence",
 _register("snapshot_roundtrip", "sim.snapshot",
           _prepare_snapshot_roundtrip)
 _register("sweep_backend", "harness.sweep", _prepare_sweep_backend)
+_register("service_connections", "service",
+          _prepare_service_connections)
 
 
 def scenario_names() -> List[str]:

@@ -188,6 +188,23 @@ def run_benchmark(exp: ExperimentConfig,
     return result
 
 
+def workload_config(name: str, organization: Organization,
+                    cores: int = 64, noc: NocKind = NocKind.SMART,
+                    cluster: Optional[Tuple[int, int]] = None,
+                    cache_scale: float = 0.125) -> SystemConfig:
+    """The machine configuration :func:`run_workload` builds for a
+    multi-program workload — factored out so the service tier can
+    reconstruct the *same* :class:`SystemConfig` when decoding a
+    wire-shipped ``RunResult`` (configs must not drift between the
+    worker that ran the unit and the client that reads it)."""
+    shape = cluster if cluster is not None else CLUSTER_SHAPE[name]
+    cfg = paper_config(cores, organization=organization)
+    cfg = cfg.with_cluster(*shape).with_noc(noc)
+    if cache_scale != 1.0:
+        cfg = cfg.with_cache_scale(cache_scale)
+    return cfg
+
+
 def run_workload(name: str, organization: Organization, cores: int = 64,
                  noc: NocKind = NocKind.SMART, scale: float = SCALE_MEDIUM,
                  seed: int = 1, full_system: bool = False,
@@ -205,11 +222,8 @@ def run_workload(name: str, organization: Organization, cores: int = 64,
                                            scale=scale, seed=seed,
                                            full_system=full_system)
     traces, populations = _trace_cache[key]
-    shape = cluster if cluster is not None else CLUSTER_SHAPE[name]
-    cfg = paper_config(cores, organization=organization)
-    cfg = cfg.with_cluster(*shape).with_noc(noc)
-    if cache_scale != 1.0:
-        cfg = cfg.with_cache_scale(cache_scale)
+    cfg = workload_config(name, organization, cores=cores, noc=noc,
+                          cluster=cluster, cache_scale=cache_scale)
     system = CmpSystem(cfg, traces, full_system=full_system,
                        barrier_populations=populations,
                        warmup_fraction=warmup_fraction)

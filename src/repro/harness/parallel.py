@@ -37,7 +37,7 @@ from repro.harness.experiment import (ExperimentConfig, WarmupImageCache,
 # never diverge on validation, grid expansion or metric resolution
 # (sweep.py imports this module lazily, so there is no cycle).
 from repro.harness.sweep import _assemble_rows, grid_units
-from repro.harness.units import Metric, SweepUnit, unit_key
+from repro.harness.units import Metric, SweepUnit, as_unit, unit_key
 from repro.sim.stats import Stats
 
 __all__ = ["parallel_sweep", "run_units", "aggregate_stats", "config_key",
@@ -72,8 +72,8 @@ def _run_unit(unit: SweepUnit,
               warmup_images: Optional[WarmupImageCache] = None):
     """Pool entry point: simulate one unit (must stay module-level and
     tuple-tolerant — in-flight pickles from older callers ship bare
-    tuples)."""
-    return SweepUnit.coerce(unit).run(warmup_images=warmup_images)
+    tuples; ``as_unit`` also passes :class:`WorkloadUnit` through)."""
+    return as_unit(unit).run(warmup_images=warmup_images)
 
 
 def _run_unit_warm(args: Tuple[SweepUnit, str]):
@@ -129,7 +129,7 @@ def run_units(units: Sequence[Union[SweepUnit, tuple]],
     their own retained per-prefix caches, which affinity still feeds.
     Rows are identical either way; only warmup reuse differs.
     """
-    units = [SweepUnit.coerce(u) for u in units]
+    units = [as_unit(u) for u in units]
     out: List[Any] = [None] * len(units)
     todo: List[Tuple[int, SweepUnit]] = []
     for i, unit in enumerate(units):

@@ -118,8 +118,9 @@ def sweep(benchmark: str, metric=None,
     ``service="host:port"`` ships the cells to a running
     :mod:`repro.service` coordinator/worker fleet (``jobs`` is then
     ignored) — same rows, streamed back from persistent workers with
-    warmup-prefix affinity. ``metric`` is then required: full
-    ``RunResult`` objects only exist in-process.
+    warmup-prefix affinity. Full ``RunResult`` cells (``metric=None``)
+    ride the fleet too: results are wire-encoded by the worker and
+    decoded back against each unit's config on this side.
     """
     if service is None and jobs is not None and jobs > 1:
         from repro.harness.parallel import parallel_sweep

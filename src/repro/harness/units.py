@@ -3,27 +3,41 @@
 Every execution backend — the serial ``sweep`` loop, the
 ``ProcessPoolExecutor`` in :mod:`repro.harness.parallel`, and the
 distributed coordinator/worker service in :mod:`repro.service` — runs
-the same thing: *simulate one* :class:`ExperimentConfig` *for
-max_cycles and reduce it to a metric*. :class:`SweepUnit` is that unit,
-factored out of ``parallel.py`` so all three backends share one
-identity (cache key), one warmup-prefix key (scheduling affinity), one
-wire encoding, and one execution path — which is what keeps their rows
-bit-identical to each other.
+the same thing: *simulate one configuration and reduce it*.
+:class:`SweepUnit` (one benchmark x :class:`ExperimentConfig`) and
+:class:`WorkloadUnit` (one multi-program Table-2 workload) are those
+units, sharing one identity scheme (cache key), one warmup-prefix key
+(scheduling affinity), one wire encoding, and one execution path —
+which is what keeps every backend's rows bit-identical to each other.
+
+Wire completeness: every unit kind and every value a unit can reduce
+to — including the full :class:`~repro.cmp.system.RunResult` when
+``metric`` is None — has an exact JSON encoding here
+(:func:`encode_result` / :func:`decode_result`, keyed by a
+``__run_result__`` marker; units dispatch via ``kind`` through
+:func:`unit_from_wire`). JSON float round-tripping is repr-exact, so
+a result decoded from the wire reports every derived metric
+bit-identically to the in-process object it was encoded from.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.cmp.system import RunResult
 from repro.errors import ConfigError
 from repro.harness.experiment import (ExperimentConfig, WarmupImageCache,
-                                      run_benchmark)
+                                      run_benchmark, run_workload,
+                                      workload_config)
 from repro.harness.experiment import warmup_key as _warmup_key
-from repro.params import NocKind, Organization
+from repro.params import NocKind, Organization, SystemConfig
+from repro.sim.stats import Stats
 
-__all__ = ["SweepUnit", "Metric", "metric_of", "unit_key"]
+__all__ = ["SweepUnit", "WorkloadUnit", "Metric", "metric_of",
+           "unit_key", "as_unit", "unit_from_wire",
+           "encode_result", "decode_result"]
 
 #: what a unit reduces to: the full ``RunResult`` (``None``), one scalar
 #: metric (``str``), or a dict of several (tuple of names).
@@ -51,6 +65,101 @@ def unit_key(exp: ExperimentConfig, max_cycles: int, metric: Metric) -> str:
     """
     blob = f"{exp!r}|max_cycles={max_cycles}|metric={metric}"
     return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+# ---------------------------------------------------------------------------
+# full-RunResult wire codec
+# ---------------------------------------------------------------------------
+
+#: marker key identifying an encoded RunResult on the wire (a plain
+#: metric dict can never collide with it: metric names are attribute /
+#: stats names, which never start with underscores)
+RESULT_MARKER = "__run_result__"
+
+
+def _stats_to_wire(stats: Stats) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "counters": {n: c.value for n, c in stats._counters.items()},
+        "samplers": {n: [s.count, s.total, s.sq_total, s.min, s.max,
+                         s._samples]
+                     for n, s in stats._samplers.items()},
+        "histograms": {n: [h.bin_width, len(h.bins) - 1, h.bins,
+                           h.count, h.total]
+                       for n, h in stats._histograms.items()},
+        "keep_samples": stats._keep_samples,
+    }
+    if stats._mark_counters is not None:
+        out["mark_counters"] = dict(stats._mark_counters)
+        out["mark_samplers"] = {n: list(v) for n, v
+                                in (stats._mark_samplers or {}).items()}
+    return out
+
+
+def _stats_from_wire(wire: Dict[str, Any]) -> Stats:
+    stats = Stats(keep_samples=bool(wire.get("keep_samples")))
+    for name, value in wire["counters"].items():
+        stats.counter(name).value = value
+    for name, (count, total, sq_total, mn, mx, samples) \
+            in wire["samplers"].items():
+        s = stats.sampler(name)
+        s.count, s.total, s.sq_total = count, total, sq_total
+        s.min, s.max = mn, mx
+        s._samples = list(samples) if samples is not None else None
+    for name, (bin_width, num_bins, bins, count, total) \
+            in wire["histograms"].items():
+        h = stats.histogram(name, bin_width, num_bins)
+        h.bins = list(bins)
+        h.count, h.total = count, total
+    if "mark_counters" in wire:
+        stats._mark_counters = dict(wire["mark_counters"])
+        stats._mark_samplers = {n: (c, t) for n, (c, t)
+                                in wire["mark_samplers"].items()}
+    return stats
+
+
+def encode_result(result: RunResult) -> Dict[str, Any]:
+    """Encode a full :class:`RunResult` as a JSON-safe wire object.
+
+    Everything except the :class:`SystemConfig` rides the wire — the
+    config is reconstructed from the *unit* on the receiving side
+    (:meth:`SweepUnit.decode_value` / :meth:`WorkloadUnit.decode_value`),
+    because the unit already determines it exactly and re-deriving it
+    is what guarantees the two can never disagree. All statistics state
+    (counters, sampler moments, histogram bins, the warmup mark) is
+    JSON-exact, so every derived metric of the decoded result is
+    bit-identical to the original's.
+    """
+    return {
+        RESULT_MARKER: 1,
+        "runtime": result.runtime,
+        "instructions": result.instructions,
+        "finished": result.finished,
+        "per_core_finish": list(result.per_core_finish),
+        "stats": _stats_to_wire(result.stats),
+    }
+
+
+def is_encoded_result(value: Any) -> bool:
+    return isinstance(value, dict) and RESULT_MARKER in value
+
+
+def decode_result(wire: Dict[str, Any],
+                  config: SystemConfig) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`encode_result` output."""
+    if not is_encoded_result(wire):
+        raise ConfigError("not an encoded RunResult (missing "
+                          f"{RESULT_MARKER!r} marker)")
+    try:
+        return RunResult(
+            config=config,
+            runtime=wire["runtime"],
+            instructions=wire["instructions"],
+            stats=_stats_from_wire(wire["stats"]),
+            finished=wire["finished"],
+            per_core_finish=list(wire["per_core_finish"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"malformed encoded RunResult: {exc!r}") from exc
 
 
 @dataclass(frozen=True)
@@ -97,9 +206,24 @@ class SweepUnit:
         return {m: metric_of(result, m) for m in self.metric}
 
     # -- wire encoding (the service protocol ships units as JSON) ------
+    def encode_value(self, value: Any) -> Any:
+        """Make this unit's reduced value JSON-safe for the wire (the
+        inverse of :meth:`decode_value`). Scalars and metric dicts pass
+        through; a full ``RunResult`` (metric None) is encoded."""
+        if self.metric is None:
+            return encode_result(value)
+        return value
+
+    def decode_value(self, value: Any) -> Any:
+        """Rebuild this unit's in-process value from its wire form."""
+        if self.metric is None and is_encoded_result(value):
+            return decode_result(value, self.exp.system_config())
+        return value
+
     def to_wire(self) -> Dict[str, Any]:
         exp = self.exp
         return {
+            "kind": "sweep",
             "benchmark": exp.benchmark,
             "organization": exp.organization.value,
             "cores": exp.cores,
@@ -140,3 +264,164 @@ class SweepUnit:
                     and all(isinstance(m, str) for m in metric))):
             raise ConfigError(f"malformed wire metric: {metric!r}")
         return SweepUnit(exp, wire["max_cycles"], metric)
+
+
+def _check_metric(metric: Any) -> Metric:
+    if isinstance(metric, list):
+        metric = tuple(metric)
+    if not (metric is None or isinstance(metric, str)
+            or (isinstance(metric, tuple)
+                and all(isinstance(m, str) for m in metric))):
+        raise ConfigError(f"malformed wire metric: {metric!r}")
+    return metric
+
+
+@dataclass(frozen=True)
+class WorkloadUnit:
+    """One multi-program workload run (paper Table 2): the unit form
+    of :func:`repro.harness.experiment.run_workload`, so consolidated-
+    server experiments ride every backend — including the service
+    fleet — instead of being local-only.
+
+    ``cluster=None`` defers to the paper's recommended shape for the
+    workload (resolved identically on every host from
+    ``CLUSTER_SHAPE``). There is no warmup-image forking for workloads
+    (``run_workload`` has no snapshot path), but :attr:`warmup_key`
+    still groups units sharing a trace set so affinity scheduling
+    lands them on the worker whose in-process trace cache is warm.
+    """
+
+    workload: str
+    organization: Organization
+    cores: int = 64
+    noc: NocKind = NocKind.SMART
+    cluster: Optional[Tuple[int, int]] = None
+    scale: float = 1.0
+    full_system: bool = False
+    seed: int = 1
+    warmup_fraction: float = 0.35
+    cache_scale: float = 0.125
+    max_cycles: int = 50_000_000
+    metric: Metric = None
+
+    def key(self) -> str:
+        blob = (f"workload|{self.workload}|{self.organization.value}"
+                f"|{self.cores}|{self.noc.value}|{self.cluster}"
+                f"|{self.scale}|{self.full_system}|{self.seed}"
+                f"|{self.warmup_fraction}|{self.cache_scale}"
+                f"|max_cycles={self.max_cycles}|metric={self.metric}")
+        return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+    @property
+    def warmup_key(self) -> str:
+        """Affinity group: units replaying the same trace set. Routing
+        them to one worker reuses its in-process trace cache (the
+        build_workload output), the workload analogue of warmup-image
+        reuse."""
+        blob = (f"workload-traces|{self.workload}|{self.cores}"
+                f"|{self.scale}|{self.full_system}|{self.seed}")
+        return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+    def system_config(self) -> SystemConfig:
+        return workload_config(self.workload, self.organization,
+                               cores=self.cores, noc=self.noc,
+                               cluster=self.cluster,
+                               cache_scale=self.cache_scale)
+
+    def run(self, warmup_images: Optional[WarmupImageCache] = None) -> Any:
+        """Simulate and reduce (``warmup_images`` is accepted for
+        backend symmetry and ignored — workloads have no snapshot
+        path)."""
+        result = run_workload(self.workload, self.organization,
+                              cores=self.cores, noc=self.noc,
+                              scale=self.scale, seed=self.seed,
+                              full_system=self.full_system,
+                              cluster=self.cluster,
+                              warmup_fraction=self.warmup_fraction,
+                              cache_scale=self.cache_scale,
+                              max_cycles=self.max_cycles)
+        if self.metric is None:
+            return result
+        if isinstance(self.metric, str):
+            return metric_of(result, self.metric)
+        return {m: metric_of(result, m) for m in self.metric}
+
+    # -- wire encoding -------------------------------------------------
+    def encode_value(self, value: Any) -> Any:
+        if self.metric is None:
+            return encode_result(value)
+        return value
+
+    def decode_value(self, value: Any) -> Any:
+        if self.metric is None and is_encoded_result(value):
+            return decode_result(value, self.system_config())
+        return value
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "kind": "workload",
+            "workload": self.workload,
+            "organization": self.organization.value,
+            "cores": self.cores,
+            "noc": self.noc.value,
+            "cluster": (list(self.cluster)
+                        if self.cluster is not None else None),
+            "scale": self.scale,
+            "full_system": self.full_system,
+            "seed": self.seed,
+            "warmup_fraction": self.warmup_fraction,
+            "cache_scale": self.cache_scale,
+            "max_cycles": self.max_cycles,
+            "metric": (list(self.metric)
+                       if isinstance(self.metric, tuple) else self.metric),
+        }
+
+    @staticmethod
+    def from_wire(wire: Dict[str, Any]) -> "WorkloadUnit":
+        try:
+            cluster = wire["cluster"]
+            return WorkloadUnit(
+                workload=wire["workload"],
+                organization=Organization(wire["organization"]),
+                cores=wire["cores"],
+                noc=NocKind(wire["noc"]),
+                cluster=tuple(cluster) if cluster is not None else None,
+                scale=wire["scale"],
+                full_system=wire["full_system"],
+                seed=wire["seed"],
+                warmup_fraction=wire["warmup_fraction"],
+                cache_scale=wire["cache_scale"],
+                max_cycles=wire["max_cycles"],
+                metric=_check_metric(wire["metric"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed wire unit: {exc!r}") from exc
+
+
+def as_unit(unit: Union[SweepUnit, "WorkloadUnit", Tuple]
+            ) -> Union[SweepUnit, "WorkloadUnit"]:
+    """Normalize anything unit-shaped: passes :class:`WorkloadUnit`
+    through (normalizing a list metric), coerces everything else via
+    :meth:`SweepUnit.coerce` (including the legacy tuple form)."""
+    if isinstance(unit, WorkloadUnit):
+        if isinstance(unit.metric, list):
+            return WorkloadUnit(**{**unit.__dict__,
+                                   "metric": tuple(unit.metric)})
+        return unit
+    return SweepUnit.coerce(unit)
+
+
+def unit_from_wire(wire: Dict[str, Any]
+                   ) -> Union[SweepUnit, WorkloadUnit]:
+    """Decode any wire unit by its ``kind`` discriminator. A missing
+    ``kind`` means a v1-era sweep unit — accepted, since its field set
+    is identical to ``kind="sweep"``."""
+    if not isinstance(wire, dict):
+        raise ConfigError(f"wire unit is not an object: "
+                          f"{type(wire).__name__}")
+    kind = wire.get("kind", "sweep")
+    if kind == "sweep":
+        return SweepUnit.from_wire(wire)
+    if kind == "workload":
+        return WorkloadUnit.from_wire(wire)
+    raise ConfigError(f"unknown unit kind {kind!r}")

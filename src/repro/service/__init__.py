@@ -18,18 +18,20 @@ Entry points: ``scripts/sweep_service.py`` (launch a fleet),
 from repro.service.client import ServiceClient, service_sweep
 from repro.service.coordinator import Coordinator
 from repro.service.errors import (ConnectionClosed, FrameError, JobFailed,
-                                  ServiceError, WorkerLost)
+                                  ProtocolMismatch, ServiceError,
+                                  WorkerLost)
 from repro.service.protocol import (MAX_FRAME, MESSAGE_TYPES,
                                     PROTOCOL_VERSION, FrameDecoder,
                                     encode_frame)
 from repro.service.scheduler import Scheduler
+from repro.service.transport import SyncTransport
 from repro.service.worker import Worker, parse_address
 
 __all__ = [
     "Coordinator", "Worker", "ServiceClient", "Scheduler",
     "service_sweep", "parse_address",
     "ServiceError", "FrameError", "ConnectionClosed", "WorkerLost",
-    "JobFailed",
+    "JobFailed", "ProtocolMismatch",
     "PROTOCOL_VERSION", "MAX_FRAME", "MESSAGE_TYPES", "FrameDecoder",
-    "encode_frame",
+    "encode_frame", "SyncTransport",
 ]

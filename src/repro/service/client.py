@@ -1,28 +1,36 @@
 """Python client of the distributed sweep service.
 
 :class:`ServiceClient` speaks the client half of the protocol: submit
-a job (a list of :class:`~repro.harness.units.SweepUnit`), consume the
-``row`` stream, and return the values in unit order. The harness entry
-points (``sweep(service=...)``, ``run_units(service=...)``) build on
+a job (a list of :class:`~repro.harness.units.SweepUnit` /
+:class:`~repro.harness.units.WorkloadUnit`), consume the ``row``
+stream, and return the values in unit order — full ``RunResult``
+units included (metric None): the worker wire-encodes the result and
+the client decodes it back against the unit's own config, so every
+experiment type rides the fleet. The harness entry points
+(``sweep(service=...)``, ``run_units(service=...)``) build on
 :meth:`ServiceClient.run_units`; :meth:`ServiceClient.sweep` is the
 standalone convenience mirror of :func:`repro.harness.sweep.sweep`.
 
-The client is deliberately synchronous — a sweep is a batch, and the
-coordinator streams rows as they finish, so blocking on the socket *is*
-the progress loop. ``on_row`` gives callers a live hook (progress bars,
+The client's API is deliberately synchronous — a sweep is a batch, and
+the coordinator streams rows as they finish, so blocking on the socket
+*is* the progress loop. Underneath, the socket is non-blocking
+(:class:`~repro.service.transport.SyncTransport`, the same transport
+discipline as the event-loop coordinator), which is what makes
+``row_timeout`` a real deadline on every wait instead of a per-recv
+kernel timeout. ``on_row`` gives callers a live hook (progress bars,
 incremental plotting) without threads.
 """
 
 from __future__ import annotations
 
 import socket
-import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-from repro.harness.units import SweepUnit
-from repro.service.errors import (ConnectionClosed, JobFailed, ServiceError)
-from repro.service.protocol import (PROTOCOL_VERSION, FrameDecoder,
-                                    recv_msg, send_msg)
+from repro.harness.units import SweepUnit, as_unit
+from repro.service.errors import (ConnectionClosed, JobFailed,
+                                  ProtocolMismatch, ServiceError)
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.transport import SyncTransport
 from repro.service.worker import parse_address
 
 __all__ = ["ServiceClient", "service_sweep"]
@@ -36,49 +44,81 @@ class ServiceClient:
                  connect_timeout: float = 30.0,
                  row_timeout: Optional[float] = None) -> None:
         self.address = address
+        self.connect_timeout = connect_timeout
         self.row_timeout = row_timeout
         #: warm_builds / warm_hits / from_cache of the last finished job
         self.last_job_stats: Dict[str, int] = {}
-        host, port = parse_address(address)
-        self._sock = socket.create_connection((host, port),
-                                              timeout=connect_timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._wlock = threading.Lock()
-        self._decoder = FrameDecoder()
-        send_msg(self._sock, {"type": "hello", "role": "client",
-                              "protocol": PROTOCOL_VERSION},
-                 lock=self._wlock)
-        welcome = self._recv()
-        if welcome.get("type") != "welcome":
-            raise ServiceError(f"expected welcome, got "
-                               f"{welcome.get('type')!r}: "
-                               f"{welcome.get('error', '')}")
-        self._sock.settimeout(row_timeout)
+        self._transport: Optional[SyncTransport] = None
+        self._connect()
+
+    def _connect(self) -> None:
+        host, port = parse_address(self.address)
+        sock = socket.create_connection((host, port),
+                                        timeout=self.connect_timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        transport = SyncTransport(sock)
+        try:
+            transport.send({"type": "hello", "role": "client",
+                            "protocol": PROTOCOL_VERSION},
+                           timeout=self.connect_timeout)
+            welcome = self._recv_on(transport, self.connect_timeout)
+            if welcome.get("type") != "welcome":
+                raise ServiceError(f"expected welcome, got "
+                                   f"{welcome.get('type')!r}: "
+                                   f"{welcome.get('error', '')}")
+            if welcome.get("protocol") != PROTOCOL_VERSION:
+                raise ProtocolMismatch(
+                    f"coordinator speaks protocol "
+                    f"{welcome.get('protocol')!r}, this client speaks "
+                    f"{PROTOCOL_VERSION}")
+        except BaseException:
+            transport.close()
+            raise
+        self._transport = transport
+
+    def reconnect(self) -> None:
+        """Drop the current connection (if any) and re-handshake with
+        the same address — the retry hook after a coordinator restart
+        (any job that was in flight must be resubmitted; the
+        coordinator's result memo makes that cheap)."""
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        self._connect()
 
     # ------------------------------------------------------------------
-    def _recv(self) -> Dict[str, Any]:
+    def _recv_on(self, transport: SyncTransport,
+                 timeout: Optional[float]) -> Dict[str, Any]:
         try:
-            msg = recv_msg(self._sock, self._decoder)
+            msg = transport.recv(timeout=timeout)
         except socket.timeout:
             raise ServiceError(
                 f"no message from coordinator within "
-                f"{self.row_timeout}s") from None
+                f"{timeout}s") from None
         if msg.get("type") == "error":
+            if msg.get("code") == "protocol-mismatch":
+                raise ProtocolMismatch(f"coordinator error: "
+                                       f"{msg.get('error')}")
             raise ServiceError(f"coordinator error: {msg.get('error')}")
         return msg
 
+    def _recv(self) -> Dict[str, Any]:
+        assert self._transport is not None
+        return self._recv_on(self._transport, self.row_timeout)
+
     def _send(self, msg: Dict[str, Any]) -> None:
-        send_msg(self._sock, msg, lock=self._wlock)
+        assert self._transport is not None
+        self._transport.send(msg)
 
     def close(self) -> None:
+        if self._transport is None:
+            return
         try:
             self._send({"type": "bye"})
         except (OSError, ServiceError):
             pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._transport.close()
+        self._transport = None
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -117,19 +157,16 @@ class ServiceClient:
         """Submit one job and block until every row arrived.
 
         Returns values in unit order (same contract as the in-process
-        :func:`repro.harness.parallel.run_units`). ``warmup_dir`` must
-        be a directory visible to the *workers* (a shared filesystem
-        for a multi-host fleet); without one, each worker keeps its own
-        in-memory image cache, which affinity sharding still exploits.
-        Raises :class:`JobFailed` when a unit exhausts its retries.
+        :func:`repro.harness.parallel.run_units`) — including full
+        ``RunResult`` objects for metric-None units, decoded from
+        their wire encoding against each unit's own config.
+        ``warmup_dir`` must be a directory visible to the *workers* (a
+        shared filesystem for a multi-host fleet); without one, each
+        worker keeps its own in-memory image cache, which affinity
+        sharding still exploits. Raises :class:`JobFailed` when a unit
+        exhausts its retries.
         """
-        units = [SweepUnit.coerce(u) for u in units]
-        for u in units:
-            if u.metric is None:
-                raise ServiceError(
-                    "service jobs need a named metric (or a list of "
-                    "metrics): full RunResult objects only exist "
-                    "in-process")
+        units = [as_unit(u) for u in units]
         self._send({
             "type": "submit",
             "units": [u.to_wire() for u in units],
@@ -145,6 +182,7 @@ class ServiceClient:
         got = [False] * len(units)
         remaining = len(units)
         for idx, value in accepted.get("cached", []):
+            value = units[idx].decode_value(value)
             values[idx] = value
             got[idx] = True
             remaining -= 1
@@ -160,12 +198,13 @@ class ServiceClient:
             kind = msg.get("type")
             if kind == "row" and msg.get("job") == job_id:
                 idx = msg["idx"]
+                value = units[idx].decode_value(msg["value"])
                 if not got[idx]:
                     got[idx] = True
                     remaining -= 1
-                values[idx] = msg["value"]
+                values[idx] = value
                 if on_row is not None:
-                    on_row(idx, msg["value"])
+                    on_row(idx, value)
             elif kind == "done" and msg.get("job") == job_id:
                 if remaining:
                     raise JobFailed(f"{job_id}: done with {remaining} "

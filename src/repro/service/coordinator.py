@@ -1,12 +1,14 @@
 """The sweep coordinator: accepts jobs, shards units across workers.
 
 One listening socket serves both roles; the first message of every
-connection is a ``hello`` naming its role:
+connection is a ``hello`` naming its role (and, mandatorily, its
+protocol version):
 
 * **workers** register, then loop receiving ``assign`` messages and
   pushing ``result``/``unit_error``/``heartbeat``;
 * **clients** ``submit`` jobs (lists of wire-encoded
-  :class:`~repro.harness.units.SweepUnit`), then receive ``row``
+  :class:`~repro.harness.units.SweepUnit` /
+  :class:`~repro.harness.units.WorkloadUnit`), then receive ``row``
   messages streamed as units complete, closed by ``done`` (or
   ``job_failed``). ``status``/``ping``/``shutdown`` are one-shot
   requests.
@@ -19,48 +21,114 @@ hash — in memory always, on disk when ``cache_dir`` is given — so
 retried units stay idempotent and a restarted coordinator with a warm
 cache directory serves repeat jobs without re-simulating anything.
 
-Threading model: one accept thread, one reader thread per connection,
-one liveness monitor; all shared state behind a single lock. Sends are
-tiny JSON frames, so holding the lock across them is fine — the heavy
-work happens in worker *processes*, never here.
+Concurrency model: a single-threaded asyncio event loop (running in
+one background thread so ``start()``/``stop()`` keep their blocking
+API). Every connection is one reader coroutine plus one writer task
+draining a per-connection queue, so sends never block the loop and a
+peer that stops draining its receive buffer becomes a bounded
+``send_timeout`` failure on its own writer — not a wedged fleet.
+Scheduler, job table and result memo are touched only from the loop
+thread: there are no locks, and no thread-per-connection ceiling —
+one coordinator holds hundreds of idle worker connections at the cost
+of one queue and two tasks each (see the ``service_connections`` bench
+scenario). Liveness is a single monitor coroutine comparing monotonic
+``loop.time()`` deadlines. The heavy work happens in worker
+*processes*, never here.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 import socket
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
 from repro.errors import ConfigError
-from repro.harness.units import SweepUnit
-from repro.service.errors import ConnectionClosed, FrameError, ServiceError
+from repro.harness.units import unit_from_wire
+from repro.service.errors import (ConnectionClosed, FrameError,
+                                  ProtocolMismatch, ServiceError)
 from repro.service.protocol import (PROTOCOL_VERSION, FrameDecoder,
-                                    recv_msg, send_msg, set_send_timeout)
+                                    check_protocol, encode_frame,
+                                    read_msg_async)
 from repro.service.scheduler import Scheduler
 
 __all__ = ["Coordinator"]
 
+#: accept backlog — sized for bursts of a whole fleet signing in at
+#: once (the scale bench dials 500+ connections in one loop)
+_BACKLOG = 1024
 
-@dataclass
+
 class _Conn:
-    sock: socket.socket
-    wlock: threading.Lock = field(default_factory=threading.Lock)
+    """One live connection, owned entirely by the event loop.
+
+    Sends are enqueued (never awaited by the caller); a writer task
+    drains the queue with a ``send_timeout``-bounded ``drain()`` per
+    frame. A stalled peer therefore kills its own writer task, which
+    closes the transport, which wakes the reader — the connection's
+    teardown path — without ever blocking anyone else.
+    """
+
+    __slots__ = ("reader", "writer", "decoder", "send_timeout",
+                 "_queue", "_pump_task", "_close_requested")
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 send_timeout: float) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder()
+        self.send_timeout = send_timeout
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._pump_task = asyncio.create_task(self._pump())
+        self._close_requested = False
 
     def send(self, msg: Dict[str, Any]) -> None:
-        send_msg(self.sock, msg, lock=self.wlock)
+        """Queue one message (encoding errors surface here, transport
+        errors surface as connection teardown)."""
+        if not self._close_requested:
+            self._queue.put_nowait(encode_frame(msg))
 
     def close(self) -> None:
+        """Flush queued frames, then close the transport."""
+        if not self._close_requested:
+            self._close_requested = True
+            self._queue.put_nowait(None)
+
+    async def _pump(self) -> None:
         try:
-            self.sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
+            while True:
+                frame = await self._queue.get()
+                if frame is None:
+                    break
+                self.writer.write(frame)
+                await asyncio.wait_for(self.writer.drain(),
+                                       self.send_timeout)
+        except (asyncio.TimeoutError, OSError, ConnectionError):
             pass
+        finally:
+            self._close_requested = True
+            try:
+                self.writer.close()
+            except (OSError, RuntimeError):
+                pass
+
+    async def wait_closed(self) -> None:
+        await self._pump_task
         try:
-            self.sock.close()
-        except OSError:
+            await self.writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+
+    def abort(self) -> None:
+        self._close_requested = True
+        self._pump_task.cancel()
+        try:
+            self.writer.transport.abort()
+        except (OSError, RuntimeError):
             pass
 
 
@@ -69,14 +137,14 @@ class _WorkerConn:
     name: str
     conn: _Conn
     pid: Optional[int] = None
-    last_seen: float = field(default_factory=time.monotonic)
+    last_seen: float = 0.0
 
 
 @dataclass
 class _Job:
     job_id: str
     client: _Conn
-    units: List[SweepUnit]
+    units: List[Any]
     values: List[Any]
     remaining: int
     warmup_snapshots: bool = False
@@ -101,38 +169,41 @@ class Coordinator:
         self.send_timeout = send_timeout
         self.verbose = verbose
 
-        self._lock = threading.RLock()
         self._sched = Scheduler()
         self._workers: Dict[str, _WorkerConn] = {}
         self._jobs: Dict[str, _Job] = {}
         self._results: Dict[str, Any] = {}   # unit key -> value (memo)
         self._job_seq = 0
         self._worker_seq = 0
-        self._listener: Optional[socket.socket] = None
-        self._threads: List[threading.Thread] = []
+        self._conns: Set[_Conn] = set()
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
         self._stopped = threading.Event()
+        self._start_error: Optional[BaseException] = None
+        self._shutdown_evt: Optional[asyncio.Event] = None
+        self._stopping = False  # loop-side flag: teardown has begun
         # counters surfaced via status (and asserted by the tests)
         self.served_from_cache = 0
         self.rows_streamed = 0
         self.units_completed = 0
+        self.heartbeats_seen = 0
 
     # ------------------------------------------------------------------
-    # lifecycle
+    # lifecycle (thread-facing API — unchanged from the threaded tier)
     # ------------------------------------------------------------------
     def start(self) -> str:
-        """Bind, start serving, return the ``host:port`` address."""
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.host, self.port))
-        listener.listen(64)
-        self.port = listener.getsockname()[1]
-        self._listener = listener
-        for target in (self._accept_loop, self._monitor_loop):
-            t = threading.Thread(target=target, daemon=True,
-                                 name=f"coord-{target.__name__}")
-            t.start()
-            self._threads.append(t)
-        self._log(f"coordinator listening on {self.address}")
+        """Start the event-loop thread, bind, return ``host:port``."""
+        self._thread = threading.Thread(target=self._thread_main,
+                                        daemon=True,
+                                        name="coordinator-loop")
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._start_error is not None:
+            raise self._start_error
+        if not self._ready.is_set():
+            raise ServiceError("coordinator event loop failed to start")
         return self.address
 
     @property
@@ -140,28 +211,20 @@ class Coordinator:
         return f"{self.host}:{self.port}"
 
     def stop(self) -> None:
-        """Shut down: tell workers to exit, close every connection."""
-        if self._stopped.is_set():
+        """Shut down: tell workers to exit, close every connection.
+        Thread-safe and idempotent; blocks until the loop exits."""
+        thread = self._thread
+        if thread is None:
+            self._stopped.set()
             return
-        self._stopped.set()
-        with self._lock:
-            workers = list(self._workers.values())
-            jobs = list(self._jobs.values())
-        for w in workers:
+        loop = self._loop
+        if not self._stopped.is_set() and loop is not None:
             try:
-                w.conn.send({"type": "shutdown"})
-            except (OSError, ServiceError):
-                pass
-            w.conn.close()
-        for job in jobs:
-            job.client.close()
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-        for t in self._threads:
-            t.join(timeout=2.0)
+                loop.call_soon_threadsafe(self._request_shutdown)
+            except RuntimeError:
+                pass  # loop already closed
+        if threading.current_thread() is not thread:
+            thread.join(timeout=10.0)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until :meth:`stop` is called (e.g. via a client
@@ -173,78 +236,145 @@ class Coordinator:
             print(f"[coordinator] {msg}", flush=True)
 
     # ------------------------------------------------------------------
-    # accept / per-connection loops
+    # event loop
     # ------------------------------------------------------------------
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
-        while not self._stopped.is_set():
-            try:
-                sock, _addr = self._listener.accept()
-            except OSError:
-                return  # listener closed
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            t = threading.Thread(target=self._serve_conn, args=(sock,),
-                                 daemon=True, name="coord-conn")
-            t.start()
-
-    def _serve_conn(self, sock: socket.socket) -> None:
-        conn = _Conn(sock)
-        decoder = FrameDecoder()
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
         try:
-            # bounded sends (kernel-level, receive-independent): a
-            # peer that stops draining must become an OSError here,
-            # not a permanent sendall block under self._lock
-            set_send_timeout(sock, self.send_timeout)
-            sock.settimeout(30.0)
-            hello = recv_msg(sock, decoder)
+            loop.run_until_complete(self._main())
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                loop.close()
+                self._stopped.set()
+
+    def _request_shutdown(self) -> None:
+        if self._shutdown_evt is not None:
+            self._shutdown_evt.set()
+
+    async def _main(self) -> None:
+        self._shutdown_evt = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle_conn, self.host, self.port,
+                backlog=_BACKLOG)
+        except OSError as exc:
+            self._start_error = ServiceError(
+                f"cannot bind {self.host}:{self.port}: {exc}")
+            self._ready.set()
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        self._log(f"coordinator listening on {self.address} "
+                  f"(single-threaded event loop)")
+        monitor = asyncio.create_task(self._monitor())
+        try:
+            await self._shutdown_evt.wait()
+        finally:
+            self._stopping = True
+            monitor.cancel()
+            server.close()
+            await server.wait_closed()
+            for w in list(self._workers.values()):
+                try:
+                    w.conn.send({"type": "shutdown"})
+                except ServiceError:
+                    pass
+            for conn in list(self._conns):
+                conn.close()
+            handlers = [t for t in self._conn_tasks if not t.done()]
+            if handlers:
+                await asyncio.wait(handlers, timeout=3.0)
+            for t in handlers:
+                if not t.done():
+                    t.cancel()
+            if handlers:
+                await asyncio.wait(handlers, timeout=1.0)
+            for conn in list(self._conns):
+                conn.abort()
+
+    # ------------------------------------------------------------------
+    # per-connection handling
+    # ------------------------------------------------------------------
+    async def _read(self, conn: _Conn,
+                    timeout: Optional[float] = None) -> Dict[str, Any]:
+        coro = read_msg_async(conn.reader, conn.decoder)
+        if timeout is None:
+            return await coro
+        return await asyncio.wait_for(coro, timeout)
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = _Conn(reader, writer, self.send_timeout)
+        self._conns.add(conn)
+        try:
+            hello = await self._read(conn, timeout=30.0)
             if hello.get("type") != "hello":
-                raise FrameError(f"expected hello, got {hello.get('type')!r}")
-            if hello.get("protocol", PROTOCOL_VERSION) != PROTOCOL_VERSION:
-                raise FrameError(
-                    f"protocol version {hello.get('protocol')!r} != "
-                    f"{PROTOCOL_VERSION}")
+                raise FrameError(f"expected hello, got "
+                                 f"{hello.get('type')!r}")
+            check_protocol(hello, peer="peer")
             role = hello.get("role")
-            sock.settimeout(None)
             if role == "worker":
-                self._serve_worker(conn, decoder, hello)
+                await self._serve_worker(conn, hello)
             elif role == "client":
-                self._serve_client(conn, decoder)
+                await self._serve_client(conn)
             else:
                 raise FrameError(f"unknown role {role!r}")
-        except (ServiceError, OSError) as exc:
-            if not self._stopped.is_set():
+        except asyncio.TimeoutError:
+            pass  # never said hello — drop silently
+        except (ServiceError, OSError, ConnectionError) as exc:
+            if not self._stopping:
                 self._log(f"connection dropped: {exc}")
+            error = {"type": "error", "error": str(exc)}
+            if isinstance(exc, ProtocolMismatch):
+                error["code"] = "protocol-mismatch"
+                error["expected"] = PROTOCOL_VERSION
             try:
-                conn.send({"type": "error", "error": str(exc)})
-            except (OSError, ServiceError):
+                conn.send(error)
+            except ServiceError:
                 pass
         finally:
             conn.close()
+            try:
+                await asyncio.wait_for(conn.wait_closed(), 2.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                conn.abort()
+            self._conns.discard(conn)
 
     # ------------------------------------------------------------------
     # worker side
     # ------------------------------------------------------------------
-    def _serve_worker(self, conn: _Conn, decoder: FrameDecoder,
-                      hello: Dict[str, Any]) -> None:
-        with self._lock:
-            self._worker_seq += 1
-            name = hello.get("name") or f"worker-{self._worker_seq}"
-            if name in self._workers:  # names must be unique
-                name = f"{name}.{self._worker_seq}"
-            worker = _WorkerConn(name, conn, pid=hello.get("pid"))
-            self._workers[name] = worker
-            self._sched.add_worker(name)
+    async def _serve_worker(self, conn: _Conn,
+                            hello: Dict[str, Any]) -> None:
+        assert self._loop is not None
+        self._worker_seq += 1
+        name = hello.get("name") or f"worker-{self._worker_seq}"
+        if name in self._workers:  # names must be unique
+            name = f"{name}.{self._worker_seq}"
+        worker = _WorkerConn(name, conn, pid=hello.get("pid"),
+                             last_seen=self._loop.time())
+        self._workers[name] = worker
+        self._sched.add_worker(name)
         conn.send({"type": "welcome", "name": name,
                    "protocol": PROTOCOL_VERSION})
         self._log(f"worker {name} (pid {worker.pid}) joined")
         self._dispatch()
         try:
-            while not self._stopped.is_set():
-                msg = recv_msg(conn.sock, decoder)
+            while not self._stopping:
+                msg = await self._read(conn)
+                worker.last_seen = self._loop.time()
                 kind = msg["type"]
-                with self._lock:
-                    worker.last_seen = time.monotonic()
                 if kind == "heartbeat":
+                    self.heartbeats_seen += 1
                     continue
                 if kind == "result":
                     self._on_result(name, msg)
@@ -258,84 +388,80 @@ class Coordinator:
             self._drop_worker(name, "connection closed")
 
     def _drop_worker(self, name: str, reason: str) -> None:
-        with self._lock:
-            worker = self._workers.pop(name, None)
-            if worker is None:
-                return
-            requeued = self._reap_worker_locked(name, reason)
+        worker = self._workers.pop(name, None)
+        if worker is None:
+            return
+        requeued = self._reap_worker(name, reason)
         worker.conn.close()
-        if requeued and not self._stopped.is_set():
+        if requeued and not self._stopping:
             self._log(f"worker {name} lost ({reason}); requeued "
                       f"{[f'{j}#{i}' for j, i in requeued]}")
-        elif not self._stopped.is_set():
+        elif not self._stopping:
             self._log(f"worker {name} left ({reason})")
         self._dispatch()
 
-    def _reap_worker_locked(self, name: str, reason: str):
+    def _reap_worker(self, name: str, reason: str):
         """Remove ``name`` from the scheduler; units whose attempts a
         repeated worker-killer already exhausted fail their jobs
         instead of circling through yet another worker."""
         requeued, fatal = self._sched.remove_worker(name)
         for job_id, idx in fatal:
-            self._fail_job_locked(
+            self._fail_job(
                 job_id, idx,
                 f"unit killed its worker {self._sched.max_attempts} "
                 f"times (last: {name}, {reason})")
         return requeued
 
-    def _fail_job_locked(self, job_id: str, idx: int,
-                         error: str) -> None:
+    def _fail_job(self, job_id: str, idx: int, error: str) -> None:
         job = self._jobs.pop(job_id, None)
         self._sched.fail_job(job_id)
         if job is not None:
             try:
                 job.client.send({"type": "job_failed", "job": job_id,
                                  "idx": idx, "error": error})
-            except (OSError, ServiceError):
+            except ServiceError:
                 pass
 
     def _on_result(self, name: str, msg: Dict[str, Any]) -> None:
         job_id, idx = msg["job"], msg["idx"]
-        with self._lock:
-            verdict = self._sched.complete(name, job_id, idx)
-            if verdict != "fresh":
-                self._log(f"dropped {verdict} result {job_id}#{idx} "
-                          f"from {name}")
-                self._dispatch_locked()
-                return
-            job = self._jobs[job_id]
-            value = msg["value"]
-            job.values[idx] = value
-            job.remaining -= 1
-            job.warm_builds += msg.get("warm_builds", 0)
-            job.warm_hits += msg.get("warm_hits", 0)
-            self.units_completed += 1
-            self._store_result(job.units[idx], value)
-            self._send_row(job, idx, value)
-            if job.remaining == 0:
-                self._finish_job(job)
-            self._dispatch_locked()
+        verdict = self._sched.complete(name, job_id, idx)
+        if verdict != "fresh":
+            self._log(f"dropped {verdict} result {job_id}#{idx} "
+                      f"from {name}")
+            self._dispatch()
+            return
+        job = self._jobs[job_id]
+        value = msg["value"]
+        job.values[idx] = value
+        job.remaining -= 1
+        job.warm_builds += msg.get("warm_builds", 0)
+        job.warm_hits += msg.get("warm_hits", 0)
+        self.units_completed += 1
+        self._store_result(job.units[idx], value)
+        self._send_row(job, idx, value)
+        if job.remaining == 0:
+            self._finish_job(job)
+        self._dispatch()
 
     def _on_unit_error(self, name: str, msg: Dict[str, Any]) -> None:
         job_id, idx = msg["job"], msg["idx"]
         error = msg.get("error", "unknown unit error")
-        with self._lock:
-            verdict = self._sched.fail(name, job_id, idx)
-            self._log(f"unit {job_id}#{idx} failed on {name} "
-                      f"({verdict}): {error}")
-            if verdict == "fatal":
-                self._fail_job_locked(job_id, idx, error)
-            self._dispatch_locked()
+        verdict = self._sched.fail(name, job_id, idx)
+        self._log(f"unit {job_id}#{idx} failed on {name} "
+                  f"({verdict}): {error}")
+        if verdict == "fatal":
+            self._fail_job(job_id, idx, error)
+        self._dispatch()
 
     # ------------------------------------------------------------------
     # client side
     # ------------------------------------------------------------------
-    def _serve_client(self, conn: _Conn, decoder: FrameDecoder) -> None:
+    async def _serve_client(self, conn: _Conn) -> None:
         conn.send({"type": "welcome", "protocol": PROTOCOL_VERSION})
         submitted: List[str] = []
         try:
-            while not self._stopped.is_set():
-                msg = recv_msg(conn.sock, decoder)
+            while not self._stopping:
+                msg = await self._read(conn)
                 kind = msg["type"]
                 if kind == "ping":
                     conn.send({"type": "pong"})
@@ -345,7 +471,7 @@ class Coordinator:
                     submitted.append(self._on_submit(conn, msg))
                 elif kind == "shutdown":
                     conn.send({"type": "bye"})
-                    threading.Thread(target=self.stop, daemon=True).start()
+                    self._request_shutdown()
                     return
                 elif kind == "bye":
                     return
@@ -353,64 +479,52 @@ class Coordinator:
                     raise FrameError(f"unexpected {kind!r} from client")
         finally:
             # a client that vanishes abandons its unfinished jobs
-            with self._lock:
-                for job_id in submitted:
-                    if job_id in self._jobs:
-                        del self._jobs[job_id]
-                        self._sched.cancel_job(job_id)
+            for job_id in submitted:
+                if job_id in self._jobs:
+                    del self._jobs[job_id]
+                    self._sched.cancel_job(job_id)
 
     def _on_submit(self, conn: _Conn, msg: Dict[str, Any]) -> str:
         try:
-            units = [SweepUnit.from_wire(w) for w in msg["units"]]
+            units = [unit_from_wire(w) for w in msg["units"]]
         except (ConfigError, KeyError, TypeError) as exc:
             # malformed submits get the typed error reply the protocol
             # promises, not a bare connection drop (ConfigError is a
-            # ReproError, which _serve_conn would not catch)
+            # ReproError, which _handle_conn would not catch)
             raise FrameError(f"malformed submit: {exc}") from exc
-        for u in units:
-            if u.metric is None:
-                raise FrameError("service jobs need a scalar or named-"
-                                 "metric reduction (metric=None only "
-                                 "exists in-process)")
-        with self._lock:
-            self._job_seq += 1
-            job_id = f"job-{self._job_seq}"
-            job = _Job(job_id=job_id, client=conn, units=units,
-                       values=[None] * len(units), remaining=len(units),
-                       warmup_snapshots=bool(msg.get("warmup_snapshots")),
-                       warmup_dir=msg.get("warmup_dir"))
-            cached: List[List[Any]] = []
-            skip: Set[int] = set()
-            for idx, unit in enumerate(units):
-                value = self._load_result(unit)
-                if value is not None:
-                    job.values[idx] = value[0]
-                    job.remaining -= 1
-                    skip.add(idx)
-                    cached.append([idx, value[0]])
-                    self.served_from_cache += 1
-            job.from_cache = len(skip)
-            self._jobs[job_id] = job
-            conn.send({"type": "accepted", "job": job_id,
-                       "total": len(units), "cached": cached})
-            self._log(f"{job_id}: {len(units)} units "
-                      f"({len(skip)} from cache)")
-            if job.remaining == 0:
-                self._finish_job(job)
-            else:
-                self._sched.add_job(job_id, units, skip=skip)
-                self._dispatch_locked()
+        self._job_seq += 1
+        job_id = f"job-{self._job_seq}"
+        job = _Job(job_id=job_id, client=conn, units=units,
+                   values=[None] * len(units), remaining=len(units),
+                   warmup_snapshots=bool(msg.get("warmup_snapshots")),
+                   warmup_dir=msg.get("warmup_dir"))
+        cached: List[List[Any]] = []
+        skip: Set[int] = set()
+        for idx, unit in enumerate(units):
+            value = self._load_result(unit)
+            if value is not None:
+                job.values[idx] = value[0]
+                job.remaining -= 1
+                skip.add(idx)
+                cached.append([idx, value[0]])
+                self.served_from_cache += 1
+        job.from_cache = len(skip)
+        self._jobs[job_id] = job
+        conn.send({"type": "accepted", "job": job_id,
+                   "total": len(units), "cached": cached})
+        self._log(f"{job_id}: {len(units)} units "
+                  f"({len(skip)} from cache)")
+        if job.remaining == 0:
+            self._finish_job(job)
+        else:
+            self._sched.add_job(job_id, units, skip=skip)
+            self._dispatch()
         return job_id
 
     def _send_row(self, job: _Job, idx: int, value: Any) -> None:
-        try:
-            job.client.send({"type": "row", "job": job.job_id,
-                             "idx": idx, "value": value})
-            self.rows_streamed += 1
-        except (OSError, ServiceError):
-            self._log(f"{job.job_id}: client gone, abandoning job")
-            self._jobs.pop(job.job_id, None)
-            self._sched.cancel_job(job.job_id)
+        job.client.send({"type": "row", "job": job.job_id,
+                         "idx": idx, "value": value})
+        self.rows_streamed += 1
 
     def _finish_job(self, job: _Job) -> None:
         self._jobs.pop(job.job_id, None)
@@ -423,38 +537,34 @@ class Coordinator:
                              "warm_builds": job.warm_builds,
                              "warm_hits": job.warm_hits,
                              "from_cache": job.from_cache})
-        except (OSError, ServiceError):
+        except ServiceError:
             pass
         self._log(f"{job.job_id}: done (builds={job.warm_builds} "
                   f"hits={job.warm_hits} cached={job.from_cache})")
 
     def _status_reply(self) -> Dict[str, Any]:
-        with self._lock:
-            workers = []
-            for name, w in self._workers.items():
-                view = self._sched.worker_view(name)
-                workers.append({
-                    "name": name, "pid": w.pid,
-                    "busy": list(view.busy) if view.busy else None,
-                    "completed": view.completed,
-                    "prefixes": len(view.prefixes),
-                })
-            stats = self._sched.stats()
-            stats.update(served_from_cache=self.served_from_cache,
-                         rows_streamed=self.rows_streamed,
-                         units_completed=self.units_completed,
-                         results_cached=len(self._results))
-            return {"type": "status_reply", "workers": workers,
-                    "stats": stats}
+        workers = []
+        for name, w in self._workers.items():
+            view = self._sched.worker_view(name)
+            workers.append({
+                "name": name, "pid": w.pid,
+                "busy": list(view.busy) if view.busy else None,
+                "completed": view.completed,
+                "prefixes": len(view.prefixes),
+            })
+        stats = self._sched.stats()
+        stats.update(served_from_cache=self.served_from_cache,
+                     rows_streamed=self.rows_streamed,
+                     units_completed=self.units_completed,
+                     heartbeats_seen=self.heartbeats_seen,
+                     results_cached=len(self._results))
+        return {"type": "status_reply", "workers": workers,
+                "stats": stats}
 
     # ------------------------------------------------------------------
     # dispatch + liveness
     # ------------------------------------------------------------------
     def _dispatch(self) -> None:
-        with self._lock:
-            self._dispatch_locked()
-
-    def _dispatch_locked(self) -> None:
         while True:
             assigned = False
             for name in self._sched.idle_workers():
@@ -465,29 +575,23 @@ class Coordinator:
                 worker = self._workers.get(name)
                 if job is None or worker is None:
                     continue
-                try:
-                    worker.conn.send({
-                        "type": "assign", "job": a.job_id, "idx": a.idx,
-                        "unit": a.unit.to_wire(),
-                        "warmup_snapshots": job.warmup_snapshots,
-                        "warmup_dir": job.warmup_dir,
-                    })
-                    assigned = True
-                except (OSError, ServiceError):
-                    # send failed: treat as death; requeue + retry loop
-                    worker.conn.close()
-                    self._workers.pop(name, None)
-                    self._reap_worker_locked(name, "assign send failed")
-                    assigned = True
+                worker.conn.send({
+                    "type": "assign", "job": a.job_id, "idx": a.idx,
+                    "unit": a.unit.to_wire(),
+                    "warmup_snapshots": job.warmup_snapshots,
+                    "warmup_dir": job.warmup_dir,
+                })
+                assigned = True
             if not assigned:
                 return
 
-    def _monitor_loop(self) -> None:
-        while not self._stopped.wait(self.monitor_interval):
-            now = time.monotonic()
-            with self._lock:
-                stale = [name for name, w in self._workers.items()
-                         if now - w.last_seen > self.heartbeat_timeout]
+    async def _monitor(self) -> None:
+        assert self._loop is not None
+        while True:
+            await asyncio.sleep(self.monitor_interval)
+            now = self._loop.time()
+            stale = [name for name, w in self._workers.items()
+                     if now - w.last_seen > self.heartbeat_timeout]
             for name in stale:
                 self._drop_worker(name, "heartbeat timeout")
 
@@ -498,7 +602,7 @@ class Coordinator:
         assert self.cache_dir is not None
         return os.path.join(self.cache_dir, f"{key}.result.json")
 
-    def _load_result(self, unit: SweepUnit):
+    def _load_result(self, unit):
         """Returns a 1-tuple holding the memoized value, or None."""
         key = unit.key()
         if key in self._results:
@@ -513,7 +617,7 @@ class Coordinator:
             return (value,)
         return None
 
-    def _store_result(self, unit: SweepUnit, value: Any) -> None:
+    def _store_result(self, unit, value: Any) -> None:
         key = unit.key()
         self._results[key] = value
         if self.cache_dir is not None and isinstance(

@@ -23,6 +23,14 @@ class FrameError(ServiceError):
     dropped (a corrupt stream cannot be resynchronized)."""
 
 
+class ProtocolMismatch(ServiceError):
+    """The two ends of a connection speak different protocol versions
+    (or one end predates the mandatory version field). Raised instead
+    of silently interoperating across drifted builds — a coordinator
+    replies with a typed ``error`` frame carrying
+    ``code="protocol-mismatch"`` and then drops the connection."""
+
+
 class ConnectionClosed(ServiceError):
     """The peer closed the connection at a frame boundary (clean EOF).
 

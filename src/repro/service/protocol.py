@@ -22,13 +22,19 @@ import struct
 import threading
 from typing import Any, Dict, Iterator, Optional
 
-from repro.service.errors import ConnectionClosed, FrameError
+from repro.service.errors import (ConnectionClosed, FrameError,
+                                  ProtocolMismatch)
 
 __all__ = ["PROTOCOL_VERSION", "MAX_FRAME", "MESSAGE_TYPES",
            "encode_frame", "FrameDecoder", "send_msg", "recv_msg",
-           "set_send_timeout"]
+           "read_msg_async", "check_protocol", "set_send_timeout"]
 
-PROTOCOL_VERSION = 1
+#: Version 2: the ``protocol`` field in ``hello``/``welcome`` became
+#: mandatory, and unit/value payloads grew a ``kind`` discriminator
+#: plus full-``RunResult`` encodings (``__run_result__`` objects) —
+#: see :mod:`repro.harness.units`. A v1 peer would silently drop both,
+#: which is exactly the drift the mandatory field now catches.
+PROTOCOL_VERSION = 2
 
 #: hard payload ceiling — a submit of ~100k units is a few MB; anything
 #: past this is a corrupt or hostile length prefix, not a real message.
@@ -68,11 +74,15 @@ class FrameDecoder:
 
     ``feed(data)`` appends received bytes; iterate (or call
     :meth:`next_message`) to drain complete messages. The decoder keeps
-    at most one frame of lookahead buffered.
+    at most one frame of lookahead buffered. ``max_frame`` bounds the
+    accepted payload length (default :data:`MAX_FRAME`); a length
+    prefix past the bound raises :class:`FrameError` the moment the
+    prefix is readable — allocation for it never happens.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_frame: int = MAX_FRAME) -> None:
         self._buf = bytearray()
+        self.max_frame = max_frame
 
     @property
     def at_boundary(self) -> bool:
@@ -82,21 +92,21 @@ class FrameDecoder:
     def feed(self, data: bytes) -> None:
         self._buf.extend(data)
         # Reject a poisoned length prefix as soon as it is readable:
-        # waiting for MAX_FRAME bytes that will never come is the hang
+        # waiting for max_frame bytes that will never come is the hang
         # the typed error exists to prevent.
         if len(self._buf) >= _LEN.size:
             (length,) = _LEN.unpack_from(self._buf, 0)
-            if length > MAX_FRAME:
+            if length > self.max_frame:
                 raise FrameError(f"frame length {length} exceeds "
-                                 f"MAX_FRAME {MAX_FRAME}")
+                                 f"max frame {self.max_frame}")
 
     def next_message(self) -> Optional[Dict[str, Any]]:
         if len(self._buf) < _LEN.size:
             return None
         (length,) = _LEN.unpack_from(self._buf, 0)
-        if length > MAX_FRAME:
+        if length > self.max_frame:
             raise FrameError(f"frame length {length} exceeds "
-                             f"MAX_FRAME {MAX_FRAME}")
+                             f"max frame {self.max_frame}")
         end = _LEN.size + length
         if len(self._buf) < end:
             return None
@@ -124,14 +134,18 @@ class FrameDecoder:
 def set_send_timeout(sock: socket.socket, seconds: float) -> None:
     """Bound *sends* without touching receives (``SO_SNDTIMEO``).
 
-    The coordinator holds its global lock across sendall calls (frames
-    are tiny), which is fine until a peer stops draining its receive
-    buffer — a SIGSTOPped client would then block one reader thread in
-    sendall forever and wedge the whole fleet behind the lock. A
-    kernel-level send timeout turns that into a bounded stall and an
-    ``OSError`` the caller already treats as peer death. A Python-level
+    For blocking-socket peers of the service (tests, the bench
+    connection storm, third-party tooling speaking the protocol with
+    ``send_msg``/``recv_msg``): a peer that stops draining its receive
+    buffer would otherwise block ``sendall`` forever. A kernel-level
+    send timeout turns that into a bounded stall and an ``OSError``
+    the caller already treats as peer death. A Python-level
     ``settimeout`` cannot do this: it would also time out the blocking
-    ``recv`` that idle clients and quiet workers legitimately sit in.
+    ``recv`` that idle peers legitimately sit in. (The event-loop
+    coordinator and worker bound their sends differently — a
+    ``wait_for`` around ``drain()``; the client's
+    :class:`~repro.service.transport.SyncTransport` uses monotonic
+    deadlines per call.)
     """
     usec = int(seconds * 1_000_000)
     sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDTIMEO,
@@ -173,3 +187,40 @@ def recv_msg(sock: socket.socket, decoder: FrameDecoder) -> Dict[str, Any]:
                 raise ConnectionClosed("peer closed the connection")
             raise FrameError("stream truncated mid-frame")
         decoder.feed(chunk)
+
+
+async def read_msg_async(reader, decoder: FrameDecoder) -> Dict[str, Any]:
+    """Await one complete message from an :class:`asyncio.StreamReader`.
+
+    The event-loop twin of :func:`recv_msg`, with identical EOF
+    semantics: :class:`ConnectionClosed` on a clean EOF between frames,
+    :class:`FrameError` on truncation mid-frame or malformed framing.
+    """
+    while True:
+        msg = decoder.next_message()
+        if msg is not None:
+            return msg
+        try:
+            chunk = await reader.read(_RECV_CHUNK)
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise ConnectionClosed(f"connection lost: {exc}") from exc
+        if not chunk:
+            if decoder.at_boundary:
+                raise ConnectionClosed("peer closed the connection")
+            raise FrameError("stream truncated mid-frame")
+        decoder.feed(chunk)
+
+
+def check_protocol(msg: Dict[str, Any], *, peer: str) -> None:
+    """Validate the mandatory ``protocol`` field of a handshake frame.
+
+    Both absence and a wrong value raise :class:`ProtocolMismatch` —
+    a peer that omits the field predates it, which is the same drift
+    the field exists to catch.
+    """
+    got = msg.get("protocol")
+    if got != PROTOCOL_VERSION:
+        raise ProtocolMismatch(
+            f"{peer} speaks protocol {got!r}, this end speaks "
+            f"{PROTOCOL_VERSION}; refusing to interoperate across "
+            f"drifted builds")

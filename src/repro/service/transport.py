@@ -1,0 +1,114 @@
+"""Non-blocking framed transport for synchronous service peers.
+
+:class:`SyncTransport` is the client-side twin of the coordinator's
+event loop: one non-blocking socket driven by a ``selectors`` poll,
+an incremental :class:`~repro.service.protocol.FrameDecoder`, and
+monotonic deadlines. The public calls still *block* (a sweep client
+is a batch consumer; blocking on the row stream is the progress
+loop), but no call ever parks in a kernel ``recv``/``send`` it cannot
+bound: timeouts are enforced at the poll, so a dead or stalled
+coordinator becomes a typed error at the deadline instead of a hang.
+
+EOF semantics match :func:`~repro.service.protocol.recv_msg` exactly
+(they are pinned by the protocol property suite): a clean EOF between
+frames raises :class:`ConnectionClosed`, an EOF mid-frame raises
+:class:`FrameError`, and a deadline raises ``socket.timeout`` for the
+caller to translate.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from repro.service.errors import ConnectionClosed, FrameError
+from repro.service.protocol import FrameDecoder, encode_frame
+
+__all__ = ["SyncTransport"]
+
+_RECV_CHUNK = 1 << 16
+
+
+class SyncTransport:
+    """Blocking-API framed messaging over a non-blocking socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.setblocking(False)
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        self._sel = selectors.DefaultSelector()
+        self._sel.register(sock, selectors.EVENT_READ)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _wait(self, events: int, deadline: Optional[float]) -> None:
+        """Poll until the socket is ready for ``events``; raise
+        ``socket.timeout`` at the monotonic ``deadline``."""
+        self._sel.modify(self._sock, events)
+        while True:
+            if deadline is None:
+                budget = None
+            else:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    raise socket.timeout("transport deadline exceeded")
+            if self._sel.select(budget):
+                return
+
+    # ------------------------------------------------------------------
+    def send(self, msg: Dict[str, Any],
+             timeout: Optional[float] = 30.0) -> None:
+        """Write one frame completely (bounded by ``timeout``)."""
+        view = memoryview(encode_frame(msg))
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while view:
+            try:
+                sent = self._sock.send(view)
+                view = view[sent:]
+            except (BlockingIOError, InterruptedError):
+                self._wait(selectors.EVENT_WRITE, deadline)
+            except OSError as exc:
+                raise ConnectionClosed(f"connection lost: {exc}") from exc
+
+    def recv(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until one complete message is available.
+
+        Raises :class:`ConnectionClosed` on clean EOF between frames,
+        :class:`FrameError` on mid-frame truncation or malformed
+        framing, and ``socket.timeout`` at the deadline.
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            msg = self._decoder.next_message()
+            if msg is not None:
+                return msg
+            self._wait(selectors.EVENT_READ, deadline)
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except (BlockingIOError, InterruptedError):
+                continue  # spurious readiness
+            except OSError as exc:
+                raise ConnectionClosed(f"connection lost: {exc}") from exc
+            if not chunk:
+                if self._decoder.at_boundary:
+                    raise ConnectionClosed("peer closed the connection")
+                raise FrameError("stream truncated mid-frame")
+            self._decoder.feed(chunk)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sel.unregister(self._sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        self._sel.close()
+        try:
+            self._sock.close()
+        except OSError:
+            pass

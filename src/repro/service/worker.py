@@ -2,10 +2,12 @@
 
 A worker connects to the coordinator, names itself, and loops: receive
 an ``assign``, simulate the unit, send the ``result`` (or a
-``unit_error``). A daemon heartbeat thread keeps the connection warm so
-the coordinator's liveness monitor can tell "slow simulation" from
-"dead process" — the GIL switches threads every few milliseconds, so
-heartbeats flow even while a simulation is compute-bound.
+``unit_error``). The socket side is a small asyncio event loop (the
+same non-blocking transport discipline as the coordinator); the
+simulation itself runs in an executor thread, so heartbeats keep
+flowing while a unit is compute-bound — the GIL switches threads every
+few milliseconds, which is what lets the coordinator's liveness
+monitor tell "slow simulation" from "dead process".
 
 Warmup affinity is realized *here*: the worker keeps one
 :class:`~repro.harness.experiment.WarmupImageCache` per warmup
@@ -27,6 +29,7 @@ SIGKILL these processes) launch.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import os
 import socket
 import threading
@@ -34,11 +37,11 @@ import traceback
 from typing import Any, Dict, Optional, Tuple
 
 from repro.harness.experiment import WarmupImageCache
-from repro.harness.units import SweepUnit
+from repro.harness.units import unit_from_wire
 from repro.service.errors import (ConnectionClosed, FrameError,
-                                  ServiceError)
+                                  ProtocolMismatch, ServiceError)
 from repro.service.protocol import (PROTOCOL_VERSION, FrameDecoder,
-                                    recv_msg, send_msg)
+                                    encode_frame, read_msg_async)
 
 __all__ = ["Worker", "parse_address"]
 
@@ -127,9 +130,10 @@ class Worker:
         self.max_memory_images = max_memory_images
         self.verbose = verbose
         self.units_run = 0
-        self._sock: Optional[socket.socket] = None
-        self._wlock = threading.Lock()
         self._stopping = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_evt: Optional[asyncio.Event] = None
+        self._sendq: Optional[asyncio.Queue] = None
         # one image cache per warmup directory, living across
         # assignments — the affinity payoff. None key = memory-only.
         self._images: Dict[Optional[str], WarmupImageCache] = {}
@@ -141,77 +145,138 @@ class Worker:
     # ------------------------------------------------------------------
     def run(self) -> None:
         """Connect and serve assignments until the coordinator says
-        ``shutdown`` or goes away. Blocks."""
-        host, port = parse_address(self.address)
-        sock = socket.create_connection((host, port), timeout=30.0)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._sock = sock
-        decoder = FrameDecoder()
+        ``shutdown`` or goes away. Blocks (drives a private event
+        loop; safe to call from a non-main thread)."""
         try:
-            send_msg(sock, {"type": "hello", "role": "worker",
-                            "protocol": PROTOCOL_VERSION,
-                            "name": self.name, "pid": os.getpid()},
-                     lock=self._wlock)
-            welcome = recv_msg(sock, decoder)
+            asyncio.run(self._main())
+        finally:
+            self._stopping.set()
+            self._loop = None
+
+    def stop(self) -> None:
+        """Ask a (possibly threaded) worker to exit after its current
+        unit. Thread-safe."""
+        self._stopping.set()
+        loop = self._loop
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(self._request_stop)
+            except RuntimeError:
+                pass  # loop already gone
+
+    def _request_stop(self) -> None:
+        if self._stop_evt is not None:
+            self._stop_evt.set()
+
+    # ------------------------------------------------------------------
+    def _send(self, msg: Dict[str, Any]) -> None:
+        """Queue one frame for the send pump (encode errors surface
+        here, at the caller)."""
+        assert self._sendq is not None
+        self._sendq.put_nowait(encode_frame(msg))
+
+    async def _send_pump(self, writer: asyncio.StreamWriter) -> None:
+        assert self._sendq is not None
+        while True:
+            frame = await self._sendq.get()
+            writer.write(frame)
+            await writer.drain()
+
+    async def _heartbeat(self) -> None:
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            self._send({"type": "heartbeat"})
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_evt = asyncio.Event()
+        self._sendq = asyncio.Queue()
+        if self._stopping.is_set():  # stop() raced run()
+            return
+        host, port = parse_address(self.address)
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), 30.0)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        decoder = FrameDecoder()
+        tasks: set = set()
+        pump = asyncio.create_task(self._send_pump(writer))
+        try:
+            self._send({"type": "hello", "role": "worker",
+                        "protocol": PROTOCOL_VERSION,
+                        "name": self.name, "pid": os.getpid()})
+            welcome = await asyncio.wait_for(
+                read_msg_async(reader, decoder), 30.0)
             if welcome.get("type") == "error":
+                if welcome.get("code") == "protocol-mismatch":
+                    raise ProtocolMismatch(
+                        f"coordinator rejected worker: "
+                        f"{welcome.get('error')}")
                 raise ServiceError(f"coordinator rejected worker: "
                                    f"{welcome.get('error')}")
             if welcome.get("type") != "welcome":
                 raise ServiceError(f"expected welcome, got "
                                    f"{welcome.get('type')!r}")
+            if welcome.get("protocol") != PROTOCOL_VERSION:
+                raise ProtocolMismatch(
+                    f"coordinator speaks protocol "
+                    f"{welcome.get('protocol')!r}, this worker speaks "
+                    f"{PROTOCOL_VERSION}")
             self.name = welcome.get("name", self.name)
-            sock.settimeout(None)
             self._log(f"registered with {self.address}")
-            hb = threading.Thread(target=self._heartbeat_loop,
-                                  daemon=True, name="worker-heartbeat")
-            hb.start()
-            try:
-                while not self._stopping.is_set():
-                    msg = recv_msg(sock, decoder)
-                    kind = msg.get("type")
-                    if kind == "assign":
-                        self._handle_assign(msg)
-                    elif kind == "shutdown":
-                        self._log("shutdown requested")
-                        return
-                    elif kind == "error":
-                        raise ServiceError(f"coordinator error: "
-                                           f"{msg.get('error')}")
-                    else:
-                        raise ServiceError(f"unexpected {kind!r} from "
-                                           f"coordinator")
-            except (ConnectionClosed, FrameError, OSError) as exc:
-                # transport-level loss (incl. a close racing a frame
-                # mid-flight at shutdown) ends this worker quietly —
-                # the coordinator requeues anything it owed; only
-                # protocol-level complaints above stay loud
-                self._log(f"coordinator went away ({exc})")
-                return
+            heartbeat = asyncio.create_task(self._heartbeat())
+            read_loop = asyncio.create_task(
+                self._read_loop(reader, decoder, tasks))
+            stop_wait = asyncio.create_task(self._stop_evt.wait())
+            tasks.update({heartbeat, read_loop, stop_wait})
+            done, _pending = await asyncio.wait(
+                {read_loop, stop_wait, pump},
+                return_when=asyncio.FIRST_COMPLETED)
+            if read_loop in done:
+                read_loop.result()  # surface protocol-level errors
+        except (ConnectionClosed, FrameError, OSError,
+                asyncio.TimeoutError) as exc:
+            # transport-level loss (incl. a close racing a frame
+            # mid-flight at shutdown) ends this worker quietly — the
+            # coordinator requeues anything it owed; only protocol-
+            # level complaints above stay loud
+            self._log(f"coordinator went away ({exc})")
         finally:
             self._stopping.set()
+            for t in list(tasks) + [pump]:
+                t.cancel()
             try:
-                sock.close()
-            except OSError:
+                await asyncio.gather(*tasks, pump,
+                                     return_exceptions=True)
+            except asyncio.CancelledError:
+                pass
+            try:
+                writer.close()
+                await asyncio.wait_for(writer.wait_closed(), 2.0)
+            except (OSError, ConnectionError, asyncio.TimeoutError):
                 pass
 
-    def stop(self) -> None:
-        """Ask a threaded worker to exit after its current unit."""
-        self._stopping.set()
-        if self._sock is not None:
-            try:
-                self._sock.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
+    async def _read_loop(self, reader: asyncio.StreamReader,
+                         decoder: FrameDecoder, tasks: set) -> None:
+        while True:
+            msg = await read_msg_async(reader, decoder)
+            kind = msg.get("type")
+            if kind == "assign":
+                task = asyncio.create_task(self._run_assign(msg))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            elif kind == "shutdown":
+                self._log("shutdown requested")
+                return
+            elif kind == "error":
+                raise ServiceError(f"coordinator error: "
+                                   f"{msg.get('error')}")
+            else:
+                raise ServiceError(f"unexpected {kind!r} from "
+                                   f"coordinator")
 
     # ------------------------------------------------------------------
-    def _heartbeat_loop(self) -> None:
-        while not self._stopping.wait(self.heartbeat_interval):
-            try:
-                send_msg(self._sock, {"type": "heartbeat"},
-                         lock=self._wlock)
-            except (OSError, ServiceError):
-                return
-
     def _images_for(self, warmup_dir: Optional[str]) -> WarmupImageCache:
         cache = self._images.get(warmup_dir)
         if cache is None:
@@ -222,16 +287,29 @@ class Worker:
             self._images[warmup_dir] = cache
         return cache
 
-    def _handle_assign(self, msg: Dict[str, Any]) -> None:
+    async def _run_assign(self, msg: Dict[str, Any]) -> None:
+        """Simulate one assignment off-loop (executor thread) and send
+        the reply. The loop — and the heartbeat — stay live
+        throughout."""
+        loop = asyncio.get_running_loop()
+        reply = await loop.run_in_executor(None, self._execute, msg)
+        try:
+            self._send(reply)
+        except ServiceError:
+            pass  # connection already torn down
+
+    def _execute(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        """The compute path (runs in an executor thread): decode the
+        unit, simulate, reduce, wire-encode the value."""
         job_id, idx = msg["job"], msg["idx"]
         try:
-            unit = SweepUnit.from_wire(msg["unit"])
+            unit = unit_from_wire(msg["unit"])
             images: Optional[WarmupImageCache] = None
             if msg.get("warmup_snapshots"):
                 images = self._images_for(msg.get("warmup_dir"))
             builds0 = images.misses if images is not None else 0
             hits0 = images.hits if images is not None else 0
-            value = unit.run(warmup_images=images)
+            value = unit.encode_value(unit.run(warmup_images=images))
             reply = {
                 "type": "result", "job": job_id, "idx": idx,
                 "value": value,
@@ -245,7 +323,7 @@ class Worker:
                       f"{traceback.format_exc()}")
             reply = {"type": "unit_error", "job": job_id, "idx": idx,
                      "error": f"{type(exc).__name__}: {exc}"}
-        send_msg(self._sock, reply, lock=self._wlock)
+        return reply
 
 
 def main(argv: Optional[list] = None) -> int:

@@ -20,11 +20,13 @@ import pytest
 
 from repro.harness.experiment import ExperimentConfig
 from repro.harness.sweep import sweep
-from repro.harness.units import SweepUnit, unit_key
+from repro.harness.units import SweepUnit, WorkloadUnit, unit_key
 from repro.params import Organization
-from repro.service import (Coordinator, JobFailed, ServiceClient,
-                           ServiceError, Worker)
-from repro.service.protocol import FrameDecoder, recv_msg, send_msg
+from repro.service import (ConnectionClosed, Coordinator, JobFailed,
+                           ProtocolMismatch, ServiceClient, ServiceError,
+                           Worker)
+from repro.service.protocol import (PROTOCOL_VERSION, FrameDecoder,
+                                    recv_msg, send_msg)
 from repro.service.worker import spawn_worker_process
 
 BENCH = "water_spatial"
@@ -134,6 +136,59 @@ class TestEquivalence:
                     p.kill()
 
 
+class TestWireCompleteness:
+    """The PR-6 guarantee: every unit the local backends accept rides
+    the fleet too — full ``RunResult`` cells and multi-program
+    workload units round-trip through workers bit-identically."""
+
+    def test_full_run_result_round_trips_through_fleet(self, fleet):
+        _coord, address = fleet(workers=2)
+        units = units_of(AXES, [None])  # metric=None -> full results
+        with ServiceClient(address) as client:
+            values = client.run_units(units)
+        local = [u.run() for u in units]
+        for got, want in zip(values, local):
+            assert type(got).__name__ == "RunResult"
+            # RunResult equality is identity-ish through Stats; compare
+            # the full serialized state plus the derived metrics the
+            # figures actually read.
+            assert got.to_dict() == want.to_dict()
+            for m in METRICS:
+                from repro.harness.units import metric_of
+                assert metric_of(got, m) == metric_of(want, m)
+
+    def test_full_result_rows_match_serial_sweep(self, fleet):
+        _coord, address = fleet(workers=2)
+        cold = sweep(BENCH, metric=None, **AXES)
+        svc = sweep(BENCH, metric=None, service=address, **AXES)
+        assert [r["result"].to_dict() for r in svc] == \
+               [r["result"].to_dict() for r in cold]
+
+    def test_workload_unit_round_trips_through_fleet(self, fleet):
+        _coord, address = fleet(workers=2)
+        units = [WorkloadUnit("W0", Organization.SHARED, scale=0.02,
+                              metric="runtime"),
+                 WorkloadUnit("W0", Organization.LOCO_CC_VMS_IVR,
+                              scale=0.02,
+                              metric=("runtime", "offchip_accesses"))]
+        with ServiceClient(address) as client:
+            values = client.run_units(units)
+        assert values == [u.run() for u in units]
+
+    def test_full_results_served_from_memo(self, fleet):
+        """Encoded RunResults persist in the coordinator memo like any
+        scalar: a resubmit decodes the cached wire dict."""
+        coord, address = fleet(workers=2)
+        units = units_of(AXES, [None])
+        with ServiceClient(address) as client:
+            first = client.run_units(units)
+            again = client.run_units(units)
+            assert client.last_job_stats["from_cache"] == len(units)
+        assert [r.to_dict() for r in again] == \
+               [r.to_dict() for r in first]
+        assert coord.served_from_cache == len(units)
+
+
 class TestWarmupAffinity:
     def test_each_prefix_builds_exactly_once(self, fleet):
         """2 prefixes x 3 metrics on 3 workers: affinity must route
@@ -216,15 +271,30 @@ class TestFailureModes:
             rows = client.run_units(units_of(AXES, ["runtime"]))
             assert len(rows) == 2
 
-    def test_metric_none_rejected_client_side(self, fleet):
-        _coord, address = fleet(workers=1)
-        unit = SweepUnit(ExperimentConfig(benchmark=BENCH,
-                                          organization=Organization.SHARED,
-                                          scale=0.04),
-                         1_000_000, None)
-        with ServiceClient(address) as client:
-            with pytest.raises(ServiceError):
-                client.run_units([unit])
+    def test_client_reconnect_after_coordinator_restart(self):
+        """`reconnect()` is the documented retry hook: a client that
+        outlives a coordinator restart re-handshakes on the same
+        address and the fleet serves it again."""
+        coord = Coordinator()
+        address = coord.start()
+        port = int(address.rsplit(":", 1)[1])
+        client = ServiceClient(address, row_timeout=5.0)
+        try:
+            assert client.ping()
+            coord.stop()
+            with pytest.raises((ServiceError, ConnectionClosed)):
+                client.status()
+            coord2 = Coordinator(port=port)
+            assert coord2.start() == address
+            try:
+                client.reconnect()
+                assert client.ping()
+                assert client.status()["stats"]["workers"] == 0
+            finally:
+                coord2.stop()
+        finally:
+            client.close()
+            coord.stop()
 
     def test_protocol_version_mismatch_rejected(self, fleet):
         _coord, address = fleet(workers=0)
@@ -235,7 +305,23 @@ class TestFailureModes:
                             "protocol": 999})
             reply = recv_msg(sock, FrameDecoder())
             assert reply["type"] == "error"
+            assert reply["code"] == "protocol-mismatch"
+            assert reply["expected"] == PROTOCOL_VERSION
             assert "protocol" in reply["error"]
+        finally:
+            sock.close()
+
+    def test_hello_without_protocol_field_rejected(self, fleet):
+        """The version field is mandatory: a peer that omits it
+        predates the field, which is exactly the drift it catches."""
+        _coord, address = fleet(workers=0)
+        host, port = address.rsplit(":", 1)
+        sock = socket.create_connection((host, int(port)), timeout=5)
+        try:
+            send_msg(sock, {"type": "hello", "role": "client"})
+            reply = recv_msg(sock, FrameDecoder())
+            assert reply["type"] == "error"
+            assert reply["code"] == "protocol-mismatch"
         finally:
             sock.close()
 
@@ -248,7 +334,7 @@ class TestFailureModes:
         try:
             dec = FrameDecoder()
             send_msg(sock, {"type": "hello", "role": "client",
-                            "protocol": 1})
+                            "protocol": PROTOCOL_VERSION})
             assert recv_msg(sock, dec)["type"] == "welcome"
             send_msg(sock, {"type": "submit",
                             "units": [{"benchmark": "barnes",
@@ -265,7 +351,7 @@ class TestFailureModes:
         sock = socket.create_connection((host, int(port)), timeout=5)
         try:
             send_msg(sock, {"type": "hello", "role": "wizard",
-                            "protocol": 1})
+                            "protocol": PROTOCOL_VERSION})
             reply = recv_msg(sock, FrameDecoder())
             assert reply["type"] == "error"
         finally:
@@ -281,7 +367,7 @@ class TestOperations:
         assert len(reply["workers"]) == 2
         for key in ("workers", "pending", "in_flight", "requeues",
                     "duplicates", "served_from_cache", "rows_streamed",
-                    "units_completed"):
+                    "units_completed", "heartbeats_seen"):
             assert key in reply["stats"]
 
     def test_finished_jobs_are_released_everywhere(self, fleet):

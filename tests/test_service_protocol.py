@@ -30,15 +30,17 @@ import pytest
 from repro.service.errors import (ConnectionClosed, FrameError,
                                   ServiceError)
 from repro.service.protocol import (MAX_FRAME, MESSAGE_TYPES,
-                                    FrameDecoder, encode_frame, recv_msg,
-                                    send_msg)
+                                    PROTOCOL_VERSION, FrameDecoder,
+                                    encode_frame, recv_msg, send_msg)
+from repro.service.transport import SyncTransport
 
 #: one representative payload per message type — keep in sync with
 #: MESSAGE_TYPES (the completeness test below enforces it)
 SAMPLES = {
-    "hello": {"type": "hello", "role": "worker", "protocol": 1,
-              "name": "w0", "pid": 4242},
-    "welcome": {"type": "welcome", "name": "w0", "protocol": 1},
+    "hello": {"type": "hello", "role": "worker",
+              "protocol": PROTOCOL_VERSION, "name": "w0", "pid": 4242},
+    "welcome": {"type": "welcome", "name": "w0",
+                "protocol": PROTOCOL_VERSION},
     "submit": {"type": "submit", "units": [{"benchmark": "barnes"}],
                "warmup_snapshots": True, "warmup_dir": None},
     "status": {"type": "status"},
@@ -187,6 +189,71 @@ class TestMalformed:
         assert issubclass(ConnectionClosed, ServiceError)
 
 
+class TestFrameBound:
+    """The configurable ``max_frame`` bound, exercised *at* the bound:
+    a frame of exactly max_frame bytes decodes; one byte more is
+    rejected from the 4-byte prefix alone."""
+
+    BOUND = 256
+
+    def _frame_of_payload_len(self, n: int) -> bytes:
+        # a real JSON object padded to exactly n payload bytes (the
+        # empty-pad base length accounts for encode_frame's compact,
+        # sorted serialization)
+        base = len(encode_frame({"type": "ping", "pad": ""})) - 4
+        assert n >= base
+        frame = encode_frame({"type": "ping", "pad": "x" * (n - base)})
+        assert len(frame) == 4 + n
+        return frame
+
+    def test_frame_exactly_at_bound_decodes(self):
+        dec = FrameDecoder(max_frame=self.BOUND)
+        dec.feed(self._frame_of_payload_len(self.BOUND))
+        msg = dec.next_message()
+        assert msg["type"] == "ping"
+        assert dec.at_boundary
+
+    def test_frame_one_past_bound_rejected(self):
+        dec = FrameDecoder(max_frame=self.BOUND)
+        with pytest.raises(FrameError) as exc:
+            dec.feed(self._frame_of_payload_len(self.BOUND + 1))
+        assert str(self.BOUND) in str(exc.value)
+
+    def test_prefix_alone_is_enough_to_reject(self):
+        """The decoder must refuse from the length prefix without
+        waiting for a payload that may never arrive."""
+        dec = FrameDecoder(max_frame=self.BOUND)
+        with pytest.raises(FrameError):
+            dec.feed(struct.pack("!I", self.BOUND + 1))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_property_frames_below_bound_survive_chunking(self, seed):
+        """Property: for random payload sizes in (0, bound] and random
+        chunkings, every frame decodes bit-exactly; sizes in
+        (bound, 2*bound] always raise."""
+        rng = random.Random(seed)
+        bound = rng.randrange(64, 4096)
+        dec = FrameDecoder(max_frame=bound)
+        for _ in range(20):
+            n = rng.randrange(30, bound + 1)
+            frame = self._frame_of_payload_len(n)
+            pos = 0
+            while pos < len(frame):
+                step = rng.randrange(1, 64)
+                dec.feed(frame[pos:pos + step])
+                pos += step
+            got = dec.next_message()
+            assert len(encode_frame(got)) == 4 + n
+            assert dec.at_boundary
+        over = FrameDecoder(max_frame=bound)
+        with pytest.raises(FrameError):
+            over.feed(self._frame_of_payload_len(
+                rng.randrange(bound + 1, 2 * bound)))
+
+    def test_default_bound_is_max_frame(self):
+        assert FrameDecoder().max_frame == MAX_FRAME
+
+
 class TestSocketRecv:
     """recv_msg over a real socket pair: EOF semantics."""
 
@@ -227,6 +294,89 @@ class TestSocketRecv:
                 recv_msg(b, FrameDecoder())
         finally:
             b.close()
+
+    def test_transport_eof_semantics_match_recv_msg(self):
+        """SyncTransport (the client's non-blocking reader) keeps the
+        same EOF contract: clean EOF at a frame boundary is
+        ConnectionClosed, EOF mid-frame is FrameError."""
+        a, b = socket.socketpair()
+        transport = SyncTransport(b)
+        try:
+            send_msg(a, SAMPLES["ping"])
+            assert transport.recv(timeout=5.0) == SAMPLES["ping"]
+            frame = encode_frame(SAMPLES["row"])
+            a.sendall(frame[:len(frame) // 2])
+            a.close()
+            with pytest.raises(FrameError):
+                transport.recv(timeout=5.0)
+        finally:
+            a.close()
+            transport.close()
+
+    def test_transport_clean_eof_is_connection_closed(self):
+        a, b = socket.socketpair()
+        transport = SyncTransport(b)
+        try:
+            a.close()
+            with pytest.raises(ConnectionClosed):
+                transport.recv(timeout=5.0)
+        finally:
+            transport.close()
+
+    def test_transport_deadline_is_a_real_timeout(self):
+        """No bytes ever arrive: recv must raise socket.timeout after
+        the monotonic deadline, not block on the kernel."""
+        import time
+        a, b = socket.socketpair()
+        transport = SyncTransport(b)
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(socket.timeout):
+                transport.recv(timeout=0.2)
+            assert time.monotonic() - t0 < 5.0
+        finally:
+            a.close()
+            transport.close()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_transport_survives_fuzzed_chunking(self, seed):
+        """A writer thread drips frames in random chunks with random
+        pauses; the transport reassembles every message in order."""
+        rng = random.Random(seed)
+        kinds = [rng.choice(sorted(MESSAGE_TYPES)) for _ in range(25)]
+        blob = b"".join(encode_frame(SAMPLES[k]) for k in kinds)
+        a, b = socket.socketpair()
+        transport = SyncTransport(b)
+
+        def drip():
+            pos = 0
+            while pos < len(blob):
+                step = rng.choice([1, 2, 3, 7, 16, 129, 1024])
+                a.sendall(blob[pos:pos + step])
+                pos += step
+            a.close()
+
+        writer = threading.Thread(target=drip)
+        writer.start()
+        try:
+            got = [transport.recv(timeout=10.0) for _ in kinds]
+            assert got == [SAMPLES[k] for k in kinds]
+            with pytest.raises(ConnectionClosed):
+                transport.recv(timeout=5.0)
+        finally:
+            writer.join()
+            transport.close()
+
+    def test_transport_send_round_trips(self):
+        a, b = socket.socketpair()
+        a.settimeout(5.0)
+        transport = SyncTransport(b)
+        try:
+            transport.send(SAMPLES["submit"], timeout=5.0)
+            assert recv_msg(a, FrameDecoder()) == SAMPLES["submit"]
+        finally:
+            a.close()
+            transport.close()
 
     def test_interleaved_writers_do_not_corrupt_frames(self):
         """Two threads sharing one socket through send_msg's lock (the
