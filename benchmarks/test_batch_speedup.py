@@ -1,0 +1,56 @@
+"""Measured-ratio gate for the BatchSim lockstep backend.
+
+The acceptance bar for the batched sweep backend is a *measured*
+events/sec ratio over the scalar path on figure-matrix shapes, not a
+claim: this test times the same cell set through ``sweep()`` and
+``sweep(batch=...)`` (identical warm trace caches, rows asserted
+equal) and requires >= 2x. Locally the scenario shape measures ~4-5x
+(see the README "Batched sweeps" table); the 2x floor leaves headroom
+for slow CI hosts while still failing if batching degenerates to
+per-lane dispatch. Set ``REPRO_PERF_SMOKE=off`` to skip alongside the
+other perf guardrails.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.harness.sweep import sweep
+from repro.params import Organization
+
+SPEEDUP_FLOOR = 2.0
+
+_AXES = dict(organization=[Organization.SHARED, Organization.PRIVATE,
+                           Organization.LOCO_CC],
+             cores=[1], cluster=[(1, 1)], scale=[0.05, 0.08],
+             seed=[1, 2, 3, 4], warmup_fraction=[0.5])
+
+
+def _measure() -> None:
+    # Warm the shared trace cache so neither timed path pays
+    # first-touch trace generation.
+    sweep("water_spatial", metric="runtime", batch=16, **_AXES)
+    t0 = time.perf_counter()
+    rows_scalar = sweep("water_spatial", metric="runtime", **_AXES)
+    t_scalar = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    rows_batch = sweep("water_spatial", metric="runtime", batch=16,
+                       **_AXES)
+    t_batch = time.perf_counter() - t0
+    assert rows_batch == rows_scalar  # bit-identical rows, always
+    speedup = t_scalar / t_batch
+    print(f"\nbatch speedup: scalar {t_scalar:.3f}s, "
+          f"batched {t_batch:.3f}s -> {speedup:.2f}x "
+          f"(floor {SPEEDUP_FLOOR}x)")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"BatchSim speedup regressed: {speedup:.2f}x < "
+        f"{SPEEDUP_FLOOR}x floor on the figure-matrix smoke shape")
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_PERF_SMOKE", "").lower() == "off",
+                    reason="perf smoke disabled via REPRO_PERF_SMOKE=off")
+def test_batch_speedup_floor():
+    from repro.harness.testutil import retry_once_on_miss
+
+    retry_once_on_miss(_measure)

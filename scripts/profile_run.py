@@ -45,11 +45,11 @@ def main() -> None:
     clear_trace_cache()
 
     prof = cProfile.Profile()
-    t0 = time.time()
+    t0 = time.monotonic()
     prof.enable()
     result = run_benchmark(exp)
     prof.disable()
-    wall = time.time() - t0
+    wall = time.monotonic() - t0
 
     buf = io.StringIO()
     buf.write(f"# profile: {BENCH} scale={SCALE} "

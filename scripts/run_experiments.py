@@ -113,7 +113,7 @@ def run(bench, org, cores=64, noc=NocKind.SMART, cluster=(4, 4),
     k = bench_key(bench, org, cores, noc, cluster, full_system)
     if k in results:
         return results[k]
-    t0 = time.time()
+    t0 = time.monotonic()
     try:
         r = run_benchmark(ExperimentConfig(
             benchmark=bench, organization=org, cores=cores, noc=noc,
@@ -128,7 +128,7 @@ def run(bench, org, cores=64, noc=NocKind.SMART, cluster=(4, 4),
         runtime=r.runtime, mpki=r.mpki, hit_lat=r.l2_hit_latency,
         search=r.search_delay, offchip=r.offchip_accesses,
         fetches=r.offchip_fetches)
-    print(f"  {k}: runtime={r.runtime} ({time.time()-t0:.0f}s)", flush=True)
+    print(f"  {k}: runtime={r.runtime} ({time.monotonic()-t0:.0f}s)", flush=True)
     return results[k]
 
 
@@ -136,7 +136,7 @@ def run_mp(workload, org):
     k = key("mp", workload, org.value)
     if k in results:
         return results[k]
-    t0 = time.time()
+    t0 = time.monotonic()
     try:
         r = run_workload(workload, org, scale=SCALE,
                          max_cycles=30_000_000)
@@ -145,7 +145,7 @@ def run_mp(workload, org):
         results[k] = dict(runtime=0, offchip=0, failed=True)
         return results[k]
     results[k] = dict(runtime=r.runtime, offchip=r.offchip_accesses)
-    print(f"  {k}: runtime={r.runtime} ({time.time()-t0:.0f}s)", flush=True)
+    print(f"  {k}: runtime={r.runtime} ({time.monotonic()-t0:.0f}s)", flush=True)
     return results[k]
 
 
@@ -201,12 +201,12 @@ def prewarm(jobs: int) -> None:
     units = matrix_units()
     print(f"== prewarming {len(units)} configs on {jobs} workers ==",
           flush=True)
-    t0 = time.time()
+    t0 = time.monotonic()
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         for k, row in pool.map(_prewarm_unit, units):
             results[k] = row
             print(f"  {k}: runtime={row.get('runtime')}", flush=True)
-    print(f"== prewarm done in {time.time()-t0:.0f}s ==", flush=True)
+    print(f"== prewarm done in {time.monotonic()-t0:.0f}s ==", flush=True)
 
 
 # ---- service prewarm ----------------------------------------------------
@@ -242,7 +242,7 @@ def prewarm_service(address: str) -> None:
                               full_system))
     print(f"== prewarming {len(units)} configs on fleet @ {address} ==",
           flush=True)
-    t0 = time.time()
+    t0 = time.monotonic()
 
     # Rows are recorded as they stream, so a unit that fails the whole
     # job (or a dying fleet) only costs the cells that never arrived —
@@ -262,7 +262,7 @@ def prewarm_service(address: str) -> None:
         missing = sum(1 for k in keys if k not in results)
         print(f"== fleet prewarm aborted ({exc}); {missing} cells "
               f"will run locally ==", flush=True)
-    print(f"== fleet prewarm done in {time.time()-t0:.0f}s ==", flush=True)
+    print(f"== fleet prewarm done in {time.monotonic()-t0:.0f}s ==", flush=True)
 
 
 def main() -> None:

@@ -1,0 +1,13 @@
+"""BatchSim: batched lockstep execution of compatible sweep cells.
+
+``run_batched`` executes groups of same-shape single-tile SweepUnits
+over NumPy state tensors, bit-identically to the scalar simulator;
+``batchable`` is the coverage predicate and the scalar path remains
+the fallback for everything it rejects. See :mod:`repro.batch.engine`
+for the timing model and :mod:`repro.batch.grouping` for the rules.
+"""
+
+from repro.batch.grouping import (BATCHABLE_METRICS, batchable,
+                                  group_shape, run_batched)
+
+__all__ = ["BATCHABLE_METRICS", "batchable", "group_shape", "run_batched"]

@@ -326,6 +326,39 @@ def _prepare_sweep_backend() -> RunFn:
 
 
 # ----------------------------------------------------------------------
+# batched lockstep sweep backend (macro)
+# ----------------------------------------------------------------------
+def _prepare_batch_sweep() -> RunFn:
+    """A figure-matrix slice through the BatchSim lockstep backend:
+    3 organizations x 6 seeds x 2 scales of single-tile cells, run in
+    lockstep groups of 18 (``sweep(batch=18)``). Ops is total
+    simulated instructions, so events/sec here is directly comparable
+    to the same cells on the scalar path (the measured ratio lives in
+    ``benchmarks/test_batch_speedup.py``); the fingerprint pins every
+    cell's runtime, which the differential suite separately proves
+    bit-identical to scalar."""
+    from repro.harness.sweep import sweep
+    from repro.params import Organization
+
+    def run() -> Tuple[int, Fingerprint]:
+        rows = sweep("water_spatial", metric=("runtime", "instructions"),
+                     batch=18,
+                     organization=[Organization.SHARED,
+                                   Organization.PRIVATE,
+                                   Organization.LOCO_CC],
+                     cores=[1], cluster=[(1, 1)],
+                     scale=[0.15, 0.25], seed=[1, 2, 3, 4, 5, 6],
+                     warmup_fraction=[0.5])
+        ops = sum(int(row["instructions"]) for row in rows)
+        fp: Fingerprint = {"cells": len(rows)}
+        for i, row in enumerate(rows):
+            fp[f"runtime_{i}"] = int(row["runtime"])
+        return ops, fp
+
+    return run
+
+
+# ----------------------------------------------------------------------
 # service tier: coordinator connection scale (macro)
 # ----------------------------------------------------------------------
 def _prepare_service_connections() -> RunFn:
@@ -440,6 +473,7 @@ _register("coherence_loco_token", "coherence",
 _register("snapshot_roundtrip", "sim.snapshot",
           _prepare_snapshot_roundtrip)
 _register("sweep_backend", "harness.sweep", _prepare_sweep_backend)
+_register("batch_sweep", "batch", _prepare_batch_sweep)
 _register("service_connections", "service",
           _prepare_service_connections)
 

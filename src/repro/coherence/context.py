@@ -34,7 +34,13 @@ def edge_mc_tiles(mesh: Mesh, count: int) -> List[int]:
         mesh.tile(0, h // 2),        # west edge
         mesh.tile(w - 1, h // 2),    # east edge
     ]
-    if count <= 4:
+    # On meshes narrower than the anchor spread (1x1, 2x2) several edge
+    # midpoints are the same tile; duplicates would register two MCs on
+    # one tile. Dedupe preserving order — full-size meshes (8x8, 16x16)
+    # have four distinct anchors and are unaffected.
+    anchors = list(dict.fromkeys(anchors))
+    count = min(count, mesh.num_tiles)
+    if count <= len(anchors):
         return anchors[:count]
     tiles = list(anchors)
     step = 1

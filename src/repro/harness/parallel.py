@@ -56,7 +56,9 @@ def pmap(fn, items: Sequence[Any], jobs: Optional[int] = None) -> List[Any]:
         jobs = os.cpu_count() or 1
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    # Cap at the fan-out: a pool of cpu_count() workers for a 2-item
+    # map forks (and then immediately reaps) a pile of idle processes.
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
         return list(pool.map(fn, items))
 
 
@@ -102,7 +104,8 @@ def run_units(units: Sequence[Union[SweepUnit, tuple]],
               cache_dir: Optional[str] = None,
               warmup_snapshots: bool = False,
               warmup_cache: Union[None, str, WarmupImageCache] = None,
-              service: Optional[str] = None) -> List[Any]:
+              service: Optional[str] = None,
+              batch: Optional[int] = None) -> List[Any]:
     """Execute work units, preserving input order.
 
     ``jobs`` <= 1 (or a single unit) runs in-process — same code path,
@@ -128,6 +131,15 @@ def run_units(units: Sequence[Union[SweepUnit, tuple]],
     :class:`WarmupImageCache` stays local and the workers fall back to
     their own retained per-prefix caches, which affinity still feeds.
     Rows are identical either way; only warmup reuse differs.
+
+    ``batch=S`` routes compatible units through the lockstep BatchSim
+    backend (:mod:`repro.batch`) in groups of up to S before anything
+    reaches the pool: single-tile trace-mode cells batch, everything
+    else falls through to the scalar path unchanged. Batched rows are
+    bit-identical to scalar rows, so the JSON cache, golden stats and
+    result semantics are unaffected. Ignored on the service path and
+    under ``warmup_snapshots`` (warmup forking is the scalar path's
+    own amortization of the same cost).
     """
     units = [as_unit(u) for u in units]
     out: List[Any] = [None] * len(units)
@@ -140,6 +152,22 @@ def run_units(units: Sequence[Union[SweepUnit, tuple]],
             todo.append((i, unit))
     if not todo:
         return out
+    if batch is not None and batch >= 1 and service is None \
+            and not warmup_snapshots:
+        from repro.batch import run_batched
+
+        done = run_batched([u for _, u in todo], batch)
+        if done:
+            rest: List[Tuple[int, SweepUnit]] = []
+            for pos, (i, unit) in enumerate(todo):
+                if pos in done:
+                    out[i] = done[pos]
+                    _cache_store(cache_dir, unit, done[pos])
+                else:
+                    rest.append((i, unit))
+            todo = rest
+            if not todo:
+                return out
     if service is not None:
         from repro.service.client import ServiceClient
 
@@ -271,6 +299,7 @@ def parallel_sweep(benchmark: str, metric=None,
                    warmup_snapshots: bool = False,
                    warmup_cache: Union[None, str, WarmupImageCache] = None,
                    service: Optional[str] = None,
+                   batch: Optional[int] = None,
                    **axes: Sequence[Any]) -> List[Dict[str, Any]]:
     """Run ``benchmark`` for the cross product of ``axes`` on a process
     pool — or a service fleet. Drop-in parallel replacement for
@@ -281,6 +310,8 @@ def parallel_sweep(benchmark: str, metric=None,
     ``jobs`` defaults to ``os.cpu_count()``; pass 1 to force serial
     execution through the same code path. ``service="host:port"``
     routes the units to a running coordinator instead of a local pool.
+    ``batch=S`` runs compatible cells through the lockstep BatchSim
+    backend first (see :func:`run_units`).
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
@@ -288,7 +319,8 @@ def parallel_sweep(benchmark: str, metric=None,
                                                max_cycles, axes)
     values = run_units(units, jobs=jobs, cache_dir=cache_dir,
                        warmup_snapshots=warmup_snapshots,
-                       warmup_cache=warmup_cache, service=service)
+                       warmup_cache=warmup_cache, service=service,
+                       batch=batch)
     return _assemble_rows(names, combos, metrics, values)
 
 

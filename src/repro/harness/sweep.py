@@ -95,6 +95,7 @@ def sweep(benchmark: str, metric=None,
           warmup_snapshots: bool = False,
           warmup_cache: Union[None, str, WarmupImageCache] = None,
           service: Optional[str] = None,
+          batch: Optional[int] = None,
           **axes: Sequence[Any]) -> List[Dict[str, Any]]:
     """Run ``benchmark`` for the cross product of ``axes``.
 
@@ -121,18 +122,25 @@ def sweep(benchmark: str, metric=None,
     warmup-prefix affinity. Full ``RunResult`` cells (``metric=None``)
     ride the fleet too: results are wire-encoded by the worker and
     decoded back against each unit's config on this side.
+
+    ``batch=S`` runs compatible cells (single-tile trace-mode configs;
+    see :mod:`repro.batch`) through the lockstep BatchSim backend in
+    groups of up to S, falling back to the scalar path for the rest —
+    rows stay bit-identical either way.
     """
     if service is None and jobs is not None and jobs > 1:
         from repro.harness.parallel import parallel_sweep
         return parallel_sweep(benchmark, metric=metric,
                               max_cycles=max_cycles, jobs=jobs,
                               warmup_snapshots=warmup_snapshots,
-                              warmup_cache=warmup_cache, **axes)
+                              warmup_cache=warmup_cache, batch=batch,
+                              **axes)
     names, combos, metrics, units = grid_units(benchmark, metric,
                                                max_cycles, axes)
     from repro.harness.parallel import run_units
     values = run_units(units, jobs=1, warmup_snapshots=warmup_snapshots,
-                       warmup_cache=warmup_cache, service=service)
+                       warmup_cache=warmup_cache, service=service,
+                       batch=batch)
     return _assemble_rows(names, combos, metrics, values)
 
 

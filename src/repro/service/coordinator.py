@@ -449,6 +449,9 @@ class Coordinator:
         verdict = self._sched.fail(name, job_id, idx)
         self._log(f"unit {job_id}#{idx} failed on {name} "
                   f"({verdict}): {error}")
+        tb = msg.get("traceback")
+        if tb:
+            self._log(f"worker traceback for {job_id}#{idx}:\n{tb}")
         if verdict == "fatal":
             self._fail_job(job_id, idx, error)
         self._dispatch()

@@ -322,7 +322,8 @@ class Worker:
             self._log(f"{job_id}#{idx} failed: {exc}\n"
                       f"{traceback.format_exc()}")
             reply = {"type": "unit_error", "job": job_id, "idx": idx,
-                     "error": f"{type(exc).__name__}: {exc}"}
+                     "error": f"{type(exc).__name__}: {exc}",
+                     "traceback": traceback.format_exc()}
         return reply
 
 

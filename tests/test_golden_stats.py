@@ -17,9 +17,12 @@ and the run must stay violation-free.
 
 import pytest
 
+from repro.batch import run_batched
 from repro.cmp.system import CmpSystem
 from repro.coherence.shadow import ShadowOracle
 from repro.harness.checks import check_all
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.units import SweepUnit, encode_result
 from repro.params import Organization
 from repro.traces.synthetic import WorkloadSpec, generate_traces
 from tests.conftest import tiny_config
@@ -136,3 +139,73 @@ def test_golden_metrics_pinned_restored_at_warmup(org):
     assert restored.stats.marked
     result = restored.resume(max_cycles=20_000_000)
     _assert_golden(org, restored, result)
+
+
+# ---------------------------------------------------------------------------
+# single-tile goldens: scalar AND BatchSim pinned to the same table
+# ---------------------------------------------------------------------------
+
+#: regenerate like the 16-core table: run GOLDEN_1CORE_EXP per
+#: organization through ``SweepUnit(...).run()`` and print the fields
+#: below. The shape is deliberately eviction-heavy (1/32 cache scale)
+#: so the L2 victim / writeback machinery is inside the pins.
+def _golden_1core_exp(org):
+    return ExperimentConfig(benchmark="canneal", organization=org,
+                            cores=1, cluster=(1, 1), scale=0.1, seed=11,
+                            warmup_fraction=0.35, cache_scale=0.03125)
+
+
+GOLDEN_1CORE = {
+    Organization.PRIVATE: dict(
+        runtime=29925,
+        l2_misses=133,
+        l2_evictions=69,
+        offchip=145,
+        l2_hit_latency=6.0,
+        mpki=168.0161943319838,
+    ),
+    Organization.SHARED: dict(
+        runtime=28595,
+        l2_misses=133,
+        l2_evictions=69,
+        offchip=145,
+        l2_hit_latency=6.0,
+        mpki=168.0161943319838,
+    ),
+    Organization.LOCO_CC: dict(
+        runtime=29925,
+        l2_misses=133,
+        l2_evictions=69,
+        offchip=145,
+        l2_hit_latency=6.0,
+        mpki=168.0161943319838,
+    ),
+}
+
+
+def _assert_golden_1core(org, result):
+    want = GOLDEN_1CORE[org]
+    st = result.stats
+    assert result.runtime == want["runtime"]
+    assert st.value("l2_misses") == want["l2_misses"]
+    assert st.value("l2_evictions") == want["l2_evictions"]
+    assert (st.value("offchip_fetches")
+            + st.value("offchip_writebacks")) == want["offchip"]
+    assert st.sampler("l2_hit_latency").mean == pytest.approx(
+        want["l2_hit_latency"], rel=1e-12)
+    assert result.mpki == pytest.approx(want["mpki"], rel=1e-12)
+
+
+@pytest.mark.parametrize("org", sorted(GOLDEN_1CORE, key=lambda o: o.value),
+                         ids=lambda o: o.value)
+def test_golden_1core_scalar_and_batched(org):
+    """Both execution backends land on the same pinned values, and the
+    batched RunResult is bit-identical to the scalar one (full wire
+    encoding, not just the headline metrics)."""
+    unit = SweepUnit(_golden_1core_exp(org))
+    scalar = unit.run()
+    _assert_golden_1core(org, scalar)
+    batched = run_batched([unit], batch=4)
+    assert 0 in batched, "golden shape must be batchable"
+    _assert_golden_1core(org, batched[0])
+    assert encode_result(batched[0]) == encode_result(scalar)

@@ -64,7 +64,9 @@ SAMPLES = {
     "result": {"type": "result", "job": "job-1", "idx": 0,
                "value": 1e-308, "warm_builds": 1, "warm_hits": 0},
     "unit_error": {"type": "unit_error", "job": "job-1", "idx": 0,
-                   "error": "boom"},
+                   "error": "boom",
+                   "traceback": "Traceback (most recent call last):\n"
+                                "  ...\nValueError: boom\n"},
     "heartbeat": {"type": "heartbeat"},
     "error": {"type": "error", "error": "protocol version mismatch"},
 }
