@@ -34,12 +34,12 @@ SHAPES = [(4, 1), (4, 4)]
 
 def main() -> None:
     JOBS = _jobs_from_argv()
-    t0 = time.time()
+    t0 = time.monotonic()
     rows = parallel_sweep("water_spatial", metric="runtime", jobs=JOBS,
                           cache_dir=".sweep_cache",
                           organization=ORGS, cluster=SHAPES,
                           scale=[SCALE])
-    wall = time.time() - t0
+    wall = time.monotonic() - t0
     print(f"{len(rows)} runs on {JOBS} workers in {wall:.1f}s\n")
     print(f"{'organization':18s} {'cluster':8s} {'runtime':>9s}")
     for row in rows:

@@ -29,15 +29,15 @@ METRICS = ["runtime", "mpki", "offchip_accesses"]   # 3 cells, 1 prefix
 
 
 def main() -> None:
-    t0 = time.time()
+    t0 = time.monotonic()
     cold = sweep(BENCH, metric=METRICS, **AXES)
-    t_cold = time.time() - t0
+    t_cold = time.monotonic() - t0
 
     cache = WarmupImageCache()      # pass a dir to persist across runs
-    t0 = time.time()
+    t0 = time.monotonic()
     warm = sweep(BENCH, metric=METRICS, warmup_snapshots=True,
                  warmup_cache=cache, **AXES)
-    t_warm = time.time() - t0
+    t_warm = time.monotonic() - t0
 
     assert warm == cold, "forked rows must be bit-identical to cold"
 

@@ -94,9 +94,9 @@ def main() -> int:
                       max_cycles=args.max_cycles, inject=args.inject,
                       snapshot_every=args.snapshot_every)
     seeds = range(args.start, args.start + args.seeds)
-    t0 = time.time()
+    t0 = time.monotonic()
     reports = fuzz_seeds(seeds, base, jobs=args.jobs)
-    elapsed = time.time() - t0
+    elapsed = time.monotonic() - t0
     bad = [r for r in reports if not r.ok]
     print(f"{len(reports)} seeds x {len(orgs)} orgs in {elapsed:.1f}s: "
           f"{len(reports) - len(bad)} ok, {len(bad)} failing")

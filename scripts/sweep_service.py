@@ -25,6 +25,15 @@ Typical single-host session::
 Multi-host: run ``coordinator`` on one machine and ``worker
 --connect HOST:PORT`` on the others; give every worker the same
 ``--warmup-cache`` directory only when it is a *shared* filesystem.
+
+Replication: ``fleet --replicas 3`` runs three coordinator replicas
+(consecutive ports from ``--bind``, or all-ephemeral with port 0)
+that elect a leader and replicate every scheduling decision; workers
+and clients get the comma-separated replica list and follow
+redirects. SIGKILL the leader and the survivors elect a new one and
+finish the job — a killed replica is *not* respawned (the quorum
+margin is the failure budget); the fleet exits nonzero only when a
+majority is gone.
 """
 
 from __future__ import annotations
@@ -43,6 +52,8 @@ if REPO_SRC not in sys.path:
     sys.path.insert(0, REPO_SRC)
 
 from repro.service.client import ServiceClient           # noqa: E402
+from repro.service.cluster import (pick_free_ports,      # noqa: E402
+                                   spawn_coordinator_process)
 from repro.service.coordinator import Coordinator        # noqa: E402
 from repro.service.worker import (Worker, parse_address,  # noqa: E402
                                   spawn_worker_process)
@@ -79,6 +90,8 @@ _FLEET_MIN_UPTIME = 5.0
 
 
 def cmd_fleet(args) -> int:
+    if args.replicas > 1:
+        return _replicated_fleet(args)
     host, port = parse_address(args.bind)
     coord = Coordinator(host=host, port=port, cache_dir=args.cache_dir,
                         heartbeat_timeout=args.heartbeat_timeout,
@@ -146,6 +159,102 @@ def cmd_fleet(args) -> int:
     return rc
 
 
+def _replicated_fleet(args) -> int:
+    """``fleet --replicas N``: N coordinator replicas + the workers.
+
+    Replica lifecycle differs from the worker slots: a replica that
+    exits cleanly (rc 0) means a client committed ``shutdown`` through
+    the log — wind the whole fleet down; a *killed* replica is not
+    respawned (a rejoining node can disturb a stable term, and the
+    quorum margin is exactly the failure budget the operator asked
+    for). The fleet fails only when a majority is gone."""
+    host, port = parse_address(args.bind)
+    if port == 0:
+        ports = pick_free_ports(args.replicas, host)
+    else:
+        ports = [port + i for i in range(args.replicas)]
+    addresses = [f"{host}:{p}" for p in ports]
+    addr_list = ",".join(addresses)
+    quorum = args.replicas // 2 + 1
+    replicas: List[subprocess.Popen] = [
+        spawn_coordinator_process(addresses, i, cache_dir=args.cache_dir,
+                                  verbose=not args.quiet)
+        for i in range(args.replicas)]
+    print(f"replicated coordinator on {addr_list} "
+          f"({args.replicas} replicas, quorum {quorum}); "
+          f"starting {args.workers} workers", flush=True)
+    procs: List[subprocess.Popen] = [
+        spawn_worker_process(addr_list, name=f"w{i}",
+                             verbose=not args.quiet)
+        for i in range(args.workers)]
+    spawned_at = [time.monotonic()] * len(procs)
+    crash_streak = [0] * len(procs)
+    replica_noted = [False] * len(replicas)
+    rc = 0
+
+    def _on_term(signum, frame):
+        raise KeyboardInterrupt
+
+    prev_term = signal.signal(signal.SIGTERM, _on_term)
+    try:
+        shutting_down = False
+        while not shutting_down:
+            time.sleep(1.0)
+            alive = 0
+            for i, r in enumerate(replicas):
+                code = r.poll()
+                if code is None:
+                    alive += 1
+                elif code == 0:
+                    shutting_down = True
+                elif not replica_noted[i]:
+                    replica_noted[i] = True
+                    print(f"replica {i} ({addresses[i]}) died "
+                          f"rc={code}; not respawned — quorum margin "
+                          f"now {alive}/{quorum}", flush=True)
+            if shutting_down:
+                break
+            if alive < quorum:
+                print(f"quorum lost: {alive} of {len(replicas)} "
+                      f"replicas alive (need {quorum}); giving up",
+                      file=sys.stderr, flush=True)
+                rc = 1
+                break
+            for i, p in enumerate(procs):
+                if p.poll() is None:
+                    continue
+                uptime = time.monotonic() - spawned_at[i]
+                crash_streak[i] = (crash_streak[i] + 1
+                                   if uptime < _FLEET_MIN_UPTIME else 1)
+                if crash_streak[i] > args.max_respawns:
+                    print(f"worker w{i} crashed {crash_streak[i]} times "
+                          f"in a row within {_FLEET_MIN_UPTIME:.0f}s of "
+                          f"spawn (last rc={p.returncode}); giving up",
+                          file=sys.stderr, flush=True)
+                    rc = 1
+                    shutting_down = True
+                    break
+                print(f"worker w{i} exited rc={p.returncode}; "
+                      f"respawning", flush=True)
+                procs[i] = spawn_worker_process(
+                    addr_list, name=f"w{i}", verbose=not args.quiet)
+                spawned_at[i] = time.monotonic()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, prev_term)
+    for p in procs + replicas:
+        if p.poll() is None:
+            p.terminate()
+    deadline = time.monotonic() + 5.0
+    for p in procs + replicas:
+        try:
+            p.wait(timeout=max(0.1, deadline - time.monotonic()))
+        except subprocess.TimeoutExpired:
+            p.send_signal(signal.SIGKILL)
+    return rc
+
+
 def cmd_status(args) -> int:
     with ServiceClient(args.connect, row_timeout=10.0) as client:
         reply = client.status()
@@ -188,7 +297,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             p.add_argument("--heartbeat-timeout", type=float, default=8.0)
         if connect:
             p.add_argument("--connect", required=True,
-                           metavar="HOST:PORT")
+                           metavar="HOST:PORT[,HOST:PORT…]",
+                           help="coordinator address (comma-separate "
+                                "the replicas of a clustered one)")
 
     p = sub.add_parser("coordinator", help="run a coordinator")
     common(p, bind=True)
@@ -203,6 +314,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="coordinator + N local workers (respawning)")
     common(p, bind=True)
     p.add_argument("--workers", type=int, default=os.cpu_count() or 2)
+    p.add_argument("--replicas", type=int, default=1,
+                   help="coordinator replicas (>1 = replicated quorum "
+                        "on consecutive ports from --bind; leader "
+                        "death becomes a non-event)")
     p.add_argument("--max-respawns", type=int, default=5,
                    help="consecutive fast crashes of one worker slot "
                         "before the fleet gives up and exits nonzero")

@@ -10,12 +10,22 @@ dead workers, and streams rows back to
 bit-identical to ``sweep(jobs=0)`` — runs are seeded by config, results
 are deduplicated per unit, and retries are idempotent.
 
-Entry points: ``scripts/sweep_service.py`` (launch a fleet),
-``sweep(..., service="host:port")`` (use one), and
-``examples/distributed_sweep.py`` (the tour).
+The coordinator itself can be replicated: start N of them with a
+:class:`~repro.service.cluster.ClusterConfig` and they elect a leader
+and replicate every scheduler command over a consensus log
+(:mod:`repro.service.replica`); clients and workers follow
+``redirect`` frames to the leader and fail over when it dies.
+
+Entry points: ``scripts/sweep_service.py`` (launch a fleet,
+``--replicas N`` for a replicated one), ``sweep(..., service=
+"host:port")`` (use one), and ``examples/distributed_sweep.py``
+(the tour).
 """
 
 from repro.service.client import ServiceClient, service_sweep
+from repro.service.cluster import (ClusterConfig, ClusterManager,
+                                   pick_free_ports,
+                                   spawn_coordinator_process)
 from repro.service.coordinator import Coordinator
 from repro.service.errors import (ConnectionClosed, FrameError, JobFailed,
                                   ProtocolMismatch, ServiceError,
@@ -23,13 +33,17 @@ from repro.service.errors import (ConnectionClosed, FrameError, JobFailed,
 from repro.service.protocol import (MAX_FRAME, MESSAGE_TYPES,
                                     PROTOCOL_VERSION, FrameDecoder,
                                     encode_frame)
+from repro.service.replica import (ConsensusCore, ReplicaLog,
+                                   SchedulerMachine)
 from repro.service.scheduler import Scheduler
 from repro.service.transport import SyncTransport
-from repro.service.worker import Worker, parse_address
+from repro.service.worker import Worker, parse_address, parse_addresses
 
 __all__ = [
     "Coordinator", "Worker", "ServiceClient", "Scheduler",
-    "service_sweep", "parse_address",
+    "service_sweep", "parse_address", "parse_addresses",
+    "ClusterConfig", "ClusterManager", "ConsensusCore", "ReplicaLog",
+    "SchedulerMachine", "pick_free_ports", "spawn_coordinator_process",
     "ServiceError", "FrameError", "ConnectionClosed", "WorkerLost",
     "JobFailed", "ProtocolMismatch",
     "PROTOCOL_VERSION", "MAX_FRAME", "MESSAGE_TYPES", "FrameDecoder",

@@ -2,8 +2,14 @@
 
 Roles::
 
-    worker       --connect HOST:PORT [--name N] [--verbose]
+    worker       --connect HOST:PORT[,HOST:PORT…] [--name N] [--verbose]
     coordinator  [--bind HOST:PORT] [--cache-dir DIR] [--verbose]
+                 [--node-id I --peers HOST:PORT,HOST:PORT,…]
+
+``--node-id``/``--peers`` make the coordinator one replica of a
+quorum (see :mod:`repro.service.cluster`); every replica must be
+started with the same ``--peers`` list, and ``--bind`` must equal
+entry ``--node-id`` of it.
 
 A dedicated dispatcher (rather than ``-m repro.service.worker``) keeps
 runpy from importing the worker module twice — once via the package
@@ -33,14 +39,28 @@ def main(argv=None) -> int:
     cli.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT")
     cli.add_argument("--cache-dir", default=None, metavar="DIR")
     cli.add_argument("--heartbeat-timeout", type=float, default=8.0)
+    cli.add_argument("--node-id", type=int, default=None,
+                     help="replica index into --peers (cluster mode)")
+    cli.add_argument("--peers", default=None,
+                     metavar="HOST:PORT,HOST:PORT,…",
+                     help="full replica address list (cluster mode)")
     cli.add_argument("--verbose", action="store_true")
     args = cli.parse_args(rest)
+    from repro.service.cluster import ClusterConfig
     from repro.service.coordinator import Coordinator
-    from repro.service.worker import parse_address
+    from repro.service.worker import parse_address, parse_addresses
+    cluster = None
+    if (args.node_id is None) != (args.peers is None):
+        cli.error("--node-id and --peers go together")
+    if args.peers is not None:
+        cluster = ClusterConfig(node_id=args.node_id,
+                                addresses=parse_addresses(args.peers))
+        if args.bind == "127.0.0.1:0":
+            args.bind = cluster.addresses[args.node_id]
     host, port = parse_address(args.bind)
     coord = Coordinator(host=host, port=port, cache_dir=args.cache_dir,
                         heartbeat_timeout=args.heartbeat_timeout,
-                        verbose=args.verbose)
+                        cluster=cluster, verbose=args.verbose)
     print(f"coordinator on {coord.start()}", flush=True)
     try:
         coord.wait()

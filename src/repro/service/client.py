@@ -24,6 +24,7 @@ incremental plotting) without threads.
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.harness.units import SweepUnit, as_unit
@@ -31,37 +32,69 @@ from repro.service.errors import (ConnectionClosed, JobFailed,
                                   ProtocolMismatch, ServiceError)
 from repro.service.protocol import PROTOCOL_VERSION
 from repro.service.transport import SyncTransport
-from repro.service.worker import parse_address
+from repro.service.worker import parse_address, parse_addresses
 
 __all__ = ["ServiceClient", "service_sweep"]
+
+#: leader-flap backstop: how many times one ``run_units`` call will
+#: resubmit after losing its coordinator before giving up
+_MAX_RESUBMITS = 8
+
+
+class _Redirect(Exception):
+    """Internal control flow: a follower answered with ``redirect``."""
+
+    def __init__(self, leader: Optional[str]) -> None:
+        super().__init__(leader)
+        self.leader = leader
 
 
 class ServiceClient:
     """One connection to a sweep coordinator (usable as a context
-    manager). Not thread-safe; open one client per thread."""
+    manager). Not thread-safe; open one client per thread.
+
+    ``address`` may be a comma-separated replica list; the client then
+    dials until one replica answers ``welcome``, following ``redirect``
+    frames to the current leader, and :meth:`run_units` transparently
+    fails over (rediscover + resubmit — safe because per-(job, idx)
+    completion is idempotent and the replicated result memo serves
+    already-finished units without re-simulation)."""
 
     def __init__(self, address: str, *,
                  connect_timeout: float = 30.0,
-                 row_timeout: Optional[float] = None) -> None:
+                 row_timeout: Optional[float] = None,
+                 failover: Optional[bool] = None) -> None:
         self.address = address
+        self.addresses = parse_addresses(address)
         self.connect_timeout = connect_timeout
         self.row_timeout = row_timeout
+        #: fail-over on by default exactly when there is more than one
+        #: replica to fail over *to* (a solo coordinator's death stays
+        #: a typed JobFailed, as before)
+        self.failover = (len(self.addresses) > 1 if failover is None
+                         else failover)
+        #: where the last successful handshake landed (the leader)
+        self.leader_address: Optional[str] = None
         #: warm_builds / warm_hits / from_cache of the last finished job
         self.last_job_stats: Dict[str, int] = {}
         self._transport: Optional[SyncTransport] = None
         self._connect()
 
-    def _connect(self) -> None:
-        host, port = parse_address(self.address)
-        sock = socket.create_connection((host, port),
-                                        timeout=self.connect_timeout)
+    def _handshake(self, address: str,
+                   timeout: float) -> SyncTransport:
+        """Dial one replica; returns the transport on ``welcome``,
+        raises :class:`_Redirect` when it points elsewhere."""
+        host, port = parse_address(address)
+        sock = socket.create_connection((host, port), timeout=timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         transport = SyncTransport(sock)
         try:
             transport.send({"type": "hello", "role": "client",
                             "protocol": PROTOCOL_VERSION},
-                           timeout=self.connect_timeout)
-            welcome = self._recv_on(transport, self.connect_timeout)
+                           timeout=timeout)
+            welcome = self._recv_on(transport, timeout)
+            if welcome.get("type") == "redirect":
+                raise _Redirect(welcome.get("leader"))
             if welcome.get("type") != "welcome":
                 raise ServiceError(f"expected welcome, got "
                                    f"{welcome.get('type')!r}: "
@@ -74,13 +107,58 @@ class ServiceClient:
         except BaseException:
             transport.close()
             raise
-        self._transport = transport
+        return transport
+
+    def _connect(self) -> None:
+        """Find a coordinator that welcomes us — the leader, in a
+        replicated fleet — within ``connect_timeout`` overall."""
+        deadline = time.monotonic() + self.connect_timeout
+        last_exc: Optional[BaseException] = None
+        while True:
+            # last known leader first, then the configured replicas;
+            # redirects splice the hinted leader in (bounded, deduped)
+            candidates = list(dict.fromkeys(
+                ([self.leader_address] if self.leader_address else [])
+                + self.addresses))
+            self.leader_address = None
+            redirects = 0
+            i = 0
+            while i < len(candidates):
+                addr = candidates[i]
+                i += 1
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    break
+                try:
+                    transport = self._handshake(addr, budget)
+                except _Redirect as red:
+                    if (red.leader
+                            and redirects < 2 * len(self.addresses)
+                            and red.leader not in candidates[:i]):
+                        candidates.insert(i, red.leader)
+                        redirects += 1
+                    continue
+                except ProtocolMismatch:
+                    raise
+                except (OSError, ServiceError) as exc:
+                    last_exc = exc
+                    continue
+                self._transport = transport
+                self.leader_address = addr
+                return
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"no coordinator reachable at {self.address} "
+                    f"within {self.connect_timeout}s"
+                    + (f" (last error: {last_exc})" if last_exc
+                       else ""))
+            time.sleep(0.3)  # mid-election lull; let a leader emerge
 
     def reconnect(self) -> None:
-        """Drop the current connection (if any) and re-handshake with
-        the same address — the retry hook after a coordinator restart
-        (any job that was in flight must be resubmitted; the
-        coordinator's result memo makes that cheap)."""
+        """Drop the current connection (if any) and re-handshake — the
+        retry hook after a coordinator restart or fail-over (any job
+        that was in flight must be resubmitted; the coordinator's
+        result memo makes that cheap)."""
         if self._transport is not None:
             self._transport.close()
             self._transport = None
@@ -167,9 +245,51 @@ class ServiceClient:
         exhausts its retries.
         """
         units = [as_unit(u) for u in units]
+        wire = [u.to_wire() for u in units]
+        values: List[Any] = [None] * len(units)
+        got = [False] * len(units)
+        state = {"remaining": len(units)}
+        resubmits = 0
+        while True:
+            try:
+                return self._attempt(units, wire, values, got, state,
+                                     warmup_snapshots, warmup_dir,
+                                     on_row)
+            except (JobFailed, ProtocolMismatch):
+                raise  # final verdicts, never retried
+            except (ConnectionClosed, ServiceError) as exc:
+                if not self.failover:
+                    raise JobFailed(
+                        f"coordinator went away with "
+                        f"{state['remaining']} rows outstanding "
+                        f"({exc})") from None
+                resubmits += 1
+                if resubmits > _MAX_RESUBMITS:
+                    raise JobFailed(
+                        f"gave up after {_MAX_RESUBMITS} fail-overs "
+                        f"with {state['remaining']} rows outstanding "
+                        f"(last: {exc})") from None
+                # rediscover the leader and resubmit everything: the
+                # replicated memo serves finished units back instantly
+                try:
+                    self.reconnect()
+                except ProtocolMismatch:
+                    raise
+                except (OSError, ServiceError) as exc2:
+                    raise JobFailed(
+                        f"fail-over found no leader: {exc2}") from None
+
+    def _attempt(self, units: List[SweepUnit], wire: List[Any],
+                 values: List[Any], got: List[bool],
+                 state: Dict[str, int], warmup_snapshots: bool,
+                 warmup_dir: Optional[str],
+                 on_row: Optional[Callable[[int, Any], None]]
+                 ) -> List[Any]:
+        """One submit + row-stream cycle. Mutates ``values``/``got``/
+        ``state`` in place so a fail-over retry never re-fires
+        ``on_row`` for rows the caller already saw."""
         self._send({
-            "type": "submit",
-            "units": [u.to_wire() for u in units],
+            "type": "submit", "units": wire,
             "warmup_snapshots": warmup_snapshots,
             "warmup_dir": warmup_dir,
         })
@@ -178,37 +298,40 @@ class ServiceClient:
             raise ServiceError(f"expected accepted, got "
                                f"{accepted.get('type')!r}")
         job_id = accepted["job"]
-        values: List[Any] = [None] * len(units)
-        got = [False] * len(units)
-        remaining = len(units)
         for idx, value in accepted.get("cached", []):
             value = units[idx].decode_value(value)
             values[idx] = value
-            got[idx] = True
-            remaining -= 1
-            if on_row is not None:
-                on_row(idx, value)
+            if not got[idx]:
+                got[idx] = True
+                state["remaining"] -= 1
+                if on_row is not None:
+                    on_row(idx, value)
+        if state["remaining"] == 0:
+            # every unit was memo-served in the accept itself; the
+            # coordinator still sends done with the job stats
+            pass
         while True:  # exits via "done" (all rows), JobFailed, or error
             try:
                 msg = self._recv()
             except ConnectionClosed:
-                raise JobFailed(
+                raise ConnectionClosed(
                     f"{job_id}: coordinator went away with "
-                    f"{remaining} rows outstanding") from None
+                    f"{state['remaining']} rows outstanding") from None
             kind = msg.get("type")
             if kind == "row" and msg.get("job") == job_id:
                 idx = msg["idx"]
                 value = units[idx].decode_value(msg["value"])
+                values[idx] = value
                 if not got[idx]:
                     got[idx] = True
-                    remaining -= 1
-                values[idx] = value
-                if on_row is not None:
-                    on_row(idx, value)
+                    state["remaining"] -= 1
+                    if on_row is not None:
+                        on_row(idx, value)
             elif kind == "done" and msg.get("job") == job_id:
-                if remaining:
-                    raise JobFailed(f"{job_id}: done with {remaining} "
-                                    f"rows missing")
+                if state["remaining"]:
+                    raise JobFailed(
+                        f"{job_id}: done with {state['remaining']} "
+                        f"rows missing")
                 self.last_job_stats = {
                     "warm_builds": msg.get("warm_builds", 0),
                     "warm_hits": msg.get("warm_hits", 0),

@@ -34,6 +34,16 @@ of one queue and two tasks each (see the ``service_connections`` bench
 scenario). Liveness is a single monitor coroutine comparing monotonic
 ``loop.time()`` deadlines. The heavy work happens in worker
 *processes*, never here.
+
+Replication: pass a :class:`~repro.service.cluster.ClusterConfig` and
+this coordinator becomes one replica of a quorum. Every scheduler
+mutation then flows through :meth:`_commit` — a command appended to
+the replicated log, applied by each replica's
+:class:`~repro.service.replica.SchedulerMachine` once a majority
+holds it. Only the (ready) leader serves clients and workers; the
+others answer ``hello`` with a ``redirect``. Without a config,
+``_commit`` applies the same commands directly to the local machine —
+solo behaviour, timing and failure modes stay exactly as before.
 """
 
 from __future__ import annotations
@@ -48,12 +58,13 @@ from typing import Any, Dict, List, Optional, Set
 
 from repro.errors import ConfigError
 from repro.harness.units import unit_from_wire
+from repro.service.cluster import ClusterConfig, ClusterManager
 from repro.service.errors import (ConnectionClosed, FrameError,
                                   ProtocolMismatch, ServiceError)
 from repro.service.protocol import (PROTOCOL_VERSION, FrameDecoder,
                                     check_protocol, encode_frame,
                                     read_msg_async)
-from repro.service.scheduler import Scheduler
+from repro.service.replica import SchedulerMachine
 
 __all__ = ["Coordinator"]
 
@@ -160,6 +171,7 @@ class Coordinator:
                  heartbeat_timeout: float = 8.0,
                  monitor_interval: float = 0.5,
                  send_timeout: float = 30.0,
+                 cluster: Optional[ClusterConfig] = None,
                  verbose: bool = False) -> None:
         self.host = host
         self.port = port
@@ -167,12 +179,24 @@ class Coordinator:
         self.heartbeat_timeout = heartbeat_timeout
         self.monitor_interval = monitor_interval
         self.send_timeout = send_timeout
+        self.cluster = cluster
         self.verbose = verbose
 
-        self._sched = Scheduler()
+        # The replicated state: one pure scheduler + result memo.
+        # _sched/_results alias into the machine so the solo paths (and
+        # the tests poking them) read the same state the log applies to.
+        self._machine = SchedulerMachine()
+        self._sched = self._machine.sched
         self._workers: Dict[str, _WorkerConn] = {}
         self._jobs: Dict[str, _Job] = {}
-        self._results: Dict[str, Any] = {}   # unit key -> value (memo)
+        self._results = self._machine.memo   # unit key -> value (memo)
+        self._cluster_mgr: Optional[ClusterManager] = None
+        self._replica_conns: Set[_Conn] = set()
+        # a new leader serves only after its reset command committed
+        self._lead_ready = cluster is None
+        # one replica stopping must not stop the fleet's workers; only
+        # a committed shutdown command (or solo mode) dismisses them
+        self._fleet_shutdown = cluster is None
         self._job_seq = 0
         self._worker_seq = 0
         self._conns: Set[_Conn] = set()
@@ -254,6 +278,81 @@ class Coordinator:
         if self._shutdown_evt is not None:
             self._shutdown_evt.set()
 
+    # ------------------------------------------------------------------
+    # replication plumbing (no-ops in solo mode)
+    # ------------------------------------------------------------------
+    def _leading(self) -> bool:
+        """May this node serve clients and workers right now?"""
+        return self._cluster_mgr is None or (
+            self._cluster_mgr.is_leader and self._lead_ready)
+
+    async def _commit(self, cmd: Dict[str, Any]) -> Any:
+        """The one write path to scheduler state. Solo: apply the
+        command directly (synchronous — behaviourally identical to the
+        pre-replication tier). Clustered: replicate it to a majority
+        first; raises :class:`ServiceError` on lost leadership or a
+        lost quorum."""
+        if self._cluster_mgr is None:
+            return self._machine.apply(cmd)
+        return await self._cluster_mgr.commit(cmd)
+
+    async def _try_commit(self, cmd: Dict[str, Any]) -> Any:
+        """Commit for cleanup paths: lost leadership just drops the
+        command (the next leader's ``reset`` supersedes it)."""
+        if self._stopping and self._cluster_mgr is not None:
+            return None  # quorum traffic already torn down
+        try:
+            return await self._commit(cmd)
+        except ServiceError as exc:
+            self._log(f"command {cmd.get('op')!r} dropped: {exc}")
+            return None
+
+    def _redirect_frame(self) -> Dict[str, Any]:
+        mgr = self._cluster_mgr
+        return {"type": "redirect",
+                "leader": mgr.leader_address if mgr else self.address,
+                "term": mgr.core.term if mgr else 0}
+
+    def _on_apply(self, cmd: Dict[str, Any], result: Any) -> None:
+        """Fires on every replica for every committed command."""
+        if cmd.get("op") == "shutdown":
+            self._fleet_shutdown = True
+            if self._cluster_mgr is not None and self._cluster_mgr.is_leader:
+                # let the commit-index broadcast reach the followers
+                # before this loop starts tearing connections down
+                assert self._loop is not None
+                self._loop.call_later(0.3, self._request_shutdown)
+            else:
+                self._request_shutdown()
+
+    def _on_role_change(self, won: bool) -> None:
+        if won:
+            task = asyncio.ensure_future(self._assume_leadership())
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+            return
+        # Deposed: drop every client/worker session (they re-sign-in
+        # with the new leader, whose reset command rebuilds the
+        # machine); replica links stay up — they carry the consensus.
+        self._lead_ready = False
+        self._jobs.clear()
+        self._workers.clear()
+        for conn in list(self._conns):
+            if conn not in self._replica_conns:
+                conn.close()
+
+    async def _assume_leadership(self) -> None:
+        """Won an election: commit a ``reset`` so every replica agrees
+        the worker/job slate is clean, then open for business."""
+        try:
+            await self._commit({"op": "reset"})
+        except ServiceError as exc:
+            self._log(f"leadership reset not committed ({exc})")
+            return
+        if self._cluster_mgr is not None and self._cluster_mgr.is_leader:
+            self._lead_ready = True
+            self._log("leader ready (reset committed)")
+
     async def _main(self) -> None:
         self._shutdown_evt = asyncio.Event()
         try:
@@ -266,22 +365,35 @@ class Coordinator:
             self._ready.set()
             return
         self.port = server.sockets[0].getsockname()[1]
+        if self.cluster is not None:
+            self._cluster_mgr = ClusterManager(
+                self.cluster, self._machine,
+                on_apply=self._on_apply,
+                on_role_change=self._on_role_change,
+                log_fn=self._log)
+            self._cluster_mgr.start()
         self._ready.set()
         self._log(f"coordinator listening on {self.address} "
-                  f"(single-threaded event loop)")
+                  f"(single-threaded event loop"
+                  + (f", replica {self.cluster.node_id}/"
+                     f"{self.cluster.n_nodes}" if self.cluster else "")
+                  + ")")
         monitor = asyncio.create_task(self._monitor())
         try:
             await self._shutdown_evt.wait()
         finally:
             self._stopping = True
             monitor.cancel()
+            if self._cluster_mgr is not None:
+                await self._cluster_mgr.stop()
             server.close()
             await server.wait_closed()
-            for w in list(self._workers.values()):
-                try:
-                    w.conn.send({"type": "shutdown"})
-                except ServiceError:
-                    pass
+            if self._fleet_shutdown:
+                for w in list(self._workers.values()):
+                    try:
+                        w.conn.send({"type": "shutdown"})
+                    except ServiceError:
+                        pass
             for conn in list(self._conns):
                 conn.close()
             handlers = [t for t in self._conn_tasks if not t.done()]
@@ -318,17 +430,21 @@ class Coordinator:
         self._conns.add(conn)
         try:
             hello = await self._read(conn, timeout=30.0)
-            if hello.get("type") != "hello":
+            if hello.get("type") == "replica-hello":
+                check_protocol(hello, peer="replica peer")
+                await self._serve_replica(conn, hello)
+            elif hello.get("type") != "hello":
                 raise FrameError(f"expected hello, got "
                                  f"{hello.get('type')!r}")
-            check_protocol(hello, peer="peer")
-            role = hello.get("role")
-            if role == "worker":
-                await self._serve_worker(conn, hello)
-            elif role == "client":
-                await self._serve_client(conn)
             else:
-                raise FrameError(f"unknown role {role!r}")
+                check_protocol(hello, peer="peer")
+                role = hello.get("role")
+                if role == "worker":
+                    await self._serve_worker(conn, hello)
+                elif role == "client":
+                    await self._serve_client(conn)
+                else:
+                    raise FrameError(f"unknown role {role!r}")
         except asyncio.TimeoutError:
             pass  # never said hello — drop silently
         except (ServiceError, OSError, ConnectionError) as exc:
@@ -351,23 +467,48 @@ class Coordinator:
             self._conns.discard(conn)
 
     # ------------------------------------------------------------------
+    # replica side
+    # ------------------------------------------------------------------
+    async def _serve_replica(self, conn: _Conn,
+                             hello: Dict[str, Any]) -> None:
+        if self._cluster_mgr is None:
+            raise FrameError("this coordinator is not clustered")
+        self._log(f"replica {hello.get('node')} connected")
+        self._replica_conns.add(conn)
+        try:
+            while not self._stopping:
+                msg = await self._read(conn)
+                self._cluster_mgr.handle_message(msg, conn.send)
+        finally:
+            self._replica_conns.discard(conn)
+
+    # ------------------------------------------------------------------
     # worker side
     # ------------------------------------------------------------------
     async def _serve_worker(self, conn: _Conn,
                             hello: Dict[str, Any]) -> None:
         assert self._loop is not None
-        self._worker_seq += 1
-        name = hello.get("name") or f"worker-{self._worker_seq}"
-        if name in self._workers:  # names must be unique
-            name = f"{name}.{self._worker_seq}"
+        if not self._leading():
+            conn.send(self._redirect_frame())
+            return
+        base = hello.get("name")
+        while True:  # registration must survive an await-window race
+            self._worker_seq += 1
+            name = base or f"worker-{self._worker_seq}"
+            if (name in self._workers  # names must be unique
+                    or name in self._sched.worker_names()):
+                name = f"{name}.{self._worker_seq}"
+            if await self._commit({"op": "worker_add",
+                                   "name": name}) == "ok":
+                break
+            base = name  # replicated slate still holds it; re-suffix
         worker = _WorkerConn(name, conn, pid=hello.get("pid"),
                              last_seen=self._loop.time())
         self._workers[name] = worker
-        self._sched.add_worker(name)
         conn.send({"type": "welcome", "name": name,
                    "protocol": PROTOCOL_VERSION})
         self._log(f"worker {name} (pid {worker.pid}) joined")
-        self._dispatch()
+        await self._dispatch()
         try:
             while not self._stopping:
                 msg = await self._read(conn)
@@ -377,44 +518,51 @@ class Coordinator:
                     self.heartbeats_seen += 1
                     continue
                 if kind == "result":
-                    self._on_result(name, msg)
+                    await self._on_result(name, msg)
                 elif kind == "unit_error":
-                    self._on_unit_error(name, msg)
+                    await self._on_unit_error(name, msg)
                 elif kind == "bye":
                     break
                 else:
                     raise FrameError(f"unexpected {kind!r} from worker")
         finally:
-            self._drop_worker(name, "connection closed")
+            await self._drop_worker(name, "connection closed")
 
-    def _drop_worker(self, name: str, reason: str) -> None:
+    async def _drop_worker(self, name: str, reason: str) -> None:
         worker = self._workers.pop(name, None)
         if worker is None:
             return
-        requeued = self._reap_worker(name, reason)
         worker.conn.close()
+        if self._cluster_mgr is not None and (
+                self._stopping or not self._leading()):
+            return  # the (next) leader's reset rebuilds the slate
+        requeued = await self._reap_worker(name, reason)
         if requeued and not self._stopping:
             self._log(f"worker {name} lost ({reason}); requeued "
                       f"{[f'{j}#{i}' for j, i in requeued]}")
         elif not self._stopping:
             self._log(f"worker {name} left ({reason})")
-        self._dispatch()
+        await self._dispatch()
 
-    def _reap_worker(self, name: str, reason: str):
+    async def _reap_worker(self, name: str, reason: str):
         """Remove ``name`` from the scheduler; units whose attempts a
         repeated worker-killer already exhausted fail their jobs
         instead of circling through yet another worker."""
-        requeued, fatal = self._sched.remove_worker(name)
-        for job_id, idx in fatal:
-            self._fail_job(
+        res = await self._try_commit({"op": "worker_remove",
+                                      "name": name})
+        if not isinstance(res, dict) or "fatal" not in res:
+            return []  # commit dropped (deposed) — reset cleans up
+        for job_id, idx in res["fatal"]:
+            await self._fail_job(
                 job_id, idx,
                 f"unit killed its worker {self._sched.max_attempts} "
                 f"times (last: {name}, {reason})")
-        return requeued
+        return [tuple(u) for u in res["requeued"]]
 
-    def _fail_job(self, job_id: str, idx: int, error: str) -> None:
+    async def _fail_job(self, job_id: str, idx: int,
+                        error: str) -> None:
         job = self._jobs.pop(job_id, None)
-        self._sched.fail_job(job_id)
+        await self._try_commit({"op": "job_fail", "job": job_id})
         if job is not None:
             try:
                 job.client.send({"type": "job_failed", "job": job_id,
@@ -422,44 +570,57 @@ class Coordinator:
             except ServiceError:
                 pass
 
-    def _on_result(self, name: str, msg: Dict[str, Any]) -> None:
+    async def _on_result(self, name: str, msg: Dict[str, Any]) -> None:
         job_id, idx = msg["job"], msg["idx"]
-        verdict = self._sched.complete(name, job_id, idx)
-        if verdict != "fresh":
+        value = msg["value"]
+        # the memo key rides the command so every replica's machine
+        # learns the value — that is what makes fail-over cheap
+        job = self._jobs.get(job_id)
+        key = None
+        if job is not None and 0 <= idx < len(job.units):
+            key = job.units[idx].key()
+        verdict = await self._commit({"op": "complete", "name": name,
+                                      "job": job_id, "idx": idx,
+                                      "key": key, "value": value})
+        job = self._jobs.get(job_id)  # re-fetch: awaits interleave
+        if verdict != "fresh" or job is None:
             self._log(f"dropped {verdict} result {job_id}#{idx} "
                       f"from {name}")
-            self._dispatch()
+            await self._dispatch()
             return
-        job = self._jobs[job_id]
-        value = msg["value"]
         job.values[idx] = value
         job.remaining -= 1
         job.warm_builds += msg.get("warm_builds", 0)
         job.warm_hits += msg.get("warm_hits", 0)
         self.units_completed += 1
-        self._store_result(job.units[idx], value)
+        self._store_result(key, value)
         self._send_row(job, idx, value)
         if job.remaining == 0:
-            self._finish_job(job)
-        self._dispatch()
+            await self._finish_job(job)
+        await self._dispatch()
 
-    def _on_unit_error(self, name: str, msg: Dict[str, Any]) -> None:
+    async def _on_unit_error(self, name: str,
+                             msg: Dict[str, Any]) -> None:
         job_id, idx = msg["job"], msg["idx"]
         error = msg.get("error", "unknown unit error")
-        verdict = self._sched.fail(name, job_id, idx)
+        verdict = await self._commit({"op": "unit_fail", "name": name,
+                                      "job": job_id, "idx": idx})
         self._log(f"unit {job_id}#{idx} failed on {name} "
                   f"({verdict}): {error}")
         tb = msg.get("traceback")
         if tb:
             self._log(f"worker traceback for {job_id}#{idx}:\n{tb}")
         if verdict == "fatal":
-            self._fail_job(job_id, idx, error)
-        self._dispatch()
+            await self._fail_job(job_id, idx, error)
+        await self._dispatch()
 
     # ------------------------------------------------------------------
     # client side
     # ------------------------------------------------------------------
     async def _serve_client(self, conn: _Conn) -> None:
+        if not self._leading():
+            conn.send(self._redirect_frame())
+            return
         conn.send({"type": "welcome", "protocol": PROTOCOL_VERSION})
         submitted: List[str] = []
         try:
@@ -471,10 +632,15 @@ class Coordinator:
                 elif kind == "status":
                     conn.send(self._status_reply())
                 elif kind == "submit":
-                    submitted.append(self._on_submit(conn, msg))
+                    submitted.append(await self._on_submit(conn, msg))
                 elif kind == "shutdown":
                     conn.send({"type": "bye"})
-                    self._request_shutdown()
+                    if self._cluster_mgr is None:
+                        self._request_shutdown()
+                    else:
+                        # the whole quorum goes down via the log, so
+                        # the decision survives any single replica
+                        await self._try_commit({"op": "shutdown"})
                     return
                 elif kind == "bye":
                     return
@@ -485,9 +651,11 @@ class Coordinator:
             for job_id in submitted:
                 if job_id in self._jobs:
                     del self._jobs[job_id]
-                    self._sched.cancel_job(job_id)
+                    await self._try_commit({"op": "job_cancel",
+                                            "job": job_id})
 
-    def _on_submit(self, conn: _Conn, msg: Dict[str, Any]) -> str:
+    async def _on_submit(self, conn: _Conn,
+                         msg: Dict[str, Any]) -> str:
         try:
             units = [unit_from_wire(w) for w in msg["units"]]
         except (ConfigError, KeyError, TypeError) as exc:
@@ -496,7 +664,15 @@ class Coordinator:
             # ReproError, which _handle_conn would not catch)
             raise FrameError(f"malformed submit: {exc}") from exc
         self._job_seq += 1
-        job_id = f"job-{self._job_seq}"
+        if self.cluster is not None:
+            # globally unique across leaders: a surviving worker's
+            # stale in-flight result must never complete a *different*
+            # job that reused the id under a new leader
+            mgr = self._cluster_mgr
+            job_id = (f"job-r{self.cluster.node_id}."
+                      f"{mgr.core.term if mgr else 0}.{self._job_seq}")
+        else:
+            job_id = f"job-{self._job_seq}"
         job = _Job(job_id=job_id, client=conn, units=units,
                    values=[None] * len(units), remaining=len(units),
                    warmup_snapshots=bool(msg.get("warmup_snapshots")),
@@ -512,16 +688,21 @@ class Coordinator:
                 cached.append([idx, value[0]])
                 self.served_from_cache += 1
         job.from_cache = len(skip)
+        if job.remaining > 0:
+            # replicate before accepting: once the client hears
+            # "accepted", a quorum already owns the job
+            await self._commit({"op": "job_add", "job": job_id,
+                                "units": msg["units"],
+                                "skip": sorted(skip)})
         self._jobs[job_id] = job
         conn.send({"type": "accepted", "job": job_id,
                    "total": len(units), "cached": cached})
         self._log(f"{job_id}: {len(units)} units "
                   f"({len(skip)} from cache)")
         if job.remaining == 0:
-            self._finish_job(job)
+            await self._finish_job(job)
         else:
-            self._sched.add_job(job_id, units, skip=skip)
-            self._dispatch()
+            await self._dispatch()
         return job_id
 
     def _send_row(self, job: _Job, idx: int, value: Any) -> None:
@@ -529,12 +710,13 @@ class Coordinator:
                          "idx": idx, "value": value})
         self.rows_streamed += 1
 
-    def _finish_job(self, job: _Job) -> None:
+    async def _finish_job(self, job: _Job) -> None:
         self._jobs.pop(job.job_id, None)
         # release the scheduler's job state too (unit lists would
         # otherwise accumulate for the coordinator's lifetime, and
         # status would report finished jobs as live)
-        self._sched.cancel_job(job.job_id)
+        await self._try_commit({"op": "job_cancel",
+                                "job": job.job_id})
         try:
             job.client.send({"type": "done", "job": job.job_id,
                              "warm_builds": job.warm_builds,
@@ -561,32 +743,39 @@ class Coordinator:
                      units_completed=self.units_completed,
                      heartbeats_seen=self.heartbeats_seen,
                      results_cached=len(self._results))
-        return {"type": "status_reply", "workers": workers,
-                "stats": stats}
+        reply = {"type": "status_reply", "workers": workers,
+                 "stats": stats, "pid": os.getpid()}
+        if self._cluster_mgr is not None:
+            reply["cluster"] = self._cluster_mgr.status()
+        return reply
 
     # ------------------------------------------------------------------
     # dispatch + liveness
     # ------------------------------------------------------------------
-    def _dispatch(self) -> None:
-        while True:
-            assigned = False
-            for name in self._sched.idle_workers():
-                a = self._sched.next_unit_for(name)
-                if a is None:
-                    continue
-                job = self._jobs.get(a.job_id)
-                worker = self._workers.get(name)
-                if job is None or worker is None:
-                    continue
-                worker.conn.send({
-                    "type": "assign", "job": a.job_id, "idx": a.idx,
-                    "unit": a.unit.to_wire(),
-                    "warmup_snapshots": job.warmup_snapshots,
-                    "warmup_dir": job.warmup_dir,
-                })
-                assigned = True
-            if not assigned:
-                return
+    async def _dispatch(self) -> None:
+        """Assign pending units to idle workers. One replicated
+        ``dispatch`` command runs the whole assignment loop inside the
+        machine, so every replica agrees on who runs what; the leader
+        then sends the ``assign`` frames."""
+        if not self._sched.idle_workers() or (
+                self._sched.pending_count() == 0):
+            return  # nothing could be assigned — skip the log entry
+        assignments = await self._try_commit({"op": "dispatch"})
+        if not isinstance(assignments, list):
+            return  # deposed mid-commit; the new leader redispatches
+        for a in assignments:
+            job = self._jobs.get(a["job"])
+            worker = self._workers.get(a["worker"])
+            if job is None or worker is None:
+                # conn vanished inside the commit window — its
+                # worker_remove commit requeues the unit
+                continue
+            worker.conn.send({
+                "type": "assign", "job": a["job"], "idx": a["idx"],
+                "unit": a["unit"],
+                "warmup_snapshots": job.warmup_snapshots,
+                "warmup_dir": job.warmup_dir,
+            })
 
     async def _monitor(self) -> None:
         assert self._loop is not None
@@ -596,7 +785,7 @@ class Coordinator:
             stale = [name for name, w in self._workers.items()
                      if now - w.last_seen > self.heartbeat_timeout]
             for name in stale:
-                self._drop_worker(name, "heartbeat timeout")
+                await self._drop_worker(name, "heartbeat timeout")
 
     # ------------------------------------------------------------------
     # result memo (idempotency + restart warm cache)
@@ -620,17 +809,29 @@ class Coordinator:
             return (value,)
         return None
 
-    def _store_result(self, unit, value: Any) -> None:
-        key = unit.key()
-        self._results[key] = value
+    def _store_result(self, key: Optional[str], value: Any) -> None:
+        """Persist one memoized value to the cache directory (the
+        in-memory memo is the machine's — the ``complete`` command
+        already recorded it). A failed write is non-fatal, but the
+        ``.tmp.<pid>`` staging file must not survive it: a long-lived
+        coordinator on a full/read-only disk would otherwise shed tmp
+        litter on every completion."""
+        if key is None:
+            return
+        self._results[key] = value  # idempotent next to the command
         if self.cache_dir is not None and isinstance(
                 value, (int, float, dict)):
-            os.makedirs(self.cache_dir, exist_ok=True)
             path = self._cache_path(key)
             tmp = f"{path}.tmp.{os.getpid()}"
             try:
+                os.makedirs(self.cache_dir, exist_ok=True)
                 with open(tmp, "w") as f:
                     json.dump({"key": key, "value": value}, f)
                 os.replace(tmp, path)
             except OSError:
                 pass
+            finally:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass

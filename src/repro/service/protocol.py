@@ -29,12 +29,19 @@ __all__ = ["PROTOCOL_VERSION", "MAX_FRAME", "MESSAGE_TYPES",
            "encode_frame", "FrameDecoder", "send_msg", "recv_msg",
            "read_msg_async", "check_protocol", "set_send_timeout"]
 
-#: Version 2: the ``protocol`` field in ``hello``/``welcome`` became
-#: mandatory, and unit/value payloads grew a ``kind`` discriminator
-#: plus full-``RunResult`` encodings (``__run_result__`` objects) —
-#: see :mod:`repro.harness.units`. A v1 peer would silently drop both,
-#: which is exactly the drift the mandatory field now catches.
-PROTOCOL_VERSION = 2
+#: Version 3: coordinator replication. ``redirect`` tells a client or
+#: worker which replica currently leads (follow it, don't retry here);
+#: ``replica-hello`` opens a replica-to-replica link, over which the
+#: consensus traffic flows (``replica-vote``/``replica-vote-reply``
+#: elections, ``replica-append``/``replica-append-ack`` log
+#: replication — see :mod:`repro.service.replica`). A v2 peer would
+#: treat a redirect as an unknown frame and hang against a follower,
+#: which is exactly the drift the mandatory version field catches.
+#: (Version 2 made the ``protocol`` field in ``hello``/``welcome``
+#: mandatory and gave unit/value payloads a ``kind`` discriminator
+#: plus full-``RunResult`` encodings — see
+#: :mod:`repro.harness.units`.)
+PROTOCOL_VERSION = 3
 
 #: hard payload ceiling — a submit of ~100k units is a few MB; anything
 #: past this is a corrupt or hostile length prefix, not a real message.
@@ -52,6 +59,11 @@ MESSAGE_TYPES = frozenset({
     "accepted", "row", "done", "job_failed", "status_reply", "pong",
     # coordinator <-> worker
     "assign", "result", "unit_error", "heartbeat",
+    # replica -> client/worker: you reached a follower, go there
+    "redirect",
+    # replica <-> replica: consensus traffic (repro.service.replica)
+    "replica-hello", "replica-vote", "replica-vote-reply",
+    "replica-append", "replica-append-ack",
     # either direction: fatal protocol-level complaint before drop
     "error",
 })

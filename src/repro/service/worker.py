@@ -43,7 +43,16 @@ from repro.service.errors import (ConnectionClosed, FrameError,
 from repro.service.protocol import (PROTOCOL_VERSION, FrameDecoder,
                                     encode_frame, read_msg_async)
 
-__all__ = ["Worker", "parse_address"]
+__all__ = ["Worker", "parse_address", "parse_addresses",
+           "service_child_env"]
+
+
+class _Redirected(Exception):
+    """Internal control flow: a follower answered with ``redirect``."""
+
+    def __init__(self, leader: Optional[str]) -> None:
+        super().__init__(leader)
+        self.leader = leader
 
 
 class _BoundedImageCache(WarmupImageCache):
@@ -83,9 +92,43 @@ def parse_address(address: str) -> Tuple[str, int]:
     return host or "127.0.0.1", int(port)
 
 
+def parse_addresses(address: str) -> list:
+    """``host:port[,host:port...]`` -> list of addresses (validated).
+
+    One address is a solo coordinator; several are the replicas of a
+    clustered one — clients and workers dial until one answers
+    ``welcome`` (following ``redirect`` frames to the leader)."""
+    addrs = [a.strip() for a in address.split(",") if a.strip()]
+    if not addrs:
+        raise ServiceError(f"bad service address {address!r}")
+    for a in addrs:
+        parse_address(a)
+    return addrs
+
+
+def service_child_env() -> Dict[str, str]:
+    """Environment for spawned service processes: this checkout's
+    ``src`` prepended to ``PYTHONPATH``.
+
+    .../src/repro/service/worker.py -> .../src (three levels up).
+    This used to stop one level short (.../src/repro), which made
+    `import repro` fail in the child whenever the parent had no
+    usable PYTHONPATH of its own — a CLI-launched fleet then
+    respawn-looped instead of serving (tests masked it by exporting
+    PYTHONPATH=src, which children inherit).
+    """
+    src = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    return env
+
+
 def spawn_worker_process(address: str, *, name: Optional[str] = None,
                          verbose: bool = False, capture: bool = False):
-    """Start a worker as a detached OS process attached to ``address``.
+    """Start a worker as a detached OS process attached to ``address``
+    (which may be a comma-separated replica list).
 
     The one spawn recipe (``python -m repro.service worker``, with this
     checkout's ``src`` prepended to ``PYTHONPATH``) shared by the fleet
@@ -96,17 +139,7 @@ def spawn_worker_process(address: str, *, name: Optional[str] = None,
     import subprocess
     import sys
 
-    # .../src/repro/service/worker.py -> .../src (three levels up).
-    # This used to stop one level short (.../src/repro), which made
-    # `import repro` fail in the child whenever the parent had no
-    # usable PYTHONPATH of its own — a CLI-launched fleet then
-    # respawn-looped instead of serving (tests masked it by exporting
-    # PYTHONPATH=src, which children inherit).
-    src = os.path.dirname(os.path.dirname(os.path.dirname(
-        os.path.abspath(__file__))))
-    env = dict(os.environ)
-    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
-                               if env.get("PYTHONPATH") else "")
+    env = service_child_env()
     cmd = [sys.executable, "-m", "repro.service", "worker",
            "--connect", address]
     if name:
@@ -123,13 +156,20 @@ class Worker:
     def __init__(self, address: str, *, name: Optional[str] = None,
                  heartbeat_interval: float = 2.0,
                  max_memory_images: int = 8,
+                 failover_timeout: float = 60.0,
                  verbose: bool = False) -> None:
         self.address = address
+        self.addresses = parse_addresses(address)
         self.name = name
         self.heartbeat_interval = heartbeat_interval
         self.max_memory_images = max_memory_images
+        #: replicated fleets only: how long to hunt for a (new) leader
+        #: after losing the coordinator before giving up
+        self.failover_timeout = failover_timeout
         self.verbose = verbose
         self.units_run = 0
+        self.signins = 0  # successful registrations (tests watch this)
+        self._leader_hint: Optional[str] = None
         self._stopping = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_evt: Optional[asyncio.Event] = None
@@ -172,7 +212,10 @@ class Worker:
     def _send(self, msg: Dict[str, Any]) -> None:
         """Queue one frame for the send pump (encode errors surface
         here, at the caller)."""
-        assert self._sendq is not None
+        if self._sendq is None:
+            # a unit finished while we were between coordinators; the
+            # (re-signed-in) leader reassigns it, so dropping is safe
+            raise ServiceError("not connected")
         self._sendq.put_nowait(encode_frame(msg))
 
     async def _send_pump(self, writer: asyncio.StreamWriter) -> None:
@@ -190,10 +233,75 @@ class Worker:
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop_evt = asyncio.Event()
-        self._sendq = asyncio.Queue()
         if self._stopping.is_set():  # stop() raced run()
             return
-        host, port = parse_address(self.address)
+        # Session loop: sign in somewhere, serve until the connection
+        # ends, then (replicated fleets only) hunt for the new leader.
+        # A solo-address worker keeps the old exit-on-loss semantics —
+        # the fleet CLI's respawner owns its lifecycle.
+        window_start = self._loop.time()
+        while not self._stopping.is_set():
+            outcome = await self._session()
+            if outcome == "shutdown" or self._stopping.is_set():
+                return
+            if len(self.addresses) == 1:
+                return
+            if outcome == "served":
+                # we *were* registered; leader died — restart the
+                # fail-over clock and go hunt for its successor
+                window_start = self._loop.time()
+                continue
+            if (self._loop.time() - window_start
+                    > self.failover_timeout):
+                self._log("no leader answered within "
+                          f"{self.failover_timeout:.0f}s; giving up")
+                return
+            await asyncio.sleep(0.4)
+
+    async def _session(self) -> str:
+        """One sign-in attempt: dial the replicas (last-known leader
+        first), follow ``redirect`` frames, then serve assignments
+        until the connection ends.
+
+        Returns ``"shutdown"`` (coordinator said stop / stop() was
+        called), ``"served"`` (registered, then lost the leader) or
+        ``"unreachable"`` (nobody welcomed us this round).
+        Protocol-level complaints (:class:`ProtocolMismatch`,
+        :class:`ServiceError`) stay loud and propagate."""
+        candidates = list(dict.fromkeys(
+            ([self._leader_hint] if self._leader_hint else [])
+            + self.addresses))
+        self._leader_hint = None
+        redirects = 0
+        i = 0
+        while i < len(candidates) and not self._stopping.is_set():
+            addr = candidates[i]
+            i += 1
+            try:
+                return await self._serve_at(addr)
+            except _Redirected as red:
+                # a follower told us who leads; try it next (bounded,
+                # deduped — a stale hint must not loop us forever)
+                if (red.leader and redirects < 2 * len(self.addresses)
+                        and red.leader not in candidates[:i]):
+                    candidates.insert(i, red.leader)
+                    redirects += 1
+            except (ConnectionClosed, FrameError, OSError,
+                    asyncio.TimeoutError) as exc:
+                self._log(f"{addr} unreachable ({exc})")
+            except ProtocolMismatch:
+                raise
+            except ServiceError as exc:
+                # a replica mid-election can answer with a transient
+                # error; with one address that is final, with several
+                # the next candidate (or the next round) resolves it
+                if len(self.addresses) == 1:
+                    raise
+                self._log(f"{addr} rejected sign-in ({exc})")
+        return "unreachable"
+
+    async def _serve_at(self, address: str) -> str:
+        host, port = parse_address(address)
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port), 30.0)
         sock = writer.get_extra_info("socket")
@@ -201,13 +309,20 @@ class Worker:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         decoder = FrameDecoder()
         tasks: set = set()
+        self._sendq = asyncio.Queue()
         pump = asyncio.create_task(self._send_pump(writer))
+        registered = False
         try:
             self._send({"type": "hello", "role": "worker",
                         "protocol": PROTOCOL_VERSION,
                         "name": self.name, "pid": os.getpid()})
             welcome = await asyncio.wait_for(
                 read_msg_async(reader, decoder), 30.0)
+            if welcome.get("type") == "redirect":
+                leader = welcome.get("leader")
+                self._leader_hint = leader
+                self._log(f"{address} redirects to {leader!r}")
+                raise _Redirected(leader)
             if welcome.get("type") == "error":
                 if welcome.get("code") == "protocol-mismatch":
                     raise ProtocolMismatch(
@@ -224,7 +339,10 @@ class Worker:
                     f"{welcome.get('protocol')!r}, this worker speaks "
                     f"{PROTOCOL_VERSION}")
             self.name = welcome.get("name", self.name)
-            self._log(f"registered with {self.address}")
+            self._leader_hint = address
+            self.signins += 1
+            registered = True
+            self._log(f"registered with {address}")
             heartbeat = asyncio.create_task(self._heartbeat())
             read_loop = asyncio.create_task(
                 self._read_loop(reader, decoder, tasks))
@@ -235,15 +353,28 @@ class Worker:
                 return_when=asyncio.FIRST_COMPLETED)
             if read_loop in done:
                 read_loop.result()  # surface protocol-level errors
+            return "shutdown"
         except (ConnectionClosed, FrameError, OSError,
                 asyncio.TimeoutError) as exc:
             # transport-level loss (incl. a close racing a frame
-            # mid-flight at shutdown) ends this worker quietly — the
-            # coordinator requeues anything it owed; only protocol-
-            # level complaints above stay loud
+            # mid-flight at shutdown) ends this *session* quietly —
+            # the coordinator requeues anything it owed; only
+            # protocol-level complaints above stay loud
+            if not registered:
+                raise
             self._log(f"coordinator went away ({exc})")
+            return "served"
+        except ProtocolMismatch:
+            raise
+        except ServiceError as exc:
+            # e.g. the leader lost its quorum mid-session and erred
+            # out our connection — re-sign-in, don't die loudly
+            if registered and len(self.addresses) > 1:
+                self._log(f"coordinator error ({exc}); re-signing in")
+                return "served"
+            raise
         finally:
-            self._stopping.set()
+            self._sendq = None
             for t in list(tasks) + [pump]:
                 t.cancel()
             try:
@@ -331,15 +462,21 @@ def main(argv: Optional[list] = None) -> int:
     cli = argparse.ArgumentParser(
         description="Persistent sweep-service worker.")
     cli.add_argument("--connect", required=True, metavar="HOST:PORT",
-                     help="coordinator address")
+                     help="coordinator address (comma-separate the "
+                          "replicas of a clustered coordinator)")
     cli.add_argument("--name", default=None,
                      help="worker name (default: coordinator-assigned)")
     cli.add_argument("--heartbeat", type=float, default=2.0,
                      metavar="SECONDS", help="heartbeat interval")
+    cli.add_argument("--failover-timeout", type=float, default=60.0,
+                     metavar="SECONDS",
+                     help="replicated fleets: give up after this long "
+                          "without any leader answering")
     cli.add_argument("--verbose", action="store_true")
     args = cli.parse_args(argv)
     worker = Worker(args.connect, name=args.name,
                     heartbeat_interval=args.heartbeat,
+                    failover_timeout=args.failover_timeout,
                     verbose=args.verbose)
     try:
         worker.run()

@@ -10,8 +10,14 @@ service trustworthy for figure tables:
 * **Coordinator restart over a warm result cache** — a new coordinator
   with the same ``cache_dir`` serves the repeated job without a single
   worker attached.
-* **Coordinator dies mid-job** — the client gets a typed
-  :class:`JobFailed`, not a hang.
+* **Coordinator dies mid-job** — a solo (single-address) client gets
+  a typed :class:`JobFailed`, not a hang.
+* **SIGKILL the cluster leader mid-job** — with a 3-replica quorum the
+  same death is a non-event: the survivors elect a new leader, workers
+  re-sign-in, the client resubmits, and the rows still come back
+  bit-identical to serial.
+* **The result-cache store hits filesystem trouble** — no
+  ``.tmp.<pid>`` residue may survive a failed store.
 """
 
 from __future__ import annotations
@@ -26,7 +32,8 @@ import pytest
 from repro.harness.experiment import ExperimentConfig
 from repro.harness.units import SweepUnit
 from repro.params import Organization
-from repro.service import Coordinator, JobFailed, ServiceClient, Worker
+from repro.service import (Coordinator, JobFailed, ServiceClient, Worker,
+                           pick_free_ports, spawn_coordinator_process)
 from repro.service.worker import spawn_worker_process
 
 BENCH = "water_spatial"
@@ -205,6 +212,106 @@ class TestCoordinatorRestart:
             second.stop()
             worker2.stop()
             thread2.join(timeout=10)
+
+
+class TestLeaderKill:
+    def test_sigkill_leader_mid_job_quorum_finishes_identically(self):
+        """SIGKILL the *leader* replica while a worker is mid-unit:
+        the surviving quorum elects a new leader, the workers and the
+        client fail over, and the job finishes with rows bit-identical
+        to the serial path — no :class:`JobFailed`, no lost row."""
+        addrs = [f"127.0.0.1:{p}" for p in pick_free_ports(3)]
+        addr_list = ",".join(addrs)
+        replicas = [spawn_coordinator_process(addrs, i, capture=True)
+                    for i in range(3)]
+        workers = [spawn_worker_process(addr_list, name=f"lw{i}",
+                                        capture=True) for i in range(2)]
+        # one long unit (~2.5s kill window) + four short ones
+        units = [unit(seed=9, scale=0.2)] + \
+                [unit(seed=s) for s in range(1, 5)]
+        try:
+            _wait_for_workers(addr_list, 2, timeout=60.0)
+            values: list = []
+            errors: list = []
+
+            def submit() -> None:
+                try:
+                    with ServiceClient(addr_list,
+                                       connect_timeout=60.0) as client:
+                        values.extend(client.run_units(units))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            runner = threading.Thread(target=submit)
+            runner.start()
+            # wait until the long unit is in flight, then kill the
+            # replica that is actually leading (status names its pid)
+            leader_pid = None
+            with ServiceClient(addr_list, row_timeout=10.0) as mon:
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    status = mon.status()
+                    if any(w["busy"] and w["busy"][1] == 0
+                           for w in status["workers"]):
+                        leader_pid = status["pid"]
+                        break
+                    time.sleep(0.02)
+            assert leader_pid is not None, \
+                "long unit was never observed in flight"
+            assert leader_pid in {p.pid for p in replicas}
+            os.kill(leader_pid, signal.SIGKILL)
+            runner.join(timeout=180)
+            assert not runner.is_alive()
+            assert not errors, errors  # fail-over, not failure
+            assert values == [u.run() for u in units]
+            # the survivors hold a quorum under a fresh leader
+            with ServiceClient(addr_list,
+                               connect_timeout=60.0) as mon:
+                status = mon.status()
+            assert status["pid"] != leader_pid
+            assert status["cluster"]["role"] == "leader"
+        finally:
+            for p in workers + replicas:
+                if p.poll() is None:
+                    p.terminate()
+            for p in workers + replicas:
+                try:
+                    p.wait(timeout=10)
+                except Exception:
+                    p.kill()
+
+
+class TestCacheStoreHygiene:
+    def test_no_tmp_residue_when_replace_fails(self, tmp_path):
+        """A directory squatting on the destination makes the final
+        ``os.replace`` fail — the ``.tmp.<pid>`` staging file must not
+        leak (it used to, on exactly this path)."""
+        coord = Coordinator(cache_dir=str(tmp_path))
+        key = unit(seed=1).key()
+        os.makedirs(coord._cache_path(key))
+        coord._store_result(key, 123)
+        assert coord._results[key] == 123  # memo unaffected
+        residue = [p for p in os.listdir(tmp_path) if ".tmp." in p]
+        assert residue == []
+
+    def test_no_tmp_residue_in_readonly_cache_dir(self, tmp_path):
+        """A read-only cache directory must degrade to memory-only —
+        no exception out of the store, no staging residue. (When the
+        suite runs as root the write may succeed despite the mode
+        bits; the residue assertion holds either way.)"""
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        os.chmod(cache, 0o555)
+        try:
+            coord = Coordinator(cache_dir=str(cache))
+            key = unit(seed=1).key()
+            coord._store_result(key, 456)
+            assert coord._results[key] == 456
+            residue = [p.name for p in cache.iterdir()
+                       if ".tmp." in p.name]
+            assert residue == []
+        finally:
+            os.chmod(cache, 0o755)
 
 
 class TestCoordinatorDeath:

@@ -68,6 +68,20 @@ SAMPLES = {
                    "traceback": "Traceback (most recent call last):\n"
                                 "  ...\nValueError: boom\n"},
     "heartbeat": {"type": "heartbeat"},
+    "redirect": {"type": "redirect", "leader": "127.0.0.1:7077",
+                 "term": 3},
+    "replica-hello": {"type": "replica-hello", "node": 1,
+                      "protocol": PROTOCOL_VERSION},
+    "replica-vote": {"type": "replica-vote", "term": 4, "candidate": 2,
+                     "last_index": 17, "last_term": 3},
+    "replica-vote-reply": {"type": "replica-vote-reply", "term": 4,
+                           "voter": 0, "granted": True},
+    "replica-append": {"type": "replica-append", "term": 4, "leader": 2,
+                       "prev_index": 17, "prev_term": 3,
+                       "entries": [[4, {"op": "dispatch"}]],
+                       "commit": 17},
+    "replica-append-ack": {"type": "replica-append-ack", "term": 4,
+                           "follower": 0, "ok": True, "match": 18},
     "error": {"type": "error", "error": "protocol version mismatch"},
 }
 

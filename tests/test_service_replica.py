@@ -1,0 +1,444 @@
+"""Replicated-coordinator campaign: consensus, convergence, fail-over.
+
+Three layers, mirroring the architecture:
+
+* :class:`SchedulerMachine` — the fuzzed command-log determinism
+  property: N machines fed the same command log must converge
+  **bit-identically** (canonical-JSON snapshots compared as strings).
+  This is the replication safety argument in test form — if it holds,
+  any replica can take over leadership with exactly the scheduler
+  state the dead leader had.
+* :class:`ConsensusCore` — the Raft-style rules as pure unit tests:
+  one vote per term, the up-to-date log restriction, log-matching
+  conflict truncation, majority commit (current term only),
+  exactly-once delivery of committed entries.
+* the live cluster — 3 in-process replicas behind one comma-separated
+  address: rows bit-identical to serial, leader death between submit
+  and first row survived transparently, resubmits memo-served without
+  re-simulation, workers re-signing-in to the new leader.
+
+The process-level leader-SIGKILL campaign lives in
+``test_service_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.units import SweepUnit, unit_from_wire
+from repro.params import Organization
+from repro.service import (ClusterConfig, Coordinator, ServiceClient,
+                           ServiceError, Worker, pick_free_ports)
+from repro.service.replica import (CANDIDATE, FOLLOWER, LEADER,
+                                   ConsensusCore, ReplicaLog,
+                                   SchedulerMachine)
+
+BENCH = "water_spatial"
+
+
+def unit(seed: int = 1, scale: float = 0.04,
+         metric="runtime") -> SweepUnit:
+    return SweepUnit(ExperimentConfig(benchmark=BENCH,
+                                      organization=Organization.SHARED,
+                                      scale=scale, warmup_fraction=0.5,
+                                      seed=seed),
+                     50_000_000, metric)
+
+
+# ----------------------------------------------------------------------
+# determinism property: same log -> bit-identical machines
+# ----------------------------------------------------------------------
+def _wire_units():
+    return [unit(seed=s, metric=m).to_wire()
+            for s in (1, 2, 3) for m in ("runtime", "mpki")]
+
+
+def _fuzz_log(seed: int):
+    """Drive a reference machine with a random-but-valid command
+    stream (dispatch output feeds completes/failures, like the live
+    coordinator) plus deliberate garbage, and return the log."""
+    rng = random.Random(seed)
+    wires = _wire_units()
+    ref = SchedulerMachine()
+    log = []
+
+    def do(cmd):
+        # round-trip through JSON: replicas only ever see wire-shaped
+        # commands, so the log must be JSON-canonical
+        cmd = json.loads(json.dumps(cmd))
+        log.append(cmd)
+        return ref.apply(cmd)
+
+    workers, inflight = [], []
+    wseq = jseq = 0
+    for _ in range(rng.randrange(60, 100)):
+        roll = rng.random()
+        if roll < 0.18 or not workers:
+            wseq += 1
+            workers.append(f"w{wseq}")
+            do({"op": "worker_add", "name": workers[-1]})
+        elif roll < 0.28:
+            name = workers.pop(rng.randrange(len(workers)))
+            do({"op": "worker_remove", "name": name})
+            inflight = [a for a in inflight if a["worker"] != name]
+        elif roll < 0.45:
+            jseq += 1
+            n = rng.randrange(1, 4)
+            do({"op": "job_add", "job": f"j{jseq}",
+                "units": [rng.choice(wires) for _ in range(n)],
+                "skip": []})
+        elif roll < 0.60:
+            out = do({"op": "dispatch"})
+            if isinstance(out, list):
+                inflight.extend(out)
+        elif roll < 0.80 and inflight:
+            a = inflight.pop(rng.randrange(len(inflight)))
+            key = unit_from_wire(a["unit"]).key()
+            if rng.random() < 0.7:
+                do({"op": "complete", "name": a["worker"],
+                    "job": a["job"], "idx": a["idx"], "key": key,
+                    "value": rng.randrange(10_000)})
+            else:
+                do({"op": "unit_fail", "name": a["worker"],
+                    "job": a["job"], "idx": a["idx"]})
+        elif roll < 0.85 and jseq:
+            do({"op": rng.choice(["job_cancel", "job_fail"]),
+                "job": f"j{rng.randrange(1, jseq + 1)}"})
+        elif roll < 0.90:
+            # malformed commands must be deterministic no-op markers
+            do(rng.choice([{"op": "no_such_op"},
+                           {"op": "complete"},       # missing keys
+                           {"op": "job_add", "job": "jX",
+                            "units": [{"kind": "bogus"}]},
+                           {"no": "op at all"}]))
+        elif roll < 0.95:
+            do({"op": "reset"})
+            workers, inflight = [], []
+        else:
+            do({"op": "dispatch"})
+    return log, ref
+
+
+class TestMachineDeterminism:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fuzzed_log_converges_bit_identically(self, seed):
+        log, ref = _fuzz_log(seed)
+        machines = [SchedulerMachine() for _ in range(3)]
+        results = [[m.apply(cmd) for cmd in log] for m in machines]
+        # every replica computes the same per-command results...
+        assert results[0] == results[1] == results[2]
+        # ...and the same final state, compared as canonical JSON so
+        # "identical" means bit-identical, not merely ==
+        snaps = [json.dumps(m.snapshot(), sort_keys=True)
+                 for m in machines + [ref]]
+        assert len(set(snaps)) == 1
+
+    def test_apply_is_total(self):
+        """No command — however malformed — may raise out of apply:
+        a replica must never crash out of the committed log."""
+        m = SchedulerMachine()
+        for cmd in [{}, {"op": None}, {"op": "worker_remove"},
+                    {"op": "job_add", "job": "j", "units": "nope"},
+                    {"op": "complete", "name": 3, "job": [], "idx": {}}]:
+            out = m.apply(cmd)
+            assert isinstance(out, dict) and "error" in out
+
+    def test_memo_survives_reset(self):
+        """The reset on leader change clears workers and jobs but not
+        the memo — that is what makes fail-over cheap."""
+        m = SchedulerMachine()
+        m.apply({"op": "worker_add", "name": "w1"})
+        m.apply({"op": "job_add", "job": "j1",
+                 "units": [_wire_units()[0]], "skip": []})
+        (a,) = m.apply({"op": "dispatch"})
+        key = unit_from_wire(a["unit"]).key()
+        m.apply({"op": "complete", "name": "w1", "job": "j1",
+                 "idx": 0, "key": key, "value": 42})
+        m.apply({"op": "reset"})
+        snap = m.snapshot()
+        assert snap["workers"] == {} and snap["jobs"] == {}
+        assert m.memo == {key: 42}
+
+
+# ----------------------------------------------------------------------
+# consensus core rules
+# ----------------------------------------------------------------------
+class TestConsensusCore:
+    def test_election_needs_majority_and_one_vote_per_term(self):
+        a, b, c = (ConsensusCore(i, 3) for i in range(3))
+        req = a.start_election()
+        assert a.role == CANDIDATE and a.term == 1
+        assert b.on_vote(req)["granted"]
+        # b already voted for a this term: a rival is denied
+        rival = dict(req, candidate=2)
+        assert not b.on_vote(rival)["granted"]
+        # a's own vote + b's grant = majority of 3
+        assert a.on_vote_reply({"type": "replica-vote-reply",
+                                "term": 1, "voter": 1, "granted": True})
+        assert a.role == LEADER and a.leader_id == 0
+        # c grants too, but the reply changes nothing
+        assert not a.on_vote_reply(c.on_vote(req))
+        assert a.role == LEADER
+
+    def test_vote_denied_to_stale_log(self):
+        voter = ConsensusCore(1, 3)
+        voter.log.append(2, {"op": "dispatch"})  # term-2 entry
+        stale = {"type": "replica-vote", "term": 3, "candidate": 0,
+                 "last_index": 0, "last_term": 0}
+        assert not voter.on_vote(stale)["granted"]
+        fresh = {"type": "replica-vote", "term": 4, "candidate": 2,
+                 "last_index": 1, "last_term": 2}
+        assert voter.on_vote(fresh)["granted"]
+
+    def test_higher_term_deposes_leader(self):
+        a = ConsensusCore(0, 3)
+        a.start_election()
+        a.on_vote_reply({"type": "replica-vote-reply", "term": 1,
+                         "voter": 1, "granted": True})
+        assert a.role == LEADER
+        a.on_vote({"type": "replica-vote", "term": 5, "candidate": 2,
+                   "last_index": 0, "last_term": 0})
+        assert a.role == FOLLOWER and a.term == 5
+
+    def _elect(self, n=3):
+        nodes = [ConsensusCore(i, n) for i in range(n)]
+        req = nodes[0].start_election()
+        for peer in nodes[1:]:
+            nodes[0].on_vote_reply(peer.on_vote(req))
+        assert nodes[0].role == LEADER
+        return nodes
+
+    def test_replication_commits_on_majority_exactly_once(self):
+        leader, f1, f2 = self._elect()
+        leader.append_command({"op": "worker_add", "name": "w1"})
+        leader.append_command({"op": "dispatch"})
+        assert leader.commit_index == 0  # nothing acked yet
+        ack = f1.on_append(leader.append_for(1))
+        assert ack["ok"] and ack["match"] == 2
+        assert leader.on_append_ack(ack)  # majority (leader + f1)
+        assert leader.commit_index == 2
+        delivered = leader.take_committed()
+        assert [c["op"] for _, c in delivered] == ["worker_add",
+                                                   "dispatch"]
+        assert leader.take_committed() == []  # exactly once
+        # f2 catches up and learns the commit index from the append
+        ack2 = f2.on_append(leader.append_for(2))
+        assert ack2["ok"]
+        assert f2.commit_index == 2
+        assert len(f2.take_committed()) == 2
+
+    def test_follower_truncates_conflicting_suffix(self):
+        log = ReplicaLog()
+        log.append(1, {"op": "a"})
+        log.append(1, {"op": "b"})      # uncommitted, from a dead term
+        log.splice(1, [(2, {"op": "c"}), (2, {"op": "d"})])
+        assert log.entries == [(1, {"op": "a"}), (2, {"op": "c"}),
+                               (2, {"op": "d"})]
+        # idempotent redelivery of the same prefix changes nothing
+        log.splice(1, [(2, {"op": "c"})])
+        assert log.last_index() == 3
+
+    def test_append_rejected_on_log_mismatch_then_backs_up(self):
+        leader, f1, _ = self._elect()
+        for i in range(3):
+            leader.append_command({"op": "dispatch", "n": i})
+        # follower is empty; an append claiming prev_index=2 must nack
+        leader.next_index[1] = 3
+        nack = f1.on_append(leader.append_for(1))
+        assert not nack["ok"]
+        assert leader.on_append_ack(nack) is False
+        assert leader.next_index[1] < 3  # cursor backed up
+        # after enough retries the logs converge
+        for _ in range(5):
+            ack = f1.on_append(leader.append_for(1))
+            leader.on_append_ack(ack)
+            if ack["ok"] and ack["match"] == 3:
+                break
+        assert f1.log.last_index() == 3
+        assert leader.commit_index == 3
+
+    def test_commit_restricted_to_current_term(self):
+        """A new leader must not count majorities for entries of older
+        terms until one of its own entries commits (the Raft figure-8
+        rule)."""
+        leader, f1, _ = self._elect()
+        leader.append_command({"op": "dispatch"})
+        # leadership changes hands: f1 wins term 2 with the entry
+        ack = f1.on_append(leader.append_for(1))
+        req = f1.start_election()
+        f1.on_vote_reply(leader.on_vote(req))
+        assert f1.role == LEADER and f1.term == 2
+        # replicating the old-term entry alone does not commit it
+        ack = leader.on_append(f1.append_for(0))
+        assert ack["ok"]
+        f1.on_append_ack(ack)
+        assert f1.commit_index == 0
+        # ...but a current-term entry on top commits both
+        f1.append_command({"op": "reset"})
+        ack = leader.on_append(f1.append_for(0))
+        f1.on_append_ack(ack)
+        assert f1.commit_index == 2
+
+    def test_single_node_cluster_self_commits(self):
+        solo = ConsensusCore(0, 1)
+        solo.start_election()
+        assert solo.on_vote_reply({"type": "replica-vote-reply",
+                                   "term": 1, "voter": 0,
+                                   "granted": True})
+        solo.append_command({"op": "dispatch"})
+        assert solo.commit_index == 1
+
+
+# ----------------------------------------------------------------------
+# live in-process cluster
+# ----------------------------------------------------------------------
+def _start_cluster(n=3, **coord_kw):
+    addrs = [f"127.0.0.1:{p}" for p in pick_free_ports(n)]
+    coords = []
+    for i in range(n):
+        host, port = addrs[i].rsplit(":", 1)
+        c = Coordinator(host=host, port=int(port),
+                        cluster=ClusterConfig(node_id=i,
+                                              addresses=addrs),
+                        **coord_kw)
+        c.start()
+        coords.append(c)
+    return coords, addrs
+
+
+def _wait_for_workers(address: str, count: int,
+                      timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    with ServiceClient(address, row_timeout=10.0) as client:
+        while time.monotonic() < deadline:
+            if client.status()["stats"]["workers"] >= count:
+                return
+            time.sleep(0.05)
+    raise AssertionError(f"fleet never reached {count} workers")
+
+
+class TestReplicatedCluster:
+    def test_rows_bit_identical_and_leader_death_is_a_non_event(self):
+        """The tentpole, in one in-process campaign: a 3-replica
+        cluster serves rows bit-identical to serial; the leader dying
+        between submit and first row is survived transparently (no
+        JobFailed); the resubmitted work is memo-served; the worker
+        re-signs-in to the new leader."""
+        coords, addrs = _start_cluster(3)
+        addr_list = ",".join(addrs)
+        worker = Worker(addr_list, name="w0", heartbeat_interval=0.5,
+                        failover_timeout=60.0)
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        try:
+            _wait_for_workers(addr_list, 1)
+            # phase 1: plain equivalence through the quorum
+            warm = [unit(seed=1), unit(seed=2)]
+            with ServiceClient(addr_list) as client:
+                values = client.run_units(warm)
+                assert values == [u.run() for u in warm]
+                leader = client.leader_address
+            assert leader in addrs
+
+            # phase 2: kill the leader between submit and first row
+            # (long unit first: nothing completes in the kill window)
+            units = [unit(seed=9, scale=0.2), unit(seed=3)]
+            got_rows = []
+            result: list = []
+            errors: list = []
+
+            def submit():
+                try:
+                    with ServiceClient(addr_list,
+                                       connect_timeout=60.0) as c:
+                        result.extend(c.run_units(
+                            units, on_row=lambda i, v:
+                            got_rows.append(i)))
+                        result.append(c.last_job_stats)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            runner = threading.Thread(target=submit)
+            runner.start()
+            time.sleep(0.5)  # submit landed; long unit simulating
+            assert not got_rows, "kill window missed the submit gap"
+            for c in coords:
+                if c.address == leader:
+                    c.stop()
+            runner.join(timeout=120)
+            assert not runner.is_alive()
+            assert not errors, errors
+            stats = result.pop()
+            assert result == [u.run() for u in units]
+            assert sorted(got_rows) == [0, 1]
+
+            # phase 3: resubmit is memo-served, zero re-simulation
+            with ServiceClient(addr_list, connect_timeout=60.0) as c:
+                again = c.run_units(units)
+                assert again == result
+                assert c.last_job_stats["from_cache"] == len(units)
+                assert c.leader_address != leader
+            # the worker re-signed-in at least once after the kill
+            assert worker.signins >= 2, stats
+        finally:
+            for c in coords:
+                c.stop()
+            worker.stop()
+            thread.join(timeout=10)
+
+    def test_followers_redirect_and_status_names_the_leader(self):
+        coords, addrs = _start_cluster(3)
+        try:
+            with ServiceClient(",".join(addrs)) as client:
+                status = client.status()
+                cluster = status["cluster"]
+                assert cluster["role"] == "leader"
+                assert cluster["leader"] == client.leader_address
+                assert status["pid"] > 0
+                # every coordinator agrees who leads
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    leaders = {c._cluster_mgr.leader_address
+                               for c in coords
+                               if c._cluster_mgr is not None}
+                    if leaders == {client.leader_address}:
+                        break
+                    time.sleep(0.05)
+                assert leaders == {client.leader_address}
+        finally:
+            for c in coords:
+                c.stop()
+
+    def test_solo_address_client_keeps_typed_failure(self):
+        """Fail-over is opt-in by address count: a single-address
+        client still gets the PR-6 JobFailed contract (pinned by
+        test_service_chaos.TestCoordinatorDeath too)."""
+        coords, addrs = _start_cluster(1)
+        try:
+            with ServiceClient(addrs[0]) as client:
+                assert client.failover is False
+        finally:
+            for c in coords:
+                c.stop()
+
+    def test_cluster_shutdown_rides_the_log(self):
+        """One client shutdown stops every replica, not just the
+        leader it reached."""
+        coords, addrs = _start_cluster(3)
+        with ServiceClient(",".join(addrs)) as client:
+            client.shutdown()
+        for c in coords:
+            assert c.wait(timeout=15.0), \
+                f"replica {c.address} did not stop"
+
+    def test_cluster_config_validates_node_id(self):
+        with pytest.raises(ServiceError):
+            ClusterConfig(node_id=3, addresses=["a:1", "b:2"])
+        with pytest.raises(ServiceError):
+            ClusterConfig(node_id=-1, addresses=["a:1"])
