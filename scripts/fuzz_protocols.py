@@ -60,8 +60,14 @@ def parse_args() -> argparse.Namespace:
     p.add_argument("--epoch-period", type=int, default=1000,
                    help="cycles between mid-run invariant checks")
     p.add_argument("--max-cycles", type=int, default=3_000_000)
-    p.add_argument("--inject", choices=["grant_window", "skip_inv"],
+    p.add_argument("--inject",
+                   choices=["grant_window", "skip_inv", "spec_commit"],
                    help="test-only fault injection (harness self-test)")
+    p.add_argument("--speculation", action="store_true",
+                   help="speculative-front-end differential: rotate the "
+                        "SPEC_LOAD scenario pool, run every organization "
+                        "with speculation on AND off, and require the "
+                        "committed histories to be bit-identical")
     p.add_argument("--snapshot-every", type=int, default=None, metavar="N",
                    help="checkpoint every N cycles and replay each run "
                         "from its last snapshot; any divergence between "
@@ -92,7 +98,8 @@ def main() -> int:
     base = FuzzConfig(scenario=args.scenario, organizations=orgs,
                       epoch_period=args.epoch_period,
                       max_cycles=args.max_cycles, inject=args.inject,
-                      snapshot_every=args.snapshot_every)
+                      snapshot_every=args.snapshot_every,
+                      speculation=args.speculation)
     seeds = range(args.start, args.start + args.seeds)
     t0 = time.monotonic()
     reports = fuzz_seeds(seeds, base, jobs=args.jobs)

@@ -74,6 +74,9 @@ def batchable(unit: Any) -> bool:
             and not exp.full_system
             and exp.noc is NocKind.SMART
             and exp.organization in _BATCH_ORGS
+            # the lockstep engine has no speculative front-end; spec
+            # units fall back to the scalar path
+            and exp.speculation == "off"
             and _metric_ok(unit.metric))
 
 

@@ -15,7 +15,10 @@ Two execution modes:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
 
 from repro.coherence.l1 import L1Controller
 from repro.errors import TraceError
@@ -29,6 +32,53 @@ from repro.traces.events import Op, TraceEvent
 #: from every waiter and convoy the simulation.
 _SPIN_BACKOFF = 36
 
+#: Fault injection for the fuzz mutation smoke (``--inject
+#: spec_commit``): when True, SPEC_LOAD events retire as *committed*
+#: loads — the exact bug the speculation differential exists to catch
+#: (a speculative value reaching architectural state). Never set in
+#: real runs; flipped and restored by ``repro.harness.fuzz``.
+INJECT_SPEC_COMMIT = False
+
+#: how many recent committed line addresses the wrong-path predictor
+#: draws its targets from
+_SPEC_HISTORY = 8
+
+
+@dataclass(frozen=True, slots=True)
+class SpecConfig:
+    """Speculative front-end parameters for one run.
+
+    ``issue=False`` keeps the recorder fields live (probe timing is
+    still measured) but squashes every speculative load instantly and
+    draws nothing from the RNG — the control arm of a leakage
+    experiment. Squashed accesses may perturb cache/LRU/MSHR state and
+    timing, **never** committed values or committed-order stats.
+    """
+
+    #: actually send SPEC_LOADs (and predictor wrong-path loads) to
+    #: the cache hierarchy
+    issue: bool = True
+    #: max speculative loads in flight / per contiguous SPEC_LOAD run
+    window: int = 8
+    #: per-committed-memory-op probability of a mispredicted branch
+    #: that sprays wrong-path loads (0.0 = trace-directed SPEC_LOADs
+    #: only). Drawn from the core's own named RNG stream in program
+    #: order, so the draw sequence is identical across organizations
+    #: and backends.
+    rate: float = 0.0
+    #: committed LOADs in [probe_base, probe_end) are attacker probes:
+    #: the second and later access to each such line is timed and
+    #: bucketed into per-bit ``leak_probes_b{k}`` / ``leak_slow_b{k}``
+    #: counters, with ``k = ((addr - probe_base) // probe_stride)
+    #: % probe_mod``. ``probe_base=-1`` (default) disables recording.
+    probe_base: int = -1
+    probe_end: int = -1
+    probe_stride: int = 1
+    probe_mod: int = 1
+    #: latency (cycles) at or above which a probe counts as slow —
+    #: i.e. the line was evicted and had to be refetched
+    probe_threshold: int = 200
+
 
 class SyncState:
     """Chip-wide synchronization scratchboard shared by all cores.
@@ -41,9 +91,13 @@ class SyncState:
 
     def __init__(self, num_cores: int) -> None:
         self.num_cores = num_cores
-        self.lock_holders: Dict[int, Optional[int]] = {}
+        self.lock_holders: Dict[int, int] = {}
         self.barrier_counts: Dict[int, int] = {}
-        self.barrier_waiters: Dict[int, List] = {}
+        #: how many waiters have already observed a completed barrier —
+        #: once every arriver has been released the entry is deleted,
+        #: so lock/barrier-heavy traces keep these maps bounded by the
+        #: number of *currently active* synchronization objects.
+        self.barrier_released: Dict[int, int] = {}
 
     def try_lock(self, line_addr: int, core: int) -> bool:
         holder = self.lock_holders.get(line_addr)
@@ -53,8 +107,11 @@ class SyncState:
         return holder == core
 
     def unlock(self, line_addr: int, core: int) -> None:
+        # Delete rather than tombstone with None: a released lock must
+        # leave no residue (try_lock treats a missing entry exactly
+        # like the old None entry, so re-acquisition is unchanged).
         if self.lock_holders.get(line_addr) == core:
-            self.lock_holders[line_addr] = None
+            del self.lock_holders[line_addr]
 
     def arrive_barrier(self, barrier_id: int) -> int:
         self.barrier_counts[barrier_id] = \
@@ -62,7 +119,20 @@ class SyncState:
         return self.barrier_counts[barrier_id]
 
     def barrier_done(self, barrier_id: int, expected: int) -> bool:
-        return self.barrier_counts.get(barrier_id, 0) >= expected
+        """One waiter's completion probe. A True return *consumes* one
+        release slot: when every core that arrived has observed
+        completion, the barrier's entries are deleted, so a later
+        reuse of the same id starts from a clean count."""
+        count = self.barrier_counts.get(barrier_id, 0)
+        if count < expected:
+            return False
+        released = self.barrier_released.get(barrier_id, 0) + 1
+        if released >= count:
+            self.barrier_counts.pop(barrier_id, None)
+            self.barrier_released.pop(barrier_id, None)
+        else:
+            self.barrier_released[barrier_id] = released
+        return True
 
 
 class WarmupTracker:
@@ -97,7 +167,9 @@ class Core:
                  trace: Sequence[TraceEvent], sync: SyncState,
                  stats: Stats, full_system: bool = False,
                  barrier_population: Optional[int] = None,
-                 warmup: Optional[WarmupTracker] = None) -> None:
+                 warmup: Optional[WarmupTracker] = None,
+                 spec: Optional[SpecConfig] = None,
+                 spec_rng: Optional[np.random.Generator] = None) -> None:
         self.sim = sim
         self.tile = tile
         self.l1 = l1
@@ -117,6 +189,17 @@ class Core:
         # Bound once: these fire for every trace event.
         self._c_instructions = stats.counter("instructions")
         self._c_mem_refs = stats.counter("mem_refs")
+        # -- speculative front-end (None on ordinary runs: the only
+        # hot-path residue is one int truthiness test per event) -----
+        self.spec = spec
+        self._spec_rng = spec_rng
+        self._spec_run = 0          # SPEC_LOADs issued this episode
+        self._spec_outstanding = 0  # in-flight predictor wrong-path loads
+        self._spec_recent: list = []  # recent committed line addrs
+        self._probe_seen: Dict[int, int] = {}
+        if spec is not None:
+            self._c_spec_issued = stats.counter("spec_issued")
+            self._c_spec_squashed = stats.counter("spec_squashed")
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -137,22 +220,125 @@ class Core:
             self._execute(ev)
 
     def _execute(self, ev: TraceEvent) -> None:
+        op = ev.op
+        if op is Op.SPEC_LOAD:
+            # Intercepted *before* instruction accounting: a squashed
+            # access never commits, so committed-order stats are
+            # identical whether speculation is on or off. Under the
+            # injected bug an *issuing* front-end lets the load fall
+            # through and retire — speculation-off runs still squash,
+            # which is exactly the divergence the differential catches.
+            if not (INJECT_SPEC_COMMIT and self.spec is not None
+                    and self.spec.issue):
+                self._do_spec(ev)
+                return
+        if self._spec_run:
+            self._spec_run = 0  # committed op ends the episode
         self.instructions += 1
         self._c_instructions.value += 1
         if self.warmup is not None:
             self.warmup.note_ref()
-        op = ev.op
         if op is Op.BARRIER:
             self._do_barrier(ev)
         elif op is Op.LOCK and self.full_system:
             self._do_lock(ev)
         elif op is Op.UNLOCK and self.full_system:
             self._do_unlock(ev)
-        elif op.is_memory:
+        elif op.is_memory or op is Op.SPEC_LOAD:
+            # SPEC_LOAD lands here only under INJECT_SPEC_COMMIT — it
+            # then retires as a committed load (is_write is False), the
+            # exact leak the speculation differential must catch.
             self._c_mem_refs.value += 1
-            self.l1.access(ev.line_addr, op.is_write, self._step)
+            if self.spec is not None:
+                self._spec_aware_access(ev)
+            else:
+                self.l1.access(ev.line_addr, op.is_write, self._step)
         else:
             raise TraceError(f"core {self.tile}: cannot execute {ev}")
+
+    # -- speculative front-end --------------------------------------------
+    def _do_spec(self, ev: TraceEvent) -> None:
+        """Issue one trace-directed wrong-path load, or squash it
+        instantly when speculation is off / the window is exhausted."""
+        spec = self.spec
+        if spec is None or not spec.issue or self._spec_run >= spec.window:
+            # call_after(0, ...) rather than direct recursion: a long
+            # run of squashed SPEC_LOADs must not grow the stack.
+            self.sim.call_after(0, self._step)
+            return
+        self._spec_run += 1
+        self._c_spec_issued.value += 1
+        self.l1.access(ev.line_addr, False, self._spec_step,
+                       speculative=True)
+
+    def _spec_step(self) -> None:
+        """A blocking trace-directed speculative load resolved: squash
+        (discard the value) and replay from the committed point."""
+        self._c_spec_squashed.value += 1
+        self._step()
+
+    def _spec_fill(self) -> None:
+        """A fire-and-forget predictor wrong-path load resolved."""
+        self._spec_outstanding -= 1
+        self._c_spec_squashed.value += 1
+
+    def _spec_aware_access(self, ev: TraceEvent) -> None:
+        """Committed memory access with the speculative front-end live:
+        maybe spray predictor wrong-path loads first, and time attacker
+        probe re-accesses."""
+        spec = self.spec
+        addr = ev.line_addr
+        if spec.rate > 0.0 and spec.issue:
+            self._maybe_mispredict(addr)
+        if not ev.op.is_write and spec.probe_base <= addr < spec.probe_end:
+            self._probe_access(addr, spec)
+            return
+        self.l1.access(addr, ev.op.is_write, self._step)
+
+    def _maybe_mispredict(self, committed_addr: int) -> None:
+        """Deterministic seeded predictor: with probability ``rate``
+        the branch before this access was mispredicted, and the core
+        issued up to ``window`` loads down the wrong path before the
+        squash. Draws come from this core's own stream in program
+        order, so the sequence is identical across organizations."""
+        spec = self.spec
+        rng = self._spec_rng
+        recent = self._spec_recent
+        if rng.random() < spec.rate:
+            burst = 1 + int(rng.integers(spec.window))
+            budget = spec.window - self._spec_outstanding
+            for _ in range(min(burst, budget)):
+                base = (recent[int(rng.integers(len(recent)))]
+                        if recent else committed_addr)
+                addr = (base + 1 + int(rng.integers(63))) & 0x7FFFFFFF
+                self._spec_outstanding += 1
+                self._c_spec_issued.value += 1
+                self.l1.access(addr, False, self._spec_fill,
+                               speculative=True)
+        recent.append(committed_addr)
+        if len(recent) > _SPEC_HISTORY:
+            del recent[0]
+
+    def _probe_access(self, addr: int, spec: SpecConfig) -> None:
+        """Committed attacker load inside the probe window. The first
+        access to a line primes it; every later one is a measurement
+        whose hit/miss latency is the leakage channel."""
+        seen = self._probe_seen.get(addr, 0)
+        self._probe_seen[addr] = seen + 1
+        if seen == 0:
+            self.l1.access(addr, False, self._step)
+            return
+        bit = ((addr - spec.probe_base) // spec.probe_stride) % spec.probe_mod
+        start = self.sim.cycle
+        stats = self.stats
+
+        def measured() -> None:
+            stats.counter(f"leak_probes_b{bit}").inc()
+            if self.sim.cycle - start >= spec.probe_threshold:
+                stats.counter(f"leak_slow_b{bit}").inc()
+            self._step()
+
+        self.l1.access(addr, False, measured)
 
     # -- synchronization --------------------------------------------------
     def _do_barrier(self, ev: TraceEvent) -> None:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.cmp.core import Core, SyncState, WarmupTracker
+from repro.cmp.core import Core, SpecConfig, SyncState, WarmupTracker
 from repro.cmp.organizations import make_l2_controller
 from repro.coherence.context import SystemContext
 from repro.coherence.l1 import L1Controller
@@ -99,7 +99,8 @@ class CmpSystem:
                  full_system: bool = False,
                  barrier_populations: Optional[Sequence[int]] = None,
                  keep_samples: bool = False,
-                 warmup_fraction: float = 0.0) -> None:
+                 warmup_fraction: float = 0.0,
+                 speculation: Optional[SpecConfig] = None) -> None:
         if len(traces) != config.num_tiles:
             raise ConfigError(
                 f"need {config.num_tiles} traces, got {len(traces)}")
@@ -132,10 +133,17 @@ class CmpSystem:
         # digests are computed on the first checkpoint and reused
         # (periodic snapshotting must not re-hash every trace).
         self._trace_digests: Optional[List[str]] = None
+        self.speculation = speculation
+        # Per-core named predictor streams: adding a speculation
+        # consumer never perturbs any pre-existing stream, and the
+        # per-core draw order is the core's committed program order —
+        # identical across organizations and backends.
         self.cores = [
             Core(self.sim, t, self.l1s[t], traces[t], self.sync, self.stats,
                  full_system=full_system, barrier_population=pops[t],
-                 warmup=warmup)
+                 warmup=warmup, spec=speculation,
+                 spec_rng=(self.rng.stream(f"spec_{t}")
+                           if speculation is not None else None))
             for t in range(config.num_tiles)
         ]
 

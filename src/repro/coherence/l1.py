@@ -57,31 +57,60 @@ class L1Controller:
     # ------------------------------------------------------------------
     # core-facing API
     # ------------------------------------------------------------------
-    def access(self, line_addr: int, is_write: bool, done: DoneCb) -> None:
-        """Issue one memory reference; ``done`` fires when it completes."""
+    def access(self, line_addr: int, is_write: bool, done: DoneCb,
+               speculative: bool = False) -> None:
+        """Issue one memory reference; ``done`` fires when it completes.
+
+        ``speculative`` accesses are wrong-path loads: they move real
+        protocol traffic (perturbing cache/LRU/MSHR state and timing)
+        but are architecturally invisible — the oracle tags them as
+        transient instead of value-checking them, they are counted
+        under ``spec_l1_*`` instead of the committed hit/miss counters,
+        and under structural pressure (MSHR file full) they drop
+        rather than stall the core."""
         if self.ctx.shadow is not None:
-            done = self.ctx.shadow.bind(self, line_addr, is_write, done)
+            done = (self.ctx.shadow.bind_transient(self, line_addr, done)
+                    if speculative else
+                    self.ctx.shadow.bind(self, line_addr, is_write, done))
         self.ctx.sim.call_after(self.latency,
                                 lambda: self._access_body(line_addr, is_write,
-                                                          done))
+                                                          done, speculative))
 
-    def _access_body(self, line_addr: int, is_write: bool, done: DoneCb) -> None:
+    def _access_body(self, line_addr: int, is_write: bool, done: DoneCb,
+                     spec: bool = False) -> None:
         mshr = self.mshrs.get(line_addr)
         if mshr is not None:
             # A transaction is in flight for this line: queue behind it.
-            mshr.deferred.append((line_addr, is_write, done))
+            mshr.deferred.append((line_addr, is_write, done, spec))
             return
         line = self.array.lookup(line_addr)
         if line is not None and self._hit(line, is_write):
-            self._c_l1_hits.value += 1
+            if spec:
+                self.ctx.stats.counter("spec_l1_hits").inc()
+            else:
+                self._c_l1_hits.value += 1
             done()
             return
-        self._c_l1_misses.value += 1
+        if spec:
+            if len(self.mshrs._entries) >= self.mshrs.capacity - 1:
+                # A real front-end would stall speculation on a
+                # structural hazard; dropping keeps the committed
+                # stream unstalled — the last MSHR slot is reserved for
+                # it (each core has at most one committed access in
+                # flight, so one slot is always enough).
+                self.ctx.stats.counter("spec_dropped").inc()
+                done()
+                return
+            self.ctx.stats.counter("spec_l1_misses").inc()
+        else:
+            self._c_l1_misses.value += 1
         kind = "GETX" if is_write else "GETS"
         mshr = self.mshrs.allocate(line_addr, kind, requestor=self.tile,
                                    issued_cycle=self.ctx.sim.cycle)
         mshr.scratch["done_cbs"] = [done]
         mshr.scratch["upgrade"] = line is not None
+        if spec:
+            mshr.scratch["spec"] = True
         req_kind = MsgKind.GETX if is_write else MsgKind.GETS
         home = self.ctx.home_tile(self.tile, line_addr)
         msg = Msg(req_kind, line_addr, self.tile, Unit.L2,
@@ -142,6 +171,7 @@ class L1Controller:
             # fills in a deterministic limit cycle (livelock).
             self.ctx.stats.counter("l1_poisoned_fills").inc()
             was_write = mshr.kind == "GETX"
+            was_spec = bool(mshr.scratch.get("spec"))
             cbs: List[DoneCb] = mshr.scratch["done_cbs"]
             deferred = self.mshrs.retire(line_addr)
             streak = min(self._poison_streak.get(line_addr, 0) + 1, 8)
@@ -151,7 +181,7 @@ class L1Controller:
 
             def reissue() -> None:
                 for cb in cbs:
-                    self._access_body(line_addr, was_write, cb)
+                    self._access_body(line_addr, was_write, cb, was_spec)
                 for args in deferred:
                     self._access_body(*args)
 
@@ -164,13 +194,16 @@ class L1Controller:
         line.l1_state = L1State.M if msg.writable else L1State.S
         if msg.value is not None:
             line.shadow = msg.value  # the home's data, as delivered
-        # latency accounting (Fig 7): issue-to-grant for on-chip fills
-        elapsed = self.ctx.sim.cycle - mshr.issued_cycle
-        if msg.home_hit:
-            self._s_l2_hit_latency.add(elapsed)
-        if not msg.offchip:
-            self._s_onchip_latency.add(elapsed)
-        self._s_miss_latency.add(elapsed)
+        # latency accounting (Fig 7): issue-to-grant for on-chip fills.
+        # Speculative transactions stay out of the samplers — squashed
+        # traffic must not contaminate committed latency metrics.
+        if not mshr.scratch.get("spec"):
+            elapsed = self.ctx.sim.cycle - mshr.issued_cycle
+            if msg.home_hit:
+                self._s_l2_hit_latency.add(elapsed)
+            if not msg.offchip:
+                self._s_onchip_latency.add(elapsed)
+            self._s_miss_latency.add(elapsed)
         cbs: List[DoneCb] = mshr.scratch["done_cbs"]
         deferred = self.mshrs.retire(line_addr)
         for cb in cbs:

@@ -65,6 +65,12 @@ class ShadowOracle:
         self.max_violations = max_violations
         self.loads_checked = 0
         self.stores_committed = 0
+        #: squashed speculative reads observed (never value-checked:
+        #: a wrong-path load may legitimately see any version)
+        self.transient_reads = 0
+        #: of those, reads that did *not* observe the architecturally
+        #: latest value — the transient-state signal, not a violation
+        self.transient_stale = 0
         self._next_version = 1
 
     # ------------------------------------------------------------------
@@ -79,6 +85,24 @@ class ShadowOracle:
             self.commit(l1, line_addr, is_write)
             done()
         return committed
+
+    def bind_transient(self, l1, line_addr: int,
+                       done: Callable[[], None]) -> Callable[[], None]:
+        """Wrap a *speculative* load's completion callback.
+
+        Transient accesses are tagged, never checked: they must not
+        contribute to ``loads_checked``/``violations`` (a squashed load
+        is architecturally invisible), but they are counted so the
+        harness can see how much wrong-path traffic a run generated and
+        whether any of it observed non-architectural state."""
+        def squashed() -> None:
+            self.transient_reads += 1
+            line = l1.array.lookup(line_addr, touch=False)
+            observed = line.shadow if line is not None else -1
+            if observed != self.committed.get(line_addr, 0):
+                self.transient_stale += 1
+            done()
+        return squashed
 
     def commit(self, l1, line_addr: int, is_write: bool) -> None:
         line = l1.array.lookup(line_addr, touch=False)

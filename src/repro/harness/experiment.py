@@ -59,6 +59,16 @@ class ExperimentConfig:
     #: (DESIGN.md §5): 1/8 of Table 1 by default -> 2 KB L1 slices,
     #: 8 KB L2 slices. Set to 1.0 for the paper's raw geometry.
     cache_scale: float = 0.125
+    #: speculative front-end: "off" (default — bit-identical to the
+    #: pre-speculation simulator) or "on" (cores issue wrong-path
+    #: loads; committed values and committed-order stats are pinned
+    #: identical to "off" by the fuzz differential)
+    speculation: str = "off"
+    #: max speculative loads in flight per core
+    spec_window: int = 8
+    #: per-committed-memory-op mispredict probability (0.0 = only
+    #: trace-directed SPEC_LOADs speculate)
+    spec_rate: float = 0.0
 
     def system_config(self) -> SystemConfig:
         cfg = paper_config(self.cores, organization=self.organization)
@@ -70,6 +80,15 @@ class ExperimentConfig:
 
 def _traces_for(exp: ExperimentConfig
                 ) -> Tuple[List[List[TraceEvent]], Optional[List[int]]]:
+    if exp.benchmark.startswith("leak_"):
+        # Leakage scenarios derive the probe-line table from the cache
+        # geometry, so their cache key carries the geometry fields too.
+        key = ("leak", exp.benchmark, exp.cores, exp.seed,
+               exp.cache_scale, exp.cluster)
+        if key not in _trace_cache:
+            from repro.harness.leakage import build_leak_traces
+            _trace_cache[key] = build_leak_traces(exp)
+        return _trace_cache[key]
     key = ("bench", exp.benchmark, exp.cores, exp.scale, exp.full_system,
            exp.seed)
     if key not in _trace_cache:
@@ -173,10 +192,18 @@ def run_benchmark(exp: ExperimentConfig,
                 # stale/corrupt image: rebuild below, repair the cache
                 warmup_images.discard(key)
     if system is None:
+        speculation = None
+        if exp.speculation != "off" or exp.benchmark.startswith("leak_"):
+            # Leakage benchmarks keep the probe recorder live even with
+            # speculation "off" — that is the control arm of the
+            # experiment (probe timing with no transient traffic).
+            from repro.harness.leakage import spec_config_for
+            speculation = spec_config_for(exp)
         system = CmpSystem(exp.system_config(), traces,
                            full_system=exp.full_system,
                            barrier_populations=populations,
-                           warmup_fraction=exp.warmup_fraction)
+                           warmup_fraction=exp.warmup_fraction,
+                           speculation=speculation)
         if snapshots:
             warmup_images.misses += 1
             if system.run_until_warmup(max_cycles=max_cycles):

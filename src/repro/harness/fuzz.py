@@ -28,7 +28,8 @@ repro file for bug reports and regression tests.
 
 Fault injection for harness self-tests rides on ``FuzzConfig.inject``
 (``"grant_window"`` re-introduces the PR 1 token grant-window race,
-``"skip_inv"`` drops one sharer invalidation per write grant) — the
+``"skip_inv"`` drops one sharer invalidation per write grant,
+``"spec_commit"`` retires wrong-path loads architecturally) — the
 flags are applied inside the run so they work across process pools.
 
 ``FuzzConfig.snapshot_every=N`` adds a fourth detector: the run is
@@ -48,6 +49,8 @@ from dataclasses import dataclass, field, replace
 from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cmp import core as cmp_core
+from repro.cmp.core import SpecConfig
 from repro.cmp.system import CmpSystem
 from repro.coherence import l2_cluster, l2_home
 from repro.coherence.shadow import ShadowOracle
@@ -55,7 +58,7 @@ from repro.errors import ConfigError, ReproError
 from repro.harness.checks import check_all, check_epoch
 from repro.params import (CacheConfig, NocConfig, NocKind, Organization,
                           SystemConfig)
-from repro.traces.adversarial import generate_adversarial
+from repro.traces.adversarial import SPEC_SCENARIOS, generate_adversarial
 from repro.traces.events import Op, TraceEvent
 
 #: the organizations a seed is cross-checked over by default: every
@@ -73,6 +76,9 @@ _INJECT_FLAGS = {
     None: [],
     "grant_window": [(l2_cluster, "INJECT_GRANT_WINDOW_BUG")],
     "skip_inv": [(l2_home, "INJECT_SKIP_SHARER_INV")],
+    # commits speculative loads as if they were architectural — the
+    # speculation differential must flag the committed-history drift
+    "spec_commit": [(cmp_core, "INJECT_SPEC_COMMIT")],
 }
 
 
@@ -91,6 +97,15 @@ class FuzzConfig:
     epoch_period: int = 1000                # cycles between invariant hooks
     max_cycles: int = 3_000_000
     inject: Optional[str] = None            # test-only fault injection
+    #: speculation mode: every organization runs the trace set twice —
+    #: with the speculative front-end on and off — and the committed
+    #: history (instructions, memory references, oracle-checked
+    #: stores/loads, per-line store counts) must be bit-identical
+    #: between the arms. Wrong-path traffic may perturb timing freely;
+    #: anything architectural it changes is a bug.
+    speculation: bool = False
+    spec_window: int = 8
+    spec_rate: float = 0.05                 # mispredict rate per mem op
     #: checkpoint the machine every N cycles and, after the run,
     #: replay from the LAST snapshot — the replay must reproduce the
     #: identical outcome (phase, violations, differential histories) or
@@ -167,7 +182,8 @@ class FuzzReport:
 # single-run engine
 # ----------------------------------------------------------------------
 def run_trace_set(cfg: FuzzConfig, organization: Organization,
-                  traces: Sequence[Sequence[TraceEvent]]) -> OrgOutcome:
+                  traces: Sequence[Sequence[TraceEvent]],
+                  speculative: bool = False) -> OrgOutcome:
     """Replay one trace set on one organization under full detection."""
     flags = _INJECT_FLAGS.get(cfg.inject)
     if flags is None:
@@ -177,7 +193,7 @@ def run_trace_set(cfg: FuzzConfig, organization: Organization,
     for mod, name in flags:
         setattr(mod, name, True)
     try:
-        return _run_trace_set(cfg, organization, traces)
+        return _run_trace_set(cfg, organization, traces, speculative)
     finally:
         for mod, name, value in saved:
             setattr(mod, name, value)
@@ -211,11 +227,16 @@ class SnapshotRecorder:
 
 
 def _build_fuzz_system(cfg: FuzzConfig, organization: Organization,
-                       traces: Sequence[Sequence[TraceEvent]]) -> CmpSystem:
+                       traces: Sequence[Sequence[TraceEvent]],
+                       speculative: bool = False) -> CmpSystem:
     """A fuzz machine with detectors attached. Every handle the drive
     phase needs lives in ``system.fuzz_state`` so a *restored* system
     carries its own (restored) oracle, violation list and hooks."""
-    system = CmpSystem(cfg.system_config(organization), traces)
+    spec = (SpecConfig(issue=True, window=cfg.spec_window,
+                       rate=cfg.spec_rate)
+            if speculative else None)
+    system = CmpSystem(cfg.system_config(organization), traces,
+                       speculation=spec)
     oracle = ShadowOracle()
     system.ctx.shadow = oracle
 
@@ -348,8 +369,9 @@ def _snapshot_divergence(primary: OrgOutcome,
 
 
 def _run_trace_set(cfg: FuzzConfig, organization: Organization,
-                   traces: Sequence[Sequence[TraceEvent]]) -> OrgOutcome:
-    system = _build_fuzz_system(cfg, organization, traces)
+                   traces: Sequence[Sequence[TraceEvent]],
+                   speculative: bool = False) -> OrgOutcome:
+    system = _build_fuzz_system(cfg, organization, traces, speculative)
     recorder: Optional[SnapshotRecorder] = system.fuzz_state["recorder"]
     out = _drive_fuzz_system(cfg, organization, system)
     if recorder is None or recorder.latest is None:
@@ -394,14 +416,53 @@ def _harvest(out: OrgOutcome, system: CmpSystem,
 # ----------------------------------------------------------------------
 def run_seed(cfg: FuzzConfig) -> FuzzReport:
     """Fuzz one seed: generate its traces, run every organization, then
-    cross-check the architectural histories differentially."""
+    cross-check the architectural histories differentially.
+
+    In speculation mode the seed rotates through the SPEC_LOAD-bearing
+    scenario pool, every organization runs with the speculative
+    front-end enabled, and each gets a second, speculation-off run of
+    the identical traces — :func:`_spec_check` pins the committed
+    histories of the two arms to be bit-identical."""
+    scenario_arg = cfg.scenario
+    if cfg.speculation and scenario_arg is None:
+        scenario_arg = SPEC_SCENARIOS[cfg.seed % len(SPEC_SCENARIOS)]
     scenario, traces = generate_adversarial(cfg.seed, cfg.num_cores,
-                                            cfg.scenario)
+                                            scenario_arg)
     report = FuzzReport(seed=cfg.seed, scenario=scenario)
     for org in cfg.organizations:
-        report.outcomes.append(run_trace_set(cfg, org, traces))
+        report.outcomes.append(
+            run_trace_set(cfg, org, traces, speculative=cfg.speculation))
     report.differential = _cross_check(report.outcomes)
+    if cfg.speculation:
+        for on in report.outcomes:
+            off = run_trace_set(cfg, on.organization, traces,
+                                speculative=False)
+            report.differential.extend(_spec_check(on, off))
     return report
+
+
+def _spec_check(on: OrgOutcome, off: OrgOutcome) -> List[str]:
+    """Committed history must not depend on whether speculation ran."""
+    if not off.ok:
+        return [f"speculation-off baseline failed on "
+                f"{off.organization.value}: {off.detail()}"]
+    if not on.ok:
+        # the on-arm failure is already reported via its outcome
+        return []
+    diffs: List[str] = []
+    for attr in ("instructions", "mem_refs", "stores", "loads"):
+        a, b = getattr(on, attr), getattr(off, attr)
+        if a != b:
+            diffs.append(f"speculation changed committed {attr} on "
+                         f"{on.organization.value}: on={a} vs off={b}")
+    if on.store_counts != off.store_counts:
+        keys = set(on.store_counts) ^ set(off.store_counts)
+        keys |= {k for k in on.store_counts
+                 if off.store_counts.get(k) != on.store_counts[k]}
+        diffs.append(f"speculation changed per-line store counts on "
+                     f"{on.organization.value}: lines "
+                     f"{[hex(k) for k in sorted(keys)[:4]]}")
+    return diffs
 
 
 def _cross_check(outcomes: Sequence[OrgOutcome]) -> List[str]:
@@ -522,6 +583,9 @@ def save_repro(path: str, cfg: FuzzConfig, organization: Organization,
         "epoch_period": cfg.epoch_period,
         "max_cycles": cfg.max_cycles,
         "inject": cfg.inject,
+        "speculation": cfg.speculation,
+        "spec_window": cfg.spec_window,
+        "spec_rate": cfg.spec_rate,
         "detail": detail,
         "traces": [[[ev.op.name, ev.line_addr, ev.gap] for ev in trace]
                    for trace in traces],
@@ -545,7 +609,10 @@ def load_repro(path: str) -> Tuple[FuzzConfig, Organization,
         mesh=blob["mesh"], cluster=tuple(blob["cluster"]),
         l1_bytes=blob["l1_bytes"], l2_bytes=blob["l2_bytes"],
         noc=NocKind(blob["noc"]), epoch_period=blob["epoch_period"],
-        max_cycles=blob["max_cycles"], inject=blob.get("inject"))
+        max_cycles=blob["max_cycles"], inject=blob.get("inject"),
+        speculation=blob.get("speculation", False),
+        spec_window=blob.get("spec_window", 8),
+        spec_rate=blob.get("spec_rate", 0.05))
     traces = [[TraceEvent(Op[name], addr, gap)
                for name, addr, gap in trace]
               for trace in blob["traces"]]
@@ -555,4 +622,5 @@ def load_repro(path: str) -> Tuple[FuzzConfig, Organization,
 def replay_repro(path: str) -> OrgOutcome:
     """Re-run a saved reproducer and return its outcome."""
     cfg, organization, traces = load_repro(path)
-    return run_trace_set(cfg, organization, traces)
+    return run_trace_set(cfg, organization, traces,
+                         speculative=cfg.speculation)

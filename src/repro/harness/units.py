@@ -234,6 +234,9 @@ class SweepUnit:
             "seed": exp.seed,
             "warmup_fraction": exp.warmup_fraction,
             "cache_scale": exp.cache_scale,
+            "speculation": exp.speculation,
+            "spec_window": exp.spec_window,
+            "spec_rate": exp.spec_rate,
             "max_cycles": self.max_cycles,
             "metric": (list(self.metric)
                        if isinstance(self.metric, tuple) else self.metric),
@@ -253,6 +256,9 @@ class SweepUnit:
                 seed=wire["seed"],
                 warmup_fraction=wire["warmup_fraction"],
                 cache_scale=wire["cache_scale"],
+                speculation=wire["speculation"],
+                spec_window=wire["spec_window"],
+                spec_rate=wire["spec_rate"],
             )
             metric = wire["metric"]
         except (KeyError, TypeError, ValueError) as exc:

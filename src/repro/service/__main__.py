@@ -54,7 +54,8 @@ def main(argv=None) -> int:
         cli.error("--node-id and --peers go together")
     if args.peers is not None:
         cluster = ClusterConfig(node_id=args.node_id,
-                                addresses=parse_addresses(args.peers))
+                                addresses=parse_addresses(args.peers),
+                                state_dir=args.cache_dir)
         if args.bind == "127.0.0.1:0":
             args.bind = cluster.addresses[args.node_id]
     host, port = parse_address(args.bind)

@@ -60,6 +60,10 @@ class ClusterConfig:
     election_timeout: float = 1.5
     commit_timeout: float = 5.0
     reconnect_interval: float = 0.3
+    #: directory for this replica's durable (term, vote) file — without
+    #: it a restarted replica can grant a second, conflicting vote in a
+    #: term it already voted in (see :mod:`repro.service.replica`)
+    state_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not (0 <= self.node_id < len(self.addresses)):
@@ -165,7 +169,11 @@ class ClusterManager:
                  log_fn: Callable[[str], None] = lambda s: None) -> None:
         self.cfg = cfg
         self.machine = machine
-        self.core = ConsensusCore(cfg.node_id, cfg.n_nodes)
+        state_path = (os.path.join(cfg.state_dir,
+                                   f"replica{cfg.node_id}.state.json")
+                      if cfg.state_dir else None)
+        self.core = ConsensusCore(cfg.node_id, cfg.n_nodes,
+                                  state_path=state_path)
         self.on_apply = on_apply
         self.on_role_change = on_role_change
         self._log = log_fn

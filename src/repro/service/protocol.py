@@ -29,19 +29,24 @@ __all__ = ["PROTOCOL_VERSION", "MAX_FRAME", "MESSAGE_TYPES",
            "encode_frame", "FrameDecoder", "send_msg", "recv_msg",
            "read_msg_async", "check_protocol", "set_send_timeout"]
 
-#: Version 3: coordinator replication. ``redirect`` tells a client or
+#: Version 4: sweep units carry the speculative-front-end fields
+#: (``speculation``/``spec_window``/``spec_rate``) in their wire form —
+#: a v3 worker would silently run a speculation-on unit with
+#: speculation off and return committed-only rows missing every
+#: ``leak_*`` counter.
+#: (Version 3 added coordinator replication. ``redirect`` tells a client or
 #: worker which replica currently leads (follow it, don't retry here);
 #: ``replica-hello`` opens a replica-to-replica link, over which the
 #: consensus traffic flows (``replica-vote``/``replica-vote-reply``
 #: elections, ``replica-append``/``replica-append-ack`` log
-#: replication — see :mod:`repro.service.replica`). A v2 peer would
+#: replication — see :mod:`repro.service.replica`. A v2 peer would
 #: treat a redirect as an unknown frame and hang against a follower,
 #: which is exactly the drift the mandatory version field catches.
-#: (Version 2 made the ``protocol`` field in ``hello``/``welcome``
+#: Version 2 made the ``protocol`` field in ``hello``/``welcome``
 #: mandatory and gave unit/value payloads a ``kind`` discriminator
 #: plus full-``RunResult`` encodings — see
 #: :mod:`repro.harness.units`.)
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 
 #: hard payload ceiling — a submit of ~100k units is a few MB; anything
 #: past this is a corrupt or hostile length prefix, not a real message.

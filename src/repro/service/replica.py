@@ -25,11 +25,16 @@ scheduler replicable in the first place:
 Safety model: terms are monotonic, a node votes once per term, votes
 are only granted to candidates whose log is at least as up to date,
 and a leader only counts an entry committed once a majority holds it
-and it belongs to the current term. We deliberately do **not** persist
-term/vote/log to disk: a killed replica rejoins *empty* (a fresh node
-with the same id) and is caught up from the leader's log. That trades
+and it belongs to the current term. The *(term, vote)* pair is
+persisted (atomic mkstemp+rename publish, loaded on construction) when
+a ``state_path`` is configured: without it, a replica killed after
+granting a vote could restart within the same term and vote for a
+*different* candidate, electing two leaders for one term. The **log**
+is deliberately not persisted — a killed replica rejoins with an empty
+log (the vote rule's log-recency check still holds: an empty log never
+out-votes a longer one) and is caught up from the leader. That trades
 the ability to survive a full-cluster power loss — which the result
-cache directory already covers — for zero recovery machinery. The
+cache directory already covers — for minimal recovery machinery. The
 deeper reason the service can afford such a small consensus kernel is
 that the *simulation* is deterministic and completion is idempotent:
 losing replicated state can cost re-simulation, never wrong rows.
@@ -37,6 +42,8 @@ losing replicated state can cost re-simulation, never wrong rows.
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
@@ -264,7 +271,8 @@ class ConsensusCore:
     testable with plain dicts.
     """
 
-    def __init__(self, node_id: int, n_nodes: int) -> None:
+    def __init__(self, node_id: int, n_nodes: int,
+                 state_path: Optional[str] = None) -> None:
         self.node_id = node_id
         self.n_nodes = n_nodes
         self.term = 0
@@ -278,6 +286,36 @@ class ConsensusCore:
         # leader-only replication cursors, rebuilt on every election
         self.next_index: Dict[int, int] = {}
         self.match_index: Dict[int, int] = {}
+        self.state_path = state_path
+        self._load_state()
+
+    # -- (term, vote) durability ---------------------------------------
+    def _load_state(self) -> None:
+        if self.state_path is None:
+            return
+        try:
+            with open(self.state_path) as f:
+                blob = json.load(f)
+            term = int(blob["term"])
+            voted = blob["voted_for"]
+        except (OSError, ValueError, KeyError, TypeError):
+            # no file yet / corrupt or torn leftovers: start fresh —
+            # a node that lost its state is at worst a brand-new voter
+            return
+        self.term = term
+        self.voted_for = None if voted is None else int(voted)
+
+    def _persist_state(self) -> None:
+        """Publish (term, voted_for) atomically *before* any reply that
+        depends on them leaves this node — the Raft durability point
+        that keeps a restarted replica from double-voting in a term."""
+        if self.state_path is None:
+            return
+        from repro.sim.snapshot import save_file
+        blob = json.dumps({"term": self.term,
+                           "voted_for": self.voted_for}).encode()
+        os.makedirs(os.path.dirname(self.state_path) or ".", exist_ok=True)
+        save_file(self.state_path, blob)
 
     @property
     def majority(self) -> int:
@@ -295,6 +333,7 @@ class ConsensusCore:
             self.role = FOLLOWER
             self.leader_id = None
             self._votes.clear()
+            self._persist_state()
 
     # -- elections -----------------------------------------------------
     def start_election(self) -> Dict[str, Any]:
@@ -304,6 +343,7 @@ class ConsensusCore:
         self.leader_id = None
         self.voted_for = self.node_id
         self._votes = {self.node_id}
+        self._persist_state()
         return {"type": "replica-vote", "term": self.term,
                 "candidate": self.node_id,
                 "last_index": self.log.last_index(),
@@ -320,6 +360,7 @@ class ConsensusCore:
                    self.voted_for in (None, msg["candidate"]))
         if granted:
             self.voted_for = msg["candidate"]
+            self._persist_state()
         return {"type": "replica-vote-reply", "term": self.term,
                 "voter": self.node_id, "granted": granted}
 

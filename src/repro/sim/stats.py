@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import StatsError
+
 
 class Counter:
     """A named monotonic (usually) integer counter."""
@@ -229,11 +231,17 @@ class Stats:
                 mine._samples.extend(s._samples)
         for name, h in other._histograms.items():
             mine = self.histogram(name, h.bin_width, len(h.bins) - 1)
-            if len(mine.bins) == len(h.bins) and mine.bin_width == h.bin_width:
-                for i, v in enumerate(h.bins):
-                    mine.bins[i] += v
-                mine.count += h.count
-                mine.total += h.total
+            if len(mine.bins) != len(h.bins) or mine.bin_width != h.bin_width:
+                # Dropping the incoming bins here would silently zero a
+                # shard's contribution to an aggregated histogram.
+                raise StatsError(
+                    f"histogram {name!r} shape mismatch on merge: "
+                    f"{len(mine.bins)} bins x width {mine.bin_width} vs "
+                    f"{len(h.bins)} bins x width {h.bin_width}")
+            for i, v in enumerate(h.bins):
+                mine.bins[i] += v
+            mine.count += h.count
+            mine.total += h.total
 
     def to_dict(self) -> Dict[str, float]:
         out: Dict[str, float] = {}

@@ -29,6 +29,10 @@ _PRIV_STRIDE = 0x1000
 _LOCK_BASE = 0x40000     # lock lines
 _PHASE_BASE = 0x80000    # per-phase shared regions
 _PHASE_STRIDE = 0x100
+#: base of the leakage-scenario probe region (must be divisible by
+#: num_tiles * l2_sets for every geometry the harness sweeps, so the
+#: same-home/same-set address algebra in repro.harness.leakage holds)
+LEAK_BASE = 0x100000
 
 
 def _ev(op: Op, addr: int, gap: int = 0) -> TraceEvent:
@@ -186,6 +190,64 @@ def mixed(rng: np.random.Generator,
     return traces
 
 
+def spec_storm(rng: np.random.Generator,
+               num_cores: int) -> List[List[TraceEvent]]:
+    """Committed hot-line/private traffic interleaved with bursts of
+    wrong-path SPEC_LOADs over the same lines: squashed fills churn
+    LRU state and MSHRs mid-contention, which is where a speculative
+    access leaking into architectural state would show up first."""
+    refs = int(rng.integers(60, 141))
+    write_p = float(rng.uniform(0.2, 0.7))
+    n_hot = int(rng.integers(2, 7))
+    spec_p = float(rng.uniform(0.15, 0.4))
+    region = int(rng.integers(64, 257))
+    traces = []
+    for core in range(num_cores):
+        events = []
+        base = _PRIV_BASE + core * _PRIV_STRIDE
+        for _ in range(refs):
+            r = rng.random()
+            if r < spec_p:
+                addr = (_HOT_BASE + int(rng.integers(0, n_hot))
+                        if rng.random() < 0.5
+                        else base + int(rng.integers(0, region)))
+                events.append(_ev(Op.SPEC_LOAD, addr))
+            elif r < 0.6:
+                events.append(_rw(rng, _HOT_BASE + int(rng.integers(0, n_hot)),
+                                  write_p))
+            else:
+                events.append(_rw(rng, base + int(rng.integers(0, region)),
+                                  write_p))
+        traces.append(events)
+    return traces
+
+
+def spec_shadow(rng: np.random.Generator,
+                num_cores: int) -> List[List[TraceEvent]]:
+    """Writers hammer a few hot lines while every other core
+    speculatively reads exactly those lines mid-update, then commits a
+    real load of the same line: maximum pressure on the
+    transient-vs-committed distinction — a spec fill racing an
+    invalidation must never let the later committed load observe a
+    stale value."""
+    refs = int(rng.integers(40, 101))
+    n_hot = int(rng.integers(1, 5))
+    traces = []
+    for core in range(num_cores):
+        events = []
+        writer = core % 2 == 0
+        for _ in range(refs):
+            addr = _HOT_BASE + int(rng.integers(0, n_hot))
+            if writer:
+                events.append(_rw(rng, addr, 0.8, max_gap=1))
+            else:
+                if rng.random() < 0.5:
+                    events.append(_ev(Op.SPEC_LOAD, addr))
+                events.append(_ev(Op.LOAD, addr, rng.integers(0, 2)))
+        traces.append(events)
+    return traces
+
+
 SCENARIOS: Dict[str, Callable[[np.random.Generator, int],
                               List[List[TraceEvent]]]] = {
     "hot_lines": hot_lines,
@@ -194,9 +256,22 @@ SCENARIOS: Dict[str, Callable[[np.random.Generator, int],
     "false_sharing": false_sharing,
     "barrier_phases": barrier_phases,
     "mixed": mixed,
+    # speculation scenarios: explicitly selectable (and the default
+    # pool of the fuzz speculation mode), but kept out of the seed
+    # rotation below so existing seed -> scenario -> trace mappings
+    # (and the golden 20-seed smoke) are bit-identical to before.
+    "spec_storm": spec_storm,
+    "spec_shadow": spec_shadow,
 }
 
-_SCENARIO_ORDER = list(SCENARIOS)
+#: the pre-speculation rotation, frozen: seed-indexed scenario choice
+#: must never change when new scenario families are registered
+_SCENARIO_ORDER = ("hot_lines", "lock_pingpong", "eviction_storm",
+                   "false_sharing", "barrier_phases", "mixed")
+
+#: scenarios containing SPEC_LOADs — the pool the fuzz ``speculation``
+#: mode rotates through
+SPEC_SCENARIOS = ("spec_storm", "spec_shadow")
 
 
 def generate_adversarial(seed: int, num_cores: int,
@@ -216,3 +291,87 @@ def generate_adversarial(seed: int, num_cores: int,
         name = scenario
     rng = np.random.default_rng((0xF022, seed))
     return name, SCENARIOS[name](rng, num_cores)
+
+
+# ----------------------------------------------------------------------
+# cache-leakage scenario pack (prime+probe / evict+reload)
+#
+# These builders are deterministic functions of an explicit secret and
+# a precomputed probe-line table (``lines[k][j]`` = j-th address that
+# maps to secret bit k's L2 set at the shared home tile — computed by
+# ``repro.harness.leakage`` from the experiment's cache geometry).
+# Attacker and victim synchronize each bit-round with three barriers,
+# so trace-mode runs are deterministic regardless of organization.
+# ----------------------------------------------------------------------
+def _leak_frame(num_cores: int, attacker: int,
+                victim: int) -> Tuple[List[List[TraceEvent]], List[int]]:
+    """Empty per-core traces + barrier populations (only the attacker
+    and victim ever reach a barrier)."""
+    traces: List[List[TraceEvent]] = [[] for _ in range(num_cores)]
+    populations = [1] * num_cores
+    populations[attacker] = populations[victim] = 2
+    return traces, populations
+
+
+def leak_prime_probe(num_cores: int, secret: List[int],
+                     lines: List[List[int]], ways: int,
+                     attacker: int = 0, victim: int = 1,
+                     ) -> Tuple[List[List[TraceEvent]], List[int]]:
+    """Prime+probe over one L2 set per secret bit.
+
+    Round k: the attacker primes bit k's set with ``ways`` lines; the
+    victim's squashed path touches two extra same-set lines iff
+    ``secret[k]`` is 1 (evicting primed lines); the attacker re-probes
+    its lines in prime order — misses (slow probes) mean bit 1.
+    """
+    traces, populations = _leak_frame(num_cores, attacker, victim)
+    atk, vic = traces[attacker], traces[victim]
+    for k, bit in enumerate(secret):
+        b0, b1, b2 = 3 * k, 3 * k + 1, 3 * k + 2
+        prime = lines[k][:ways]
+        for addr in prime:                       # phase 1: prime
+            atk.append(_ev(Op.LOAD, addr))
+        atk.append(_ev(Op.BARRIER, b0))
+        vic.append(_ev(Op.BARRIER, b0))
+        if bit:                                  # phase 2: transient touch
+            vic.append(_ev(Op.SPEC_LOAD, lines[k][ways]))
+            vic.append(_ev(Op.SPEC_LOAD, lines[k][ways + 1]))
+        vic.append(_ev(Op.BARRIER, b1))
+        atk.append(_ev(Op.BARRIER, b1))
+        for addr in prime:                       # phase 3: probe (timed)
+            atk.append(_ev(Op.LOAD, addr))
+        atk.append(_ev(Op.BARRIER, b2))
+        vic.append(_ev(Op.BARRIER, b2))
+    return traces, populations
+
+
+def leak_evict_reload(num_cores: int, secret: List[int],
+                      lines: List[List[int]], ways: int,
+                      attacker: int = 0, victim: int = 1,
+                      ) -> Tuple[List[List[TraceEvent]], List[int]]:
+    """Evict+reload (the flush-style channel without a flush
+    instruction): the attacker loads a target line, evicts it from the
+    home L2 with ``ways`` same-set fillers, lets the victim's squashed
+    path reload it iff the bit is 1, then times its own reload — a
+    *fast* reload means bit 1 (inverted polarity vs prime+probe).
+    """
+    traces, populations = _leak_frame(num_cores, attacker, victim)
+    atk, vic = traces[attacker], traces[victim]
+    for k, bit in enumerate(secret):
+        b0, b1, b2 = 3 * k, 3 * k + 1, 3 * k + 2
+        target = lines[k][0]
+        for addr in lines[k][:ways + 1]:         # phase 1: load + evict
+            atk.append(_ev(Op.LOAD, addr))
+        atk.append(_ev(Op.BARRIER, b0))
+        vic.append(_ev(Op.BARRIER, b0))
+        if bit:                                  # phase 2: transient reload
+            vic.append(_ev(Op.SPEC_LOAD, target))
+        vic.append(_ev(Op.BARRIER, b1))
+        atk.append(_ev(Op.BARRIER, b1))
+        atk.append(_ev(Op.LOAD, target))         # phase 3: reload (timed)
+        atk.append(_ev(Op.BARRIER, b2))
+        vic.append(_ev(Op.BARRIER, b2))
+    return traces, populations
+
+
+LEAK_SCENARIOS = ("prime_probe", "evict_reload")

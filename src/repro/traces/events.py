@@ -26,10 +26,18 @@ class Op(Enum):
     LOCK = auto()
     UNLOCK = auto()
     BARRIER = auto()
+    #: a load issued down a *predicted* (wrong) path: it perturbs
+    #: cache/LRU/MSHR state and timing but is squashed before commit —
+    #: it never counts as an instruction, never retires a value, and
+    #: is a free no-op when the core's speculation is off.
+    SPEC_LOAD = auto()
 
 
 # Import-time member flags (C-level fetches on the per-instruction
 # core path, where a property would cost a Python descriptor call).
+# SPEC_LOAD is deliberately *not* is_memory: the committed-order
+# dispatch in Core._execute must never treat it as an architectural
+# access (it is intercepted before instruction accounting).
 for _op in Op:
     _op.is_memory = _op in (Op.LOAD, Op.STORE, Op.LOCK, Op.UNLOCK)
     _op.is_write = _op in (Op.STORE, Op.LOCK, Op.UNLOCK)
@@ -68,5 +76,7 @@ def validate_trace(events: Sequence[TraceEvent]) -> None:
 
 
 def instruction_count(events: Sequence[TraceEvent]) -> int:
-    """Total instructions a trace represents (gaps + the ops themselves)."""
-    return sum(ev.gap + 1 for ev in events)
+    """Total *committed* instructions a trace represents (gaps + the
+    ops themselves; squashed SPEC_LOADs never commit)."""
+    return sum(ev.gap + (0 if ev.op is Op.SPEC_LOAD else 1)
+               for ev in events)

@@ -104,8 +104,9 @@ class TestLocks:
         # the three critical sections serialize: > 3 x 50 compute
         assert result.runtime > 150
         assert system.stats.value("lock_spins") > 0 or True  # may be lucky
-        # lock is free at the end
-        assert system.sync.lock_holders[lock_line] is None
+        # lock is free at the end (released locks leave no entry, so
+        # long lock traces cannot grow the map without bound)
+        assert lock_line not in system.sync.lock_holders
 
     def test_trace_mode_locks_are_plain_stores(self):
         lock_line = 0x7000

@@ -296,6 +296,62 @@ class TestConsensusCore:
 
 
 # ----------------------------------------------------------------------
+# (term, vote) durability
+# ----------------------------------------------------------------------
+class TestConsensusPersistence:
+    """A restarted replica must remember its term and its vote — an
+    amnesiac voter can grant two candidates the same term and elect two
+    leaders at once."""
+
+    def test_restart_refuses_conflicting_same_term_vote(self, tmp_path):
+        path = str(tmp_path / "replica1.state.json")
+        candidate = ConsensusCore(0, 3)
+        req = candidate.start_election()
+        voter = ConsensusCore(1, 3, state_path=path)
+        assert voter.on_vote(req)["granted"]
+        # crash, restart from the same state file
+        reborn = ConsensusCore(1, 3, state_path=path)
+        assert reborn.term == 1
+        assert reborn.voted_for == 0
+        rival = dict(req, candidate=2)
+        assert not reborn.on_vote(rival)["granted"]
+        # re-granting the SAME candidate is safe (Raft's idempotent vote)
+        assert reborn.on_vote(req)["granted"]
+        # ...whereas without persistence the rival would have won the
+        # second vote, splitting the term between two leaders
+        amnesiac = ConsensusCore(1, 3)
+        assert amnesiac.on_vote(req)["granted"]
+        forgot = ConsensusCore(1, 3)
+        assert forgot.on_vote(rival)["granted"]
+
+    def test_candidate_persists_its_own_term_and_vote(self, tmp_path):
+        path = str(tmp_path / "replica0.state.json")
+        a = ConsensusCore(0, 3, state_path=path)
+        a.start_election()
+        reborn = ConsensusCore(0, 3, state_path=path)
+        assert reborn.term == 1
+        assert reborn.voted_for == 0  # cannot vote for a rival in term 1
+
+    def test_persisted_blob_is_json_atomic_publish(self, tmp_path):
+        path = tmp_path / "state.json"
+        core = ConsensusCore(0, 3, state_path=str(path))
+        core.start_election()
+        blob = json.loads(path.read_text())
+        assert blob == {"term": 1, "voted_for": 0}
+        assert list(tmp_path.glob("*")) == [path]  # no temp droppings
+
+    def test_corrupt_or_missing_state_starts_fresh(self, tmp_path):
+        path = tmp_path / "state.json"
+        fresh = ConsensusCore(0, 3, state_path=str(path))  # missing: fine
+        assert fresh.term == 0 and fresh.voted_for is None
+        path.write_text("{not json")
+        core = ConsensusCore(0, 3, state_path=str(path))
+        assert core.term == 0 and core.voted_for is None
+        core.start_election()  # and the file heals on the next persist
+        assert json.loads(path.read_text())["term"] == 1
+
+
+# ----------------------------------------------------------------------
 # live in-process cluster
 # ----------------------------------------------------------------------
 def _start_cluster(n=3, **coord_kw):

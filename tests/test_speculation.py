@@ -1,0 +1,155 @@
+"""Speculative front-end: squash semantics, the speculation on/off
+differential, bounded SyncState maps, and the spec_commit mutation."""
+
+import pytest
+
+from repro.cmp.core import SpecConfig
+from repro.harness.fuzz import FuzzConfig, run_seed
+from repro.params import Organization
+from repro.traces.adversarial import SPEC_SCENARIOS, generate_adversarial
+from repro.traces.events import Op, TraceEvent, instruction_count
+from tests.conftest import build_system
+
+ALL_ORGS = (Organization.PRIVATE, Organization.SHARED,
+            Organization.LOCO_CC, Organization.LOCO_CC_VMS_IVR)
+
+
+def pad(traces, n=16):
+    return traces + [[] for _ in range(n - len(traces))]
+
+
+class TestSpecEvents:
+    def test_spec_load_is_not_architectural(self):
+        ev = TraceEvent(Op.SPEC_LOAD, 0x10)
+        assert not ev.op.is_memory
+        assert not ev.op.is_write
+
+    def test_spec_load_excluded_from_instruction_count(self):
+        events = [TraceEvent(Op.LOAD, 0x10, gap=3),
+                  TraceEvent(Op.SPEC_LOAD, 0x11, gap=2),
+                  TraceEvent(Op.STORE, 0x12)]
+        # 3+1 for the load, 2+0 for the squashed op's gap, 0+1 store
+        assert instruction_count(events) == 7
+
+    def test_spec_scenarios_registered_but_out_of_rotation(self):
+        for name in SPEC_SCENARIOS:
+            got, traces = generate_adversarial(5, 8, scenario=name)
+            assert got == name
+            assert any(ev.op is Op.SPEC_LOAD
+                       for trace in traces for ev in trace)
+        # the seed rotation never lands on a spec scenario
+        names = {generate_adversarial(s, 4)[0] for s in range(24)}
+        assert not (names & set(SPEC_SCENARIOS))
+
+
+class TestSpecExecution:
+    def test_spec_loads_squash_without_spec_config(self):
+        """A SPEC_LOAD in a trace is a no-op on a core without a
+        speculative front-end — no traffic, no instructions."""
+        t = [TraceEvent(Op.SPEC_LOAD, 0x10),
+             TraceEvent(Op.LOAD, 0x20)]
+        system = build_system(Organization.SHARED, traces=pad([t]))
+        result = system.run(max_cycles=100_000)
+        assert result.finished
+        assert system.cores[0].instructions == 1
+        assert system.stats.value("mem_refs") == 1
+        assert system.stats.value("spec_issued") == 0
+
+    def test_spec_loads_issue_and_squash_with_spec_config(self):
+        t = [TraceEvent(Op.SPEC_LOAD, 0x10),
+             TraceEvent(Op.SPEC_LOAD, 0x10),   # second one hits L1
+             TraceEvent(Op.LOAD, 0x20)]
+        cfg = build_system(Organization.SHARED).config
+        from repro.cmp.system import CmpSystem
+        system = CmpSystem(cfg, pad([t]),
+                           speculation=SpecConfig(issue=True))
+        result = system.run(max_cycles=100_000)
+        assert result.finished
+        assert system.stats.value("spec_issued") == 2
+        assert system.stats.value("spec_squashed") == 2
+        # squashed traffic moved real protocol state...
+        assert system.stats.value("spec_l1_misses") == 1
+        assert system.stats.value("spec_l1_hits") == 1
+        # ...but committed no instructions or committed references
+        assert system.cores[0].instructions == 1
+        assert system.stats.value("mem_refs") == 1
+        assert system.stats.value("l1_misses") == 1
+
+
+class TestSpeculationDifferential:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_committed_history_identical_with_speculation(self, seed):
+        """The on/off differential over all four organizations: wrong-
+        path traffic perturbs timing but never committed state."""
+        report = run_seed(FuzzConfig(seed=seed, speculation=True,
+                                     organizations=ALL_ORGS))
+        assert report.scenario in SPEC_SCENARIOS
+        assert report.ok, report.failures()
+
+    def test_spec_commit_mutation_is_caught(self):
+        report = run_seed(FuzzConfig(seed=1, speculation=True,
+                                     inject="spec_commit",
+                                     organizations=ALL_ORGS))
+        assert not report.ok
+        text = " ".join(d for _, d in report.failures())
+        assert "speculation changed committed" in text
+
+    def test_mispredict_rate_perturbs_only_timing(self):
+        """rate > 0 speculates down random wrong paths on an ordinary
+        (no SPEC_LOAD) scenario; committed history must still match."""
+        report = run_seed(FuzzConfig(seed=2, speculation=True,
+                                     scenario="hot_lines",
+                                     spec_rate=0.25,
+                                     organizations=ALL_ORGS))
+        assert report.ok, report.failures()
+
+
+class TestSyncStateBounded:
+    def test_released_locks_and_barriers_leave_no_entries(self):
+        """An eviction-storm-length lock/barrier trace must not grow
+        the SyncState maps: released locks delete their entry and
+        completed barriers are fully reclaimed."""
+        n_rounds, n_cores = 200, 4
+        traces = []
+        for core in range(n_cores):
+            events = []
+            for i in range(n_rounds):
+                lock_line = 0x7000 + 64 * i
+                events.append(TraceEvent(Op.LOCK, lock_line))
+                events.append(TraceEvent(Op.LOAD, 0x100 + core))
+                events.append(TraceEvent(Op.UNLOCK, lock_line))
+                events.append(TraceEvent(Op.BARRIER, i))
+            traces.append(events)
+        system = build_system(Organization.SHARED,
+                              traces=pad(traces, n=16), full_system=True)
+        for c in system.cores:
+            c.barrier_population = n_cores
+        result = system.run(max_cycles=5_000_000)
+        assert result.finished
+        assert len(system.sync.lock_holders) == 0
+        assert len(system.sync.barrier_counts) == 0
+        assert len(system.sync.barrier_released) == 0
+
+    def test_reentrant_try_lock_still_works(self):
+        from repro.cmp.core import SyncState
+        sync = SyncState(num_cores=4)
+        assert sync.try_lock(0x10, 3)
+        assert sync.try_lock(0x10, 3)       # re-entrant
+        assert not sync.try_lock(0x10, 0)   # held by 3
+        sync.unlock(0x10, 0)                # wrong holder: no-op
+        assert 0x10 in sync.lock_holders
+        sync.unlock(0x10, 3)
+        assert 0x10 not in sync.lock_holders
+        assert sync.try_lock(0x10, 0)       # reusable after release
+
+    def test_barrier_reuse_after_completion(self):
+        from repro.cmp.core import SyncState
+        sync = SyncState(num_cores=2)
+        for _ in range(3):  # same barrier id, three generations
+            assert sync.arrive_barrier(7) == 1
+            assert not sync.barrier_done(7, expected=2)
+            assert sync.arrive_barrier(7) == 2
+            assert sync.barrier_done(7, expected=2)  # waiter 1 released
+            assert sync.barrier_done(7, expected=2)  # waiter 2 released
+            assert len(sync.barrier_counts) == 0
+            assert len(sync.barrier_released) == 0

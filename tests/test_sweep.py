@@ -158,13 +158,21 @@ class TestStatsMerge:
         assert lat.min == 10.0 and lat.max == 100.0
         assert a.histogram("h", 2, 4).count == 2
 
-    def test_merge_mismatched_histogram_shapes_skipped(self):
+    def test_merge_mismatched_histogram_shapes_raises(self):
+        # silently keeping only the local bins would zero one shard's
+        # contribution to an aggregated histogram — must be an error
+        from repro.errors import StatsError
         from repro.sim.stats import Stats
         a, b = Stats(), Stats()
         a.histogram("h", bin_width=2, num_bins=4).add(3)
         b.histogram("h", bin_width=5, num_bins=4).add(3)
-        a.merge(b)
-        assert a.histogram("h", 2, 4).count == 1  # shape mismatch: kept
+        with pytest.raises(StatsError, match="shape mismatch"):
+            a.merge(b)
+        c, d = Stats(), Stats()
+        c.histogram("h", bin_width=2, num_bins=4).add(3)
+        d.histogram("h", bin_width=2, num_bins=8).add(3)
+        with pytest.raises(StatsError, match="shape mismatch"):
+            c.merge(d)
 
     def test_seed_identical_remerge_doubles_exactly(self):
         """Merging two runs of the SAME seed must double every counter
