@@ -17,7 +17,10 @@ A unit is batchable when:
 * the NoC is SMART (single-tile loopback timing) and the workload is a
   trace-mode benchmark (``full_system`` spins are data-dependent),
 * the metric is ``None`` (full ``RunResult``) or drawn from
-  :data:`BATCHABLE_METRICS`.
+  :data:`BATCHABLE_METRICS`,
+* the memory hierarchy is the default all-cache one and the benchmark
+  is not a ``dataflow_*`` workload (the engine models neither
+  scratchpad partitions nor SPM ops).
 
 Units are then grouped by :class:`~repro.batch.engine.GroupShape` —
 cache geometry, latency class and coherence kind — because lanes in
@@ -31,7 +34,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.harness.experiment import _traces_for
+from repro.harness.experiment import HierarchyAxes, _traces_for
 from repro.harness.units import SweepUnit, metric_of
 from repro.params import NocKind, Organization
 
@@ -77,6 +80,10 @@ def batchable(unit: Any) -> bool:
             # the lockstep engine has no speculative front-end; spec
             # units fall back to the scalar path
             and exp.speculation == "off"
+            # ... nor a scratchpad model: hierarchy-partitioned units
+            # and the SPM-op dataflow workloads both decline
+            and exp.hierarchy == HierarchyAxes()
+            and not exp.benchmark.startswith("dataflow_")
             and _metric_ok(unit.metric))
 
 

@@ -269,6 +269,52 @@ def _coherence_scenario(org_name: str) -> Callable[[], RunFn]:
 
 
 # ----------------------------------------------------------------------
+# dataflow workloads on the reconfigurable hierarchy (macro)
+# ----------------------------------------------------------------------
+def _dataflow_scenario(bench: str,
+                       scratchpad_fraction: float) -> Callable[[], RunFn]:
+    """One dataflow workload on a 16-tile machine; with a scratchpad
+    partition these exercise the SPM unit plus the non-coherent NoC
+    kinds, with fraction 0.0 the same trace degrades to coherent
+    accesses (the all-cache arm of the crossover)."""
+    def prepare() -> RunFn:
+        from repro.cmp.system import CmpSystem
+        from repro.harness.experiment import ExperimentConfig, _traces_for
+        from repro.params import Organization
+
+        exp = ExperimentConfig(
+            benchmark=bench, organization=Organization.SHARED, cores=16,
+            cluster=(2, 2), scale=0.25,
+            scratchpad_fraction=scratchpad_fraction)
+        traces, _ = _traces_for(exp)
+        cfg = exp.system_config()
+
+        def run() -> Tuple[int, Fingerprint]:
+            system = CmpSystem(cfg, traces,
+                               warmup_fraction=exp.warmup_fraction)
+            result = system.run(max_cycles=30_000_000)
+            assert result.finished
+            ops = system.sim._seq
+            return ops, {
+                "events": ops,
+                "runtime": result.runtime,
+                "instructions": result.instructions,
+                "l2_misses": system.stats.value("l2_misses"),
+                "spm_local": system.stats.value("spm_local_accesses"),
+                "spm_remote": (
+                    system.stats.value("spm_remote_reads")
+                    + system.stats.value("spm_remote_writes")
+                    + system.stats.value("spm_pushes")),
+                "delivered": system.stats.value(
+                    f"{system.network.name}.delivered"),
+            }
+
+        return run
+
+    return prepare
+
+
+# ----------------------------------------------------------------------
 # snapshot save/restore (macro)
 # ----------------------------------------------------------------------
 def _prepare_snapshot_roundtrip() -> RunFn:
@@ -470,6 +516,12 @@ _register("coherence_private", "coherence",
           _coherence_scenario("private"))
 _register("coherence_loco_token", "coherence",
           _coherence_scenario("loco_cc_vms_ivr"))
+_register("dataflow_gemm", "cmp.scratchpad",
+          _dataflow_scenario("dataflow_gemm", 0.5))
+_register("dataflow_stencil", "cmp.scratchpad",
+          _dataflow_scenario("dataflow_stencil", 0.5))
+_register("spm_crossover_allcache", "cmp.scratchpad",
+          _dataflow_scenario("dataflow_gemm", 0.0))
 _register("snapshot_roundtrip", "sim.snapshot",
           _prepare_snapshot_roundtrip)
 _register("sweep_backend", "harness.sweep", _prepare_sweep_backend)

@@ -169,7 +169,8 @@ class Core:
                  barrier_population: Optional[int] = None,
                  warmup: Optional[WarmupTracker] = None,
                  spec: Optional[SpecConfig] = None,
-                 spec_rng: Optional[np.random.Generator] = None) -> None:
+                 spec_rng: Optional[np.random.Generator] = None,
+                 spm=None) -> None:
         self.sim = sim
         self.tile = tile
         self.l1 = l1
@@ -189,6 +190,11 @@ class Core:
         # Bound once: these fire for every trace event.
         self._c_instructions = stats.counter("instructions")
         self._c_mem_refs = stats.counter("mem_refs")
+        # -- scratchpad unit (None on all-cache machines: SPM trace ops
+        # then degrade to coherent accesses at the same addresses) ----
+        self.spm = spm
+        if spm is not None:
+            self._c_spm_refs = stats.counter("spm_refs")
         # -- speculative front-end (None on ordinary runs: the only
         # hot-path residue is one int truthiness test per event) -----
         self.spec = spec
@@ -240,6 +246,8 @@ class Core:
             self.warmup.note_ref()
         if op is Op.BARRIER:
             self._do_barrier(ev)
+        elif op.is_spm:
+            self._do_spm(ev)
         elif op is Op.LOCK and self.full_system:
             self._do_lock(ev)
         elif op is Op.UNLOCK and self.full_system:
@@ -255,6 +263,34 @@ class Core:
                 self.l1.access(ev.line_addr, op.is_write, self._step)
         else:
             raise TraceError(f"core {self.tile}: cannot execute {ev}")
+
+    # -- scratchpad ops ---------------------------------------------------
+    def _do_spm(self, ev: TraceEvent) -> None:
+        """Execute one scratchpad op.
+
+        With a scratchpad unit, the op is a non-coherent SPM access
+        (local SRAM or crossbar-style remote over the NoC), counted
+        under ``spm_refs``. Without one — the all-cache twin of the
+        same geometry — the *same trace event* executes as a coherent
+        access to the same address (SPM_STORE/SPM_REMOTE as stores,
+        SPM_LOAD as a load), counted under ``mem_refs`` like any other
+        reference. That graceful degradation is what makes the
+        scratchpad-vs-cache crossover a paired comparison.
+        """
+        op = ev.op
+        spm = self.spm
+        if spm is None:
+            self._c_mem_refs.value += 1
+            self.l1.access(ev.line_addr, op is not Op.SPM_LOAD, self._step)
+            return
+        self._c_spm_refs.value += 1
+        if op is Op.SPM_LOAD:
+            spm.load(ev.line_addr, self._step)
+        elif op is Op.SPM_STORE:
+            spm.store(ev.line_addr, self._step)
+        else:  # SPM_REMOTE: fire-and-forget push, core continues
+            spm.push(ev.line_addr)
+            self.sim.call_after(1, self._step)
 
     # -- speculative front-end --------------------------------------------
     def _do_spec(self, ev: TraceEvent) -> None:

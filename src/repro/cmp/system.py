@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cmp.core import Core, SpecConfig, SyncState, WarmupTracker
 from repro.cmp.organizations import make_l2_controller
+from repro.cmp.scratchpad import ScratchpadUnit
 from repro.coherence.context import SystemContext
 from repro.coherence.l1 import L1Controller
 from repro.coherence.memory_controller import MemoryController
@@ -82,6 +83,21 @@ class RunResult:
     def offchip_fetches(self) -> int:
         return self.stats.delta("offchip_fetches")
 
+    @property
+    def spm_refs(self) -> int:
+        """Committed scratchpad references in the measured region
+        (0 on all-cache machines — SPM trace ops there execute as
+        coherent accesses and count under ``mem_refs``)."""
+        return self.stats.delta("spm_refs")
+
+    @property
+    def spm_remote_ops(self) -> int:
+        """Remote scratchpad NoC transactions (reads + blocking writes
+        + fire-and-forget pushes) in the measured region."""
+        return (self.stats.delta("spm_remote_reads")
+                + self.stats.delta("spm_remote_writes")
+                + self.stats.delta("spm_pushes"))
+
     def to_dict(self) -> Dict[str, float]:
         out = self.stats.to_dict()
         out.update(runtime=self.runtime, instructions=self.instructions,
@@ -118,6 +134,17 @@ class CmpSystem:
                     for t in range(config.num_tiles)]
         self.l1s = [L1Controller(self.ctx, t)
                     for t in range(config.num_tiles)]
+        # Reconfigurable hierarchy: one scratchpad unit per tile when
+        # any tile partitions its SRAM (all-default hierarchies build
+        # none — the machine is bit-identical to the pre-hierarchy
+        # simulator). Every tile gets a unit even at fraction 0 so
+        # remote SPM traffic always finds a handler.
+        self.spms: List[ScratchpadUnit] = []
+        if config.hierarchy.enabled:
+            self.spms = [
+                ScratchpadUnit(self.ctx, t, self.ctx.spm_lines_for(t),
+                               config.hierarchy.spm_latency)
+                for t in range(config.num_tiles)]
         self.sync = SyncState(config.num_tiles)
         pops = (list(barrier_populations) if barrier_populations is not None
                 else [config.num_tiles] * config.num_tiles)
@@ -143,7 +170,8 @@ class CmpSystem:
                  full_system=full_system, barrier_population=pops[t],
                  warmup=warmup, spec=speculation,
                  spec_rng=(self.rng.stream(f"spec_{t}")
-                           if speculation is not None else None))
+                           if speculation is not None else None),
+                 spm=self.spms[t] if self.spms else None)
             for t in range(config.num_tiles)
         ]
 

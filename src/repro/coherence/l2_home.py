@@ -43,10 +43,14 @@ class HomeL2Base:
     def __init__(self, ctx: SystemContext, tile: int) -> None:
         self.ctx = ctx
         self.tile = tile
-        self.array = CacheArray(ctx.config.l2,
+        # The coherent slice may be smaller than config.l2 when the
+        # tile donates SRAM to a scratchpad (reconfigurable hierarchy);
+        # on default hierarchies l2_config_for returns config.l2 itself.
+        l2_cfg = ctx.l2_config_for(tile)
+        self.array = CacheArray(l2_cfg,
                                 index_stride=ctx.home_interleave())
         self.mshrs = MshrFile(capacity=16)
-        self.latency = ctx.config.l2.access_latency
+        self.latency = l2_cfg.access_latency
         self._fwd_ops: Dict[int, Dict] = {}
         self._overflow: List[Msg] = []  # requests parked on a full MSHR file
         self._build_dispatch()

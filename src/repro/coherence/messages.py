@@ -22,6 +22,7 @@ class Unit(Enum):
     L1 = auto()
     L2 = auto()
     MC = auto()
+    SPM = auto()            # software-managed scratchpad (non-coherent)
 
 
 class MsgKind(Enum):
@@ -66,6 +67,16 @@ class MsgKind(Enum):
     # ----- IVR -----
     IVR_MIGRATE = auto()    # victim line hops to another cluster's home
 
+    # ----- scratchpad (non-coherent crossbar-style remote access) -----
+    # Scratchpad traffic never touches the directory or token machinery:
+    # a remote read/write is a point-to-point exchange with the owning
+    # tile's SPM unit, riding the ordinary request/response VNs so it
+    # shares (and contends for) fabric bandwidth with coherence traffic.
+    SPM_READ = auto()       # core -> remote SPM: read one slot
+    SPM_WRITE = auto()      # core -> remote SPM: write one slot (data)
+    SPM_DATA = auto()       # remote SPM -> core: read reply (data)
+    SPM_ACK = auto()        # remote SPM -> core: write acknowledged
+
 
 #: VN assignment per message class — requests, forwards, responses,
 #: writebacks and migrations ride separate virtual networks so protocol
@@ -100,6 +111,10 @@ VN_OF_KIND = {
     MsgKind.DIR_WB: VirtualNetwork.WRITEBACK,
     MsgKind.TOK_WB: VirtualNetwork.WRITEBACK,
     MsgKind.IVR_MIGRATE: VirtualNetwork.MIGRATION,
+    MsgKind.SPM_READ: VirtualNetwork.REQUEST,
+    MsgKind.SPM_WRITE: VirtualNetwork.REQUEST,
+    MsgKind.SPM_DATA: VirtualNetwork.RESPONSE,
+    MsgKind.SPM_ACK: VirtualNetwork.RESPONSE,
 }
 
 #: Kinds whose packets carry a full cache line (header + payload flits).
@@ -107,6 +122,8 @@ DATA_KINDS = frozenset({
     MsgKind.DATA_L1, MsgKind.DATA_L2, MsgKind.MEM_DATA, MsgKind.TOK_DATA,
     MsgKind.WB_L1, MsgKind.MEM_WB, MsgKind.DIR_WB, MsgKind.TOK_WB,
     MsgKind.IVR_MIGRATE, MsgKind.RECALL_RESP,
+    # SPM writes push a line-sized payload; read replies return one.
+    MsgKind.SPM_WRITE, MsgKind.SPM_DATA,
 })
 
 # Hot-path per-member attributes, attached once at import: CPython's

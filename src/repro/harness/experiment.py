@@ -25,8 +25,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cmp.system import CmpSystem, RunResult
-from repro.errors import SnapshotError
-from repro.params import NocKind, Organization, SystemConfig, paper_config
+from repro.errors import ConfigError, SnapshotError
+from repro.params import (HierarchyConfig, NocKind, Organization,
+                          SystemConfig, paper_config)
 from repro.traces.benchmarks import get_benchmark
 from repro.traces.events import TraceEvent
 from repro.traces.multiprogram import CLUSTER_SHAPE, build_workload
@@ -40,8 +41,65 @@ _trace_cache: Dict[Tuple, Tuple[List[List[TraceEvent]], Optional[List[int]]]] = 
 
 
 @dataclass(frozen=True)
+class SpecAxes:
+    """The speculative-front-end axis group.
+
+    ``mode`` is "off" (default — bit-identical to the pre-speculation
+    simulator) or "on" (cores issue wrong-path loads; committed values
+    and committed-order stats are pinned identical to "off" by the
+    fuzz differential). ``window`` is the max speculative loads in
+    flight per core; ``rate`` the per-committed-memory-op mispredict
+    probability (0.0 = only trace-directed SPEC_LOADs speculate).
+    """
+
+    mode: str = "off"
+    window: int = 8
+    rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class HierarchyAxes:
+    """The reconfigurable-memory-hierarchy axis group.
+
+    ``scratchpad_fraction`` of each tile's L2 SRAM is carved into a
+    software-managed scratchpad (0.0 = the all-cache machine, bit-
+    identical to the pre-hierarchy simulator); ``spm_latency`` is the
+    local scratchpad access latency in cycles. Per-tile overrides are
+    a :class:`repro.params.HierarchyConfig` concern — the sweep axes
+    stay chip-wide scalars so units hash and wire-encode trivially.
+    """
+
+    scratchpad_fraction: float = 0.0
+    spm_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.scratchpad_fraction < 1.0:
+            raise ConfigError(
+                f"scratchpad_fraction must be in [0, 1), got "
+                f"{self.scratchpad_fraction}")
+        if self.spm_latency < 1:
+            raise ConfigError("spm_latency must be >= 1")
+
+
+_DEFAULT_SPEC = SpecAxes()
+_DEFAULT_HIERARCHY = HierarchyAxes()
+
+
+@dataclass(frozen=True, init=False, repr=False)
 class ExperimentConfig:
-    """What to run: workload x machine."""
+    """What to run: workload x machine.
+
+    The machine-shaping axes live in two frozen sub-configs: ``spec``
+    (:class:`SpecAxes`) and ``hierarchy`` (:class:`HierarchyAxes`).
+    The pre-grouping flat spelling — ``speculation=``/``spec_window=``
+    /``spec_rate=`` kwargs and the matching attribute reads — still
+    works via ``__init__`` shims and read-only properties, and is
+    *deprecated in favour of the grouped form*; flat and grouped
+    spellings of the same axes construct equal configs. ``repr`` (and
+    therefore ``unit_key``/``warmup_key`` hashing and the warmup-image
+    cache identity) of any config expressible pre-grouping is pinned
+    byte-identical to the flat era by regression tests.
+    """
 
     benchmark: str
     organization: Organization
@@ -59,23 +117,121 @@ class ExperimentConfig:
     #: (DESIGN.md §5): 1/8 of Table 1 by default -> 2 KB L1 slices,
     #: 8 KB L2 slices. Set to 1.0 for the paper's raw geometry.
     cache_scale: float = 0.125
-    #: speculative front-end: "off" (default — bit-identical to the
-    #: pre-speculation simulator) or "on" (cores issue wrong-path
-    #: loads; committed values and committed-order stats are pinned
-    #: identical to "off" by the fuzz differential)
-    speculation: str = "off"
-    #: max speculative loads in flight per core
-    spec_window: int = 8
-    #: per-committed-memory-op mispredict probability (0.0 = only
-    #: trace-directed SPEC_LOADs speculate)
-    spec_rate: float = 0.0
+    #: speculative front-end axis group
+    spec: SpecAxes = field(default_factory=SpecAxes)
+    #: reconfigurable memory hierarchy axis group
+    hierarchy: HierarchyAxes = field(default_factory=HierarchyAxes)
+
+    def __init__(self, benchmark: str, organization: Organization,
+                 cores: int = 64, noc: NocKind = NocKind.SMART,
+                 cluster: Tuple[int, int] = (4, 4),
+                 scale: float = SCALE_MEDIUM, full_system: bool = False,
+                 seed: int = 1, warmup_fraction: float = 0.35,
+                 cache_scale: float = 0.125,
+                 speculation: Optional[str] = None,
+                 spec_window: Optional[int] = None,
+                 spec_rate: Optional[float] = None,
+                 spec: Optional[SpecAxes] = None,
+                 hierarchy: Optional[HierarchyAxes] = None,
+                 scratchpad_fraction: Optional[float] = None,
+                 spm_latency: Optional[int] = None) -> None:
+        # Positional order through cache_scale..spec_rate is the flat-
+        # era signature, so positional call sites keep working.
+        flat_spec = (speculation, spec_window, spec_rate)
+        if spec is not None and any(v is not None for v in flat_spec):
+            raise ConfigError(
+                "pass either spec=SpecAxes(...) or the flat "
+                "speculation/spec_window/spec_rate kwargs, not both")
+        if spec is None:
+            spec = SpecAxes(
+                mode=speculation if speculation is not None else "off",
+                window=spec_window if spec_window is not None else 8,
+                rate=spec_rate if spec_rate is not None else 0.0)
+        flat_hier = (scratchpad_fraction, spm_latency)
+        if hierarchy is not None and any(v is not None for v in flat_hier):
+            raise ConfigError(
+                "pass either hierarchy=HierarchyAxes(...) or the flat "
+                "scratchpad_fraction/spm_latency kwargs, not both")
+        if hierarchy is None:
+            hierarchy = HierarchyAxes(
+                scratchpad_fraction=(scratchpad_fraction
+                                     if scratchpad_fraction is not None
+                                     else 0.0),
+                spm_latency=spm_latency if spm_latency is not None else 2)
+        set_ = object.__setattr__
+        set_(self, "benchmark", benchmark)
+        set_(self, "organization", organization)
+        set_(self, "cores", cores)
+        set_(self, "noc", noc)
+        set_(self, "cluster", cluster)
+        set_(self, "scale", scale)
+        set_(self, "full_system", full_system)
+        set_(self, "seed", seed)
+        set_(self, "warmup_fraction", warmup_fraction)
+        set_(self, "cache_scale", cache_scale)
+        set_(self, "spec", spec)
+        set_(self, "hierarchy", hierarchy)
+
+    def __repr__(self) -> str:
+        # The flat-era repr, byte-for-byte: warmup_key/unit_key hash
+        # repr, so any config expressible before the axis grouping must
+        # render exactly as it did then (warmup images and sweep caches
+        # stay valid across the redesign). Only a non-default hierarchy
+        # — inexpressible pre-grouping — appends a new field.
+        s = (f"ExperimentConfig(benchmark={self.benchmark!r}, "
+             f"organization={self.organization!r}, cores={self.cores!r}, "
+             f"noc={self.noc!r}, cluster={self.cluster!r}, "
+             f"scale={self.scale!r}, full_system={self.full_system!r}, "
+             f"seed={self.seed!r}, "
+             f"warmup_fraction={self.warmup_fraction!r}, "
+             f"cache_scale={self.cache_scale!r}, "
+             f"speculation={self.spec.mode!r}, "
+             f"spec_window={self.spec.window!r}, "
+             f"spec_rate={self.spec.rate!r}")
+        if self.hierarchy != _DEFAULT_HIERARCHY:
+            s += f", hierarchy={self.hierarchy!r}"
+        return s + ")"
+
+    # -- flat-spelling compatibility reads (deprecated, kept so the
+    # flat era's attribute accesses keep working verbatim) --
+    @property
+    def speculation(self) -> str:
+        return self.spec.mode
+
+    @property
+    def spec_window(self) -> int:
+        return self.spec.window
+
+    @property
+    def spec_rate(self) -> float:
+        return self.spec.rate
+
+    @property
+    def scratchpad_fraction(self) -> float:
+        return self.hierarchy.scratchpad_fraction
+
+    @property
+    def spm_latency(self) -> int:
+        return self.hierarchy.spm_latency
 
     def system_config(self) -> SystemConfig:
         cfg = paper_config(self.cores, organization=self.organization)
         cfg = cfg.with_cluster(*self.cluster).with_noc(self.noc)
         if self.cache_scale != 1.0:
             cfg = cfg.with_cache_scale(self.cache_scale)
+        if self.hierarchy != _DEFAULT_HIERARCHY:
+            cfg = cfg.with_hierarchy(HierarchyConfig(
+                scratchpad_fraction=self.hierarchy.scratchpad_fraction,
+                spm_latency=self.hierarchy.spm_latency))
         return cfg
+
+
+#: every axis name a sweep grid may vary: the grouped field names plus
+#: the flat compatibility spellings ``__init__`` still accepts.
+SWEEP_AXES = frozenset(
+    f.name for f in ExperimentConfig.__dataclass_fields__.values()
+) | frozenset({"speculation", "spec_window", "spec_rate",
+               "scratchpad_fraction", "spm_latency"})
 
 
 def _traces_for(exp: ExperimentConfig
@@ -88,6 +244,14 @@ def _traces_for(exp: ExperimentConfig
         if key not in _trace_cache:
             from repro.harness.leakage import build_leak_traces
             _trace_cache[key] = build_leak_traces(exp)
+        return _trace_cache[key]
+    if exp.benchmark.startswith("dataflow_"):
+        key = ("dataflow", exp.benchmark, exp.cores, exp.scale, exp.seed)
+        if key not in _trace_cache:
+            from repro.traces.dataflow import dataflow_traces
+            traces = dataflow_traces(exp.benchmark, exp.cores,
+                                     scale=exp.scale, seed=exp.seed)
+            _trace_cache[key] = (traces, None)
         return _trace_cache[key]
     key = ("bench", exp.benchmark, exp.cores, exp.scale, exp.full_system,
            exp.seed)

@@ -21,15 +21,16 @@ to the cold path either way.
 from __future__ import annotations
 
 import itertools
-from dataclasses import fields
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.cmp.system import RunResult
 from repro.errors import ConfigError
-from repro.harness.experiment import (ExperimentConfig, WarmupImageCache,
-                                      run_benchmark)
+from repro.harness.experiment import (SWEEP_AXES, ExperimentConfig,
+                                      WarmupImageCache, run_benchmark)
 
-_VALID_FIELDS = {f.name for f in fields(ExperimentConfig)}
+# Grid axes may use the grouped field names (spec=, hierarchy=) or the
+# flat compatibility spellings the ExperimentConfig shim accepts.
+_VALID_FIELDS = set(SWEEP_AXES)
 
 
 def _validate_axes(axes: Dict[str, Sequence[Any]]) -> None:

@@ -28,9 +28,9 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.cmp.system import RunResult
 from repro.errors import ConfigError
-from repro.harness.experiment import (ExperimentConfig, WarmupImageCache,
-                                      run_benchmark, run_workload,
-                                      workload_config)
+from repro.harness.experiment import (ExperimentConfig, HierarchyAxes,
+                                      WarmupImageCache, run_benchmark,
+                                      run_workload, workload_config)
 from repro.harness.experiment import warmup_key as _warmup_key
 from repro.params import NocKind, Organization, SystemConfig
 from repro.sim.stats import Stats
@@ -222,7 +222,7 @@ class SweepUnit:
 
     def to_wire(self) -> Dict[str, Any]:
         exp = self.exp
-        return {
+        wire = {
             "kind": "sweep",
             "benchmark": exp.benchmark,
             "organization": exp.organization.value,
@@ -241,6 +241,14 @@ class SweepUnit:
             "metric": (list(self.metric)
                        if isinstance(self.metric, tuple) else self.metric),
         }
+        # Protocol v5: hierarchy axes ride the wire only when set — a
+        # default-hierarchy unit's frame is byte-identical to its v4
+        # form, so mixed-version fleets agree on every pre-existing
+        # config and only reject units that genuinely need v5.
+        if exp.hierarchy != HierarchyAxes():
+            wire["scratchpad_fraction"] = exp.hierarchy.scratchpad_fraction
+            wire["spm_latency"] = exp.hierarchy.spm_latency
+        return wire
 
     @staticmethod
     def from_wire(wire: Dict[str, Any]) -> "SweepUnit":
@@ -259,6 +267,8 @@ class SweepUnit:
                 speculation=wire["speculation"],
                 spec_window=wire["spec_window"],
                 spec_rate=wire["spec_rate"],
+                scratchpad_fraction=wire.get("scratchpad_fraction", 0.0),
+                spm_latency=wire.get("spm_latency", 2),
             )
             metric = wire["metric"]
         except (KeyError, TypeError, ValueError) as exc:

@@ -31,17 +31,43 @@ class Op(Enum):
     #: it never counts as an instruction, never retires a value, and
     #: is a free no-op when the core's speculation is off.
     SPEC_LOAD = auto()
+    #: scratchpad ops (reconfigurable-hierarchy machines): the address
+    #: is a *global scratchpad address* ``tile * SPM_STRIDE + slot``.
+    #: On a machine without scratchpad partitions the same trace
+    #: degrades gracefully — each op executes as a coherent access to
+    #: the same address, which is what makes the scratchpad-vs-cache
+    #: crossover a paired comparison.
+    SPM_LOAD = auto()       # blocking read (local or remote slot)
+    SPM_STORE = auto()      # blocking write (local or remote slot)
+    SPM_REMOTE = auto()     # fire-and-forget push to a remote slot —
+    #                         the systolic "forward to neighbour" op;
+    #                         the core does not wait for the ack
 
 
 # Import-time member flags (C-level fetches on the per-instruction
 # core path, where a property would cost a Python descriptor call).
 # SPEC_LOAD is deliberately *not* is_memory: the committed-order
 # dispatch in Core._execute must never treat it as an architectural
-# access (it is intercepted before instruction accounting).
+# access (it is intercepted before instruction accounting). SPM ops
+# are not is_memory either — they are dispatched explicitly so the
+# coherent-access branch never sees them.
 for _op in Op:
     _op.is_memory = _op in (Op.LOAD, Op.STORE, Op.LOCK, Op.UNLOCK)
     _op.is_write = _op in (Op.STORE, Op.LOCK, Op.UNLOCK)
+    _op.is_spm = _op in (Op.SPM_LOAD, Op.SPM_STORE, Op.SPM_REMOTE)
 del _op
+
+
+#: scratchpad slots per tile in the global SPM address space — the
+#: trace-side half of the convention ``addr = tile * SPM_STRIDE +
+#: slot`` (the machine-side half lives in repro.cmp.scratchpad, which
+#: imports this constant).
+SPM_STRIDE = 1 << 16
+
+
+def spm_addr(tile: int, slot: int) -> int:
+    """The global scratchpad address of ``slot`` on ``tile``."""
+    return tile * SPM_STRIDE + slot
 
 
 @dataclass(frozen=True, slots=True)

@@ -105,6 +105,22 @@ class TestEquivalence:
         ser_sorted = sorted(zip(units, serial), key=lambda p: p[0].key())
         assert [v for _, v in svc_sorted] == [v for _, v in ser_sorted]
 
+    def test_dataflow_rows_bit_identical_to_serial(self, fleet):
+        """Protocol-v5 coverage: hierarchy-partitioned dataflow units
+        ride the wire to 3 workers and come back bit-identical to the
+        serial sweep — including the scratchpad crossover pair (the
+        0.0-fraction twin is a byte-identical v4-style frame)."""
+        _coord, address = fleet(workers=3)
+        axes = dict(organization=[Organization.SHARED],
+                    cores=[16], cluster=[(2, 2)], scale=[0.1],
+                    scratchpad_fraction=[0.0, 0.5],
+                    spm_latency=[2, 4])
+        for bench in ("dataflow_gemm", "dataflow_stencil"):
+            cold = sweep(bench, metric=["runtime", "mpki"], **axes)
+            svc = sweep(bench, metric=["runtime", "mpki"],
+                        service=address, **axes)
+            assert svc == cold
+
     def test_process_fleet_matches_serial_small_figure_matrix(self):
         """3 real worker processes serving the small figure table —
         the distributed analogue of ``sweep(jobs=N)`` equivalence."""
